@@ -1,0 +1,245 @@
+(* Command-line driver: regenerate each table/figure of the paper
+   (see DESIGN.md §7 for the experiment index). *)
+
+open Cmdliner
+open Dpa_harness
+
+let conf_term =
+  let scale =
+    Arg.(
+      value
+      & opt (enum [ ("small", `Small); ("full", `Full) ]) `Small
+      & info [ "scale" ] ~docv:"SCALE"
+          ~doc:"Experiment scale: $(b,small) (seconds) or $(b,full) (the \
+                paper's configuration; minutes of host time).")
+  in
+  let procs =
+    Arg.(
+      value
+      & opt (some (list int)) None
+      & info [ "procs" ] ~docv:"P,P,..." ~doc:"Override the processor counts.")
+  in
+  let bodies =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "bodies" ] ~docv:"N" ~doc:"Override the Barnes-Hut body count.")
+  in
+  let particles =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "particles" ] ~docv:"N" ~doc:"Override the FMM particle count.")
+  in
+  let combine scale procs bodies particles =
+    let c = match scale with `Small -> Runconf.small | `Full -> Runconf.full in
+    let c = match procs with Some p -> { c with Runconf.procs = p } | None -> c in
+    let c =
+      match bodies with Some n -> { c with Runconf.bh_bodies = n } | None -> c
+    in
+    match particles with
+    | Some n -> { c with Runconf.fmm_particles = n }
+    | None -> c
+  in
+  Term.(const combine $ scale $ procs $ bodies $ particles)
+
+let run_t1 conf = Experiment.print_thread_stats (Experiment.thread_stats conf)
+
+let run_t2 conf =
+  Experiment.print_times
+    ~title:
+      (Printf.sprintf
+         "T2: Barnes-Hut force-phase times (%d bodies, %d step(s), strip %d)"
+         conf.Runconf.bh_bodies conf.Runconf.bh_steps conf.Runconf.bh_strip)
+    (Experiment.bh_times conf)
+
+let run_t3 conf =
+  Experiment.print_times
+    ~title:
+      (Printf.sprintf "T3: FMM force-phase times (%d particles, p=%d)"
+         conf.Runconf.fmm_particles conf.Runconf.fmm_p)
+    (Experiment.fmm_times conf)
+
+let run_f1 conf =
+  Experiment.print_breakdown
+    ~title:
+      (Printf.sprintf "F1: Barnes-Hut breakdown on %d nodes"
+         conf.Runconf.breakdown_procs)
+    (Experiment.bh_breakdown conf)
+
+let run_f2 conf =
+  Experiment.print_breakdown
+    ~title:
+      (Printf.sprintf "F2: FMM breakdown on %d nodes (strip %d)"
+         conf.Runconf.breakdown_procs conf.Runconf.fmm_strip)
+    (Experiment.fmm_breakdown conf)
+
+let run_f3 conf = Experiment.print_strip_sweep (Experiment.strip_sweep conf)
+
+let run_f4 conf =
+  let bh = Experiment.bh_times conf and fmm = Experiment.fmm_times conf in
+  Experiment.print_speedups (Experiment.speedups ~bh ~fmm)
+
+let run_a1 conf = Experiment.print_agg_sweep (Experiment.agg_sweep conf)
+
+let run_a2 conf =
+  let dpa =
+    List.find
+      (fun (t : Experiment.timing) -> t.Experiment.procs = conf.Runconf.breakdown_procs)
+      (Experiment.bh_times
+         { conf with Runconf.procs = [ conf.Runconf.breakdown_procs ] })
+  in
+  Experiment.print_cache_sweep ~dpa_time_s:dpa.Experiment.dpa_s
+    (Experiment.cache_sweep conf)
+
+let run_a3 conf =
+  Experiment.print_distribution_sweep (Experiment.distribution_sweep conf)
+
+let run_a4 conf =
+  Experiment.print_partition_sweep (Experiment.partition_sweep conf)
+
+let run_a5 conf = Experiment.print_em3d_sweep (Experiment.em3d_sweep conf)
+
+let run_a6 conf =
+  Experiment.print_latency_sweep (Experiment.latency_sweep conf)
+
+let run_a7 conf =
+  Experiment.print_upward_sweep (Experiment.upward_sweep conf)
+
+let run_a8 conf = Experiment.print_afmm_sweep (Experiment.afmm_sweep conf)
+
+let run_a9 conf =
+  Experiment.print_cache_locality (Experiment.cache_locality conf)
+
+let run_a10 conf = Experiment.print_hotspot (Experiment.hotspot conf)
+
+let run_timeline ?(csv = None) conf =
+  let nnodes = conf.Runconf.breakdown_procs in
+  let show variant =
+    let bodies = Dpa_bh.Plummer.generate ~n:conf.Runconf.bh_bodies ~seed:17 in
+    let octree = Dpa_bh.Octree.build bodies in
+    let tree = Dpa_bh.Bh_global.distribute octree ~nnodes in
+    let engine = Dpa_sim.Engine.create (Dpa_sim.Machine.t3d ~nodes:nnodes) in
+    let trace = Dpa_sim.Trace.attach engine in
+    ignore
+      (Dpa_bh.Bh_run.force_phase ~engine ~tree ~bodies
+         ~params:Dpa_bh.Bh_force.default_params variant);
+    Dpa_sim.Trace.detach trace;
+    Printf.printf "%s\n%s\n"
+      (Dpa_baselines.Variant.name variant)
+      (Dpa_sim.Trace.timeline trace);
+    trace
+  in
+  let t_dpa =
+    show (Dpa_baselines.Variant.dpa ~strip_size:conf.Runconf.bh_strip ())
+  in
+  let (_ : Dpa_sim.Trace.t) = show Dpa_baselines.Variant.Blocking in
+  match csv with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Dpa_sim.Trace.to_csv t_dpa);
+    close_out oc;
+    Printf.printf "wrote DPA trace to %s\n" path
+
+let run_calibrate conf =
+  Printf.printf "Machine model calibration (%s scale)\n" conf.Runconf.name;
+  let bodies = Dpa_bh.Plummer.generate ~n:conf.Runconf.bh_bodies ~seed:17 in
+  let tree = Dpa_bh.Octree.build bodies in
+  let counts = Dpa_bh.Bh_seq.compute_forces ~theta:1.0 tree in
+  let ns =
+    conf.Runconf.bh_steps
+    * Dpa_bh.Bh_run.sequential_ns ~params:Dpa_bh.Bh_force.default_params counts
+  in
+  Printf.printf
+    "BH  %d bodies x %d step(s): %d visits, %d body-cell, %d body-body -> \
+     modelled sequential %.2f s (paper: %.2f s at 16384x4)\n"
+    conf.Runconf.bh_bodies conf.Runconf.bh_steps
+    (conf.Runconf.bh_steps * counts.Dpa_bh.Bh_seq.cell_visits)
+    (conf.Runconf.bh_steps * counts.Dpa_bh.Bh_seq.body_cell)
+    (conf.Runconf.bh_steps * counts.Dpa_bh.Bh_seq.body_body)
+    (float_of_int ns *. 1e-9) Paper.bh_seq_s;
+  let parts = Dpa_fmm.Particle2d.uniform ~n:conf.Runconf.fmm_particles ~seed:23 in
+  let qtree = Dpa_fmm.Quadtree.build parts in
+  let fcounts = Dpa_fmm.Fmm_run.structural_counts qtree in
+  let params =
+    { Dpa_fmm.Fmm_force.default_params with Dpa_fmm.Fmm_force.p = conf.Runconf.fmm_p }
+  in
+  let fns = Dpa_fmm.Fmm_run.sequential_ns ~params fcounts in
+  Printf.printf
+    "FMM %d particles p=%d depth=%d: %d M2L, %d evals, %d p2p -> modelled \
+     sequential %.2f s (paper: %.2f s at 32768 p=29)\n"
+    conf.Runconf.fmm_particles conf.Runconf.fmm_p
+    (Dpa_fmm.Quadtree.depth qtree) fcounts.Dpa_fmm.Fmm_seq.m2l
+    fcounts.Dpa_fmm.Fmm_seq.evals fcounts.Dpa_fmm.Fmm_seq.p2p
+    (float_of_int fns *. 1e-9) Paper.fmm_seq_s
+
+let run_all conf =
+  run_calibrate conf;
+  print_newline ();
+  run_t1 conf;
+  run_t2 conf;
+  run_t3 conf;
+  run_f1 conf;
+  run_f2 conf;
+  run_f3 conf;
+  run_f4 conf;
+  run_a1 conf;
+  run_a2 conf;
+  run_a3 conf;
+  run_a4 conf;
+  run_a5 conf;
+  run_a6 conf;
+  run_a7 conf;
+  run_a8 conf;
+  run_a9 conf;
+  run_a10 conf
+
+let cmd name doc f =
+  Cmd.v (Cmd.info name ~doc) Term.(const f $ conf_term)
+
+let () =
+  let default = Term.(const run_all $ conf_term) in
+  let info =
+    Cmd.info "dpa_bench" ~version:"1.0"
+      ~doc:
+        "Reproduce the evaluation of 'Dynamic Pointer Alignment' (PPoPP \
+         1997) on the simulated machine."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [
+            cmd "t1" "Static/dynamic thread statistics table" run_t1;
+            cmd "t2" "Barnes-Hut execution-time table" run_t2;
+            cmd "t3" "FMM execution-time table" run_t3;
+            cmd "f1" "Barnes-Hut breakdown figure" run_f1;
+            cmd "f2" "FMM breakdown figure" run_f2;
+            cmd "f3" "Strip-size sensitivity figure" run_f3;
+            cmd "f4" "Speedup curves" run_f4;
+            cmd "a1" "Aggregation-bound ablation" run_a1;
+            cmd "a2" "Caching cache-size ablation" run_a2;
+            cmd "a3" "FMM input-distribution ablation" run_a3;
+            cmd "a4" "Barnes-Hut partitioning ablation" run_a4;
+            cmd "a5" "EM3D irregular-graph kernel" run_a5;
+            cmd "a6" "Network-latency sensitivity" run_a6;
+            cmd "a7" "Parallel FMM upward pass (reductions)" run_a7;
+            cmd "a8" "Adaptive FMM on clustered input" run_a8;
+            cmd "a9" "Cache locality of iteration order" run_a9;
+            cmd "a10" "Hot-spot with link serialization" run_a10;
+            (let csv =
+               Arg.(
+                 value
+                 & opt (some string) None
+                 & info [ "csv" ] ~docv:"FILE"
+                     ~doc:"Also write the DPA run's raw trace as CSV.")
+             in
+             Cmd.v
+               (Cmd.info "timeline"
+                  ~doc:"Per-node utilization timelines (Barnes-Hut)")
+               Term.(
+                 const (fun csv conf -> run_timeline ~csv conf) $ csv $ conf_term));
+            cmd "calibrate" "Compare modelled sequential times to the paper"
+              run_calibrate;
+            cmd "all" "Run every experiment" run_all;
+          ]))

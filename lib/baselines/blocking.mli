@@ -1,0 +1,14 @@
+(** Naive blocking-remote-read runtime: every remote dereference pays a full
+    round trip and the processor waits. The "Base" of the breakdown
+    figures. Implemented as {!Caching} with a zero-capacity cache and no
+    hashing cost. *)
+
+type ctx = Caching.ctx
+
+include Dpa.Access.S with type ctx := ctx
+
+val run_phase :
+  engine:Dpa_sim.Engine.t ->
+  heaps:Dpa_heap.Heap.cluster ->
+  items:(int -> (ctx -> unit) array) ->
+  Dpa_sim.Breakdown.t * Caching.stats

@@ -1,0 +1,36 @@
+(** Software-caching baseline (Olden-style), the scheme DPA is compared
+    against in the paper's tables.
+
+    Execution is *blocking*: items run strictly one after another on each
+    node, and every remote read goes through a hash-keyed LRU cache of
+    remote objects. A hit costs a hash probe; a miss costs a probe plus a
+    full request/reply round trip during which the node sits idle. There is
+    no overlap, no aggregation, and no reordering.
+
+    With [capacity = 0] and [hash:false] this degenerates to the naive
+    blocking-remote-read runtime ({!Blocking}). *)
+
+type ctx
+
+include Dpa.Access.S with type ctx := ctx
+
+type stats = {
+  hits : int;
+  misses : int;
+  local : int;
+  evictions : int;
+  peak_cached : int;
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val run_phase :
+  engine:Dpa_sim.Engine.t ->
+  heaps:Dpa_heap.Heap.cluster ->
+  capacity:int ->
+  ?hash:bool ->
+  items:(int -> (ctx -> unit) array) ->
+  unit ->
+  Dpa_sim.Breakdown.t * stats
+(** [capacity] is the per-node cache size in objects. [hash] (default
+    [true]) charges the hash-probe cost on every remote access. *)

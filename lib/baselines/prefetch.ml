@@ -1,0 +1,11 @@
+type ctx = Dpa.Runtime.ctx
+
+let node_id = Dpa.Runtime.node_id
+let charge = Dpa.Runtime.charge
+let read = Dpa.Runtime.read
+let accumulate = Dpa.Runtime.accumulate
+
+let run_phase ~engine ~heaps ?(strip_size = 50) ~items () =
+  Dpa.Runtime.run_phase ~engine ~heaps
+    ~config:(Dpa.Config.pipeline_only ~strip_size ())
+    ~items

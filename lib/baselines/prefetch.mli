@@ -1,0 +1,16 @@
+(** Greedy prefetching runtime (related-work point, cf. Luk & Mowry):
+    non-blocking reads pipeline the network but nothing is aggregated and
+    nothing is reused. This is exactly the DPA machinery with the alignment
+    buffer and aggregation disabled, so it shares {!Dpa.Runtime}. *)
+
+type ctx = Dpa.Runtime.ctx
+
+include Dpa.Access.S with type ctx := ctx
+
+val run_phase :
+  engine:Dpa_sim.Engine.t ->
+  heaps:Dpa_heap.Heap.cluster ->
+  ?strip_size:int ->
+  items:(int -> (ctx -> unit) array) ->
+  unit ->
+  Dpa_sim.Breakdown.t * Dpa.Dpa_stats.t

@@ -1,0 +1,15 @@
+type t =
+  | Dpa of Dpa.Config.t
+  | Caching of { capacity : int }
+  | Blocking
+  | Prefetch of { strip_size : int }
+
+let dpa ?strip_size ?agg_max () = Dpa (Dpa.Config.dpa ?strip_size ?agg_max ())
+
+let name = function
+  | Dpa c -> c.Dpa.Config.name
+  | Caching { capacity } -> Printf.sprintf "Caching(%d)" capacity
+  | Blocking -> "Blocking"
+  | Prefetch { strip_size } -> Printf.sprintf "Prefetch(%d)" strip_size
+
+let pp ppf t = Format.pp_print_string ppf (name t)

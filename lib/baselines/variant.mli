@@ -1,0 +1,13 @@
+(** Names for the runtime under test — used by the applications and the
+    experiment harness to dispatch a phase onto DPA or one of the
+    baselines. *)
+
+type t =
+  | Dpa of Dpa.Config.t  (** the full runtime, any configuration *)
+  | Caching of { capacity : int }  (** software caching (blocking, LRU) *)
+  | Blocking  (** naive blocking remote reads *)
+  | Prefetch of { strip_size : int }  (** pipelining only *)
+
+val dpa : ?strip_size:int -> ?agg_max:int -> unit -> t
+val name : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,24 @@
+let compute_forces ?(eps = 0.05) bodies =
+  Array.iter
+    (fun b ->
+      let acc = ref Vec3.zero in
+      Array.iter
+        (fun s ->
+          if s.Body.id <> b.Body.id then
+            acc :=
+              Vec3.add !acc
+                (Kernels.accel ~eps ~pos:b.Body.pos ~src_pos:s.Body.pos
+                   ~src_mass:s.Body.mass))
+        bodies;
+      b.Body.acc <- !acc)
+    bodies
+
+let max_relative_error bodies ~reference =
+  let worst = ref 0. in
+  Array.iteri
+    (fun i b ->
+      let d = Vec3.dist b.Body.acc reference.(i) in
+      let n = Vec3.norm reference.(i) in
+      if n > 0. then worst := max !worst (d /. n))
+    bodies;
+  !worst

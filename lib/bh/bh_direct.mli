@@ -1,0 +1,7 @@
+(** Direct O(n²) summation: the accuracy yardstick for Barnes-Hut. *)
+
+val compute_forces : ?eps:float -> Body.t array -> unit
+(** Fill [acc] for every body by summing over all pairs. *)
+
+val max_relative_error : Body.t array -> reference:Vec3.t array -> float
+(** Largest [|acc - reference| / |reference|] over the bodies. *)

@@ -1,0 +1,52 @@
+open Dpa_heap
+
+type params = {
+  theta : float;
+  eps : float;
+  visit_ns : int;
+  body_cell_ns : int;
+  body_body_ns : int;
+}
+
+let default_params =
+  { theta = 1.0; eps = 0.05; visit_ns = 400; body_cell_ns = 4250; body_body_ns = 3100 }
+
+module Make (A : Dpa.Access.S) = struct
+  let items ~params ~tree ~bodies ~accs node =
+    let root = tree.Bh_global.root in
+    Array.map
+      (fun bid ->
+        let b = bodies.(bid) in
+        let pos = b.Body.pos in
+        let rec visit ctx (view : Obj_repr.t) =
+          A.charge ctx params.visit_ns;
+          let com = Bh_global.View.com view in
+          let half = Bh_global.View.half view in
+          if not (Kernels.opened ~theta:params.theta ~pos ~com ~half) then begin
+            A.charge ctx params.body_cell_ns;
+            accs.(bid) <-
+              Vec3.add accs.(bid)
+                (Kernels.accel ~eps:params.eps ~pos ~src_pos:com
+                   ~src_mass:(Bh_global.View.mass view))
+          end
+          else if Bh_global.View.is_leaf view then begin
+            let n = Bh_global.View.nbodies view in
+            for k = 0 to n - 1 do
+              let sid, spos, smass = Bh_global.View.body view k in
+              if sid <> bid then begin
+                A.charge ctx params.body_body_ns;
+                accs.(bid) <-
+                  Vec3.add accs.(bid)
+                    (Kernels.accel ~eps:params.eps ~pos ~src_pos:spos
+                       ~src_mass:smass)
+              end
+            done
+          end
+          else
+            Array.iter
+              (fun child -> if not (Gptr.is_nil child) then A.read ctx child visit)
+              (Bh_global.View.children view)
+        in
+        fun ctx -> A.read ctx root visit)
+      tree.Bh_global.owner_bodies.(node)
+end

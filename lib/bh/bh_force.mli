@@ -1,0 +1,29 @@
+(** The Barnes-Hut force-computation phase, written once against the
+    {!Dpa.Access.S} interface — the code the paper's compiler would emit:
+    each work item is one body's traversal, decomposed into non-blocking
+    threads at global-pointer dereferences (child-cell reads). *)
+
+type params = {
+  theta : float;  (** opening angle; 1.0 in the paper's timing runs *)
+  eps : float;  (** Plummer softening *)
+  visit_ns : int;  (** simulated cost of examining a cell *)
+  body_cell_ns : int;  (** cost of one far-field interaction *)
+  body_body_ns : int;  (** cost of one near-field interaction *)
+}
+
+val default_params : params
+(** Calibrated so the sequential 16,384-body SPLASH-2 run lands near the
+    paper's 97.84 s / 4 steps (see DESIGN.md §6). *)
+
+module Make (A : Dpa.Access.S) : sig
+  val items :
+    params:params ->
+    tree:Bh_global.t ->
+    bodies:Body.t array ->
+    accs:Vec3.t array ->
+    int ->
+    (A.ctx -> unit) array
+  (** [items ... node] is the array of per-body work items owned by [node].
+      Item for body [b] traverses the distributed tree from the root and
+      accumulates the acceleration into [accs.(b)]. *)
+end

@@ -1,0 +1,119 @@
+open Dpa_heap
+
+type t = {
+  heaps : Heap.cluster;
+  root : Gptr.t;
+  owner_bodies : int array array;
+  cell_ptrs : Gptr.t array;
+}
+
+let kind_leaf = 0.
+let kind_internal = 1.
+
+let distribute ?weights tree ~nnodes =
+  let bodies = Octree.bodies tree in
+  let order = Octree.dfs_body_order tree in
+  let nbodies = Array.length order in
+  let rank = Array.make nbodies 0 in
+  Array.iteri (fun r bid -> rank.(bid) <- r) order;
+  let ranges =
+    match weights with
+    | None ->
+      Array.init nnodes (Distribution.block_range ~nitems:nbodies ~nnodes)
+    | Some w ->
+      if Array.length w <> nbodies then
+        invalid_arg "Bh_global.distribute: weights length mismatch";
+      (* Weights arrive indexed by body id; the partition walks tree order. *)
+      Distribution.weighted_ranges
+        ~weights:(Array.map (fun bid -> w.(bid)) order)
+        ~nnodes
+  in
+  let rank_owner = Distribution.owner_of_ranges ranges in
+  let owner_bodies =
+    Array.map
+      (fun (first, count) -> Array.init count (fun i -> order.(first + i)))
+      ranges
+  in
+  let heaps = Heap.cluster ~nnodes in
+  let cell_ptrs = Array.make (Octree.ncells tree) Gptr.nil in
+  (* First rank of any body in each subtree determines the owner. *)
+  let first_rank = Array.make (Octree.ncells tree) max_int in
+  Octree.iter_cells_postorder tree (fun ci ->
+      match Octree.kind tree ci with
+      | Octree.Leaf ids ->
+        Array.iter (fun bid -> first_rank.(ci) <- min first_rank.(ci) rank.(bid)) ids
+      | Octree.Internal children ->
+        Array.iter
+          (fun ch -> if ch >= 0 then first_rank.(ci) <- min first_rank.(ci) first_rank.(ch))
+          children);
+  Octree.iter_cells_postorder tree (fun ci ->
+      let owner =
+        if first_rank.(ci) = max_int then 0 else rank_owner.(first_rank.(ci))
+      in
+      let com = Octree.com tree ci in
+      let head =
+        [|
+          (match Octree.kind tree ci with
+          | Octree.Leaf _ -> kind_leaf
+          | Octree.Internal _ -> kind_internal);
+          com.Vec3.x;
+          com.Vec3.y;
+          com.Vec3.z;
+          Octree.mass tree ci;
+          Octree.half tree ci;
+        |]
+      in
+      let floats, ptrs =
+        match Octree.kind tree ci with
+        | Octree.Leaf ids ->
+          let n = Array.length ids in
+          let fl = Array.make (7 + (5 * n)) 0. in
+          Array.blit head 0 fl 0 6;
+          fl.(6) <- float_of_int n;
+          Array.iteri
+            (fun k bid ->
+              let b = bodies.(bid) in
+              let base = 7 + (5 * k) in
+              fl.(base) <- float_of_int bid;
+              fl.(base + 1) <- b.Body.pos.Vec3.x;
+              fl.(base + 2) <- b.Body.pos.Vec3.y;
+              fl.(base + 3) <- b.Body.pos.Vec3.z;
+              fl.(base + 4) <- b.Body.mass)
+            ids;
+          (fl, [||])
+        | Octree.Internal children ->
+          let fl = Array.make 7 0. in
+          Array.blit head 0 fl 0 6;
+          fl.(6) <- float_of_int (Octree.nbodies tree ci);
+          let ps =
+            Array.map (fun ch -> if ch >= 0 then cell_ptrs.(ch) else Gptr.nil) children
+          in
+          (fl, ps)
+      in
+      cell_ptrs.(ci) <- Heap.alloc heaps.(owner) ~floats ~ptrs);
+  {
+    heaps;
+    root = cell_ptrs.(Octree.root tree);
+    owner_bodies;
+    cell_ptrs;
+  }
+
+module View = struct
+  let is_leaf (v : Obj_repr.t) = v.Obj_repr.floats.(0) = kind_leaf
+  let com (v : Obj_repr.t) =
+    let f = v.Obj_repr.floats in
+    Vec3.make f.(1) f.(2) f.(3)
+
+  let mass (v : Obj_repr.t) = v.Obj_repr.floats.(4)
+  let half (v : Obj_repr.t) = v.Obj_repr.floats.(5)
+  let nbodies (v : Obj_repr.t) = int_of_float v.Obj_repr.floats.(6)
+
+  let body (v : Obj_repr.t) k =
+    let f = v.Obj_repr.floats in
+    let base = 7 + (5 * k) in
+    ( int_of_float f.(base),
+      Vec3.make f.(base + 1) f.(base + 2) f.(base + 3),
+      f.(base + 4) )
+
+  let children (v : Obj_repr.t) = v.Obj_repr.ptrs
+end

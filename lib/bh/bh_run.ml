@@ -1,0 +1,96 @@
+open Dpa_sim
+
+type phase_result = {
+  breakdown : Breakdown.t;
+  accs : Vec3.t array;
+  dpa_stats : Dpa.Dpa_stats.t option;
+  cache_stats : Dpa_baselines.Caching.stats option;
+}
+
+module Force_dpa = Bh_force.Make (Dpa.Runtime)
+module Force_caching = Bh_force.Make (Dpa_baselines.Caching)
+
+let force_phase ~engine ~tree ~bodies ~params variant =
+  let n = Array.length bodies in
+  let accs = Array.make n Vec3.zero in
+  let heaps = tree.Bh_global.heaps in
+  match variant with
+  | Dpa_baselines.Variant.Dpa config ->
+    let items = Force_dpa.items ~params ~tree ~bodies ~accs in
+    let breakdown, stats = Dpa.Runtime.run_phase ~engine ~heaps ~config ~items in
+    { breakdown; accs; dpa_stats = Some stats; cache_stats = None }
+  | Dpa_baselines.Variant.Prefetch { strip_size } ->
+    let items = Force_dpa.items ~params ~tree ~bodies ~accs in
+    let breakdown, stats =
+      Dpa.Runtime.run_phase ~engine ~heaps
+        ~config:(Dpa.Config.pipeline_only ~strip_size ())
+        ~items
+    in
+    { breakdown; accs; dpa_stats = Some stats; cache_stats = None }
+  | Dpa_baselines.Variant.Caching { capacity } ->
+    let items = Force_caching.items ~params ~tree ~bodies ~accs in
+    let breakdown, stats =
+      Dpa_baselines.Caching.run_phase ~engine ~heaps ~capacity ~items ()
+    in
+    { breakdown; accs; dpa_stats = None; cache_stats = Some stats }
+  | Dpa_baselines.Variant.Blocking ->
+    let items = Force_caching.items ~params ~tree ~bodies ~accs in
+    let breakdown, stats =
+      Dpa_baselines.Blocking.run_phase ~engine ~heaps ~items
+    in
+    { breakdown; accs; dpa_stats = None; cache_stats = Some stats }
+
+type sim_result = {
+  total : Breakdown.t;
+  steps : Breakdown.t list;
+  bodies : Body.t array;
+  last : phase_result;
+  seq_counts : Bh_seq.counts;
+}
+
+let sequential_ns ~(params : Bh_force.params) (c : Bh_seq.counts) =
+  (c.Bh_seq.cell_visits * params.Bh_force.visit_ns)
+  + (c.Bh_seq.body_cell * params.Bh_force.body_cell_ns)
+  + (c.Bh_seq.body_body * params.Bh_force.body_body_ns)
+
+let simulate ?machine ?(params = Bh_force.default_params) ?(leaf_cap = 8)
+    ?(dt = 0.025) ?(seed = 17) ?(partition = `Block) ~nnodes ~nbodies ~nsteps
+    variant =
+  if nsteps <= 0 then invalid_arg "Bh_run.simulate: nsteps must be positive";
+  let machine =
+    match machine with Some m -> m | None -> Machine.t3d ~nodes:nnodes
+  in
+  let engine = Engine.create machine in
+  let bodies = Plummer.generate ~n:nbodies ~seed in
+  let steps = ref [] in
+  let last = ref None in
+  let seq_counts = ref Bh_seq.zero_counts in
+  for step = 1 to nsteps do
+    let octree = Octree.build ~leaf_cap bodies in
+    if step = 1 then begin
+      (* Counting traversal for the speedup denominator; accelerations are
+         recomputed by the distributed phase below. *)
+      let counts = Bh_seq.compute_forces ~theta:params.Bh_force.theta
+          ~eps:params.Bh_force.eps octree
+      in
+      seq_counts := counts
+    end;
+    let weights =
+      match partition with
+      | `Block -> None
+      | `Costzones ->
+        Some (Bh_seq.per_body_work ~theta:params.Bh_force.theta octree)
+    in
+    let tree = Bh_global.distribute ?weights octree ~nnodes in
+    let result = force_phase ~engine ~tree ~bodies ~params variant in
+    steps := result.breakdown :: !steps;
+    last := Some result;
+    Array.iteri (fun bid acc -> bodies.(bid).Body.acc <- acc) result.accs;
+    Body.advance bodies ~dt
+  done;
+  let steps = List.rev !steps in
+  let total =
+    List.fold_left Breakdown.add (Breakdown.zero ~procs:nnodes) steps
+  in
+  let last = Option.get !last in
+  { total; steps; bodies; last; seq_counts = !seq_counts }

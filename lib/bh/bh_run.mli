@@ -1,0 +1,51 @@
+(** End-to-end Barnes-Hut experiment driver: build the bodies and the tree,
+    distribute, and run timed force-computation phases under any runtime
+    variant. Tree construction and integration are sequential and untimed,
+    matching the paper, which measures the force-computation phase only. *)
+
+open Dpa_sim
+
+type phase_result = {
+  breakdown : Breakdown.t;
+  accs : Vec3.t array;
+  dpa_stats : Dpa.Dpa_stats.t option;
+  cache_stats : Dpa_baselines.Caching.stats option;
+}
+
+val force_phase :
+  engine:Engine.t ->
+  tree:Bh_global.t ->
+  bodies:Body.t array ->
+  params:Bh_force.params ->
+  Dpa_baselines.Variant.t ->
+  phase_result
+
+type sim_result = {
+  total : Breakdown.t;  (** summed over the timed force phases *)
+  steps : Breakdown.t list;
+  bodies : Body.t array;  (** final state *)
+  last : phase_result;  (** of the last step *)
+  seq_counts : Bh_seq.counts;  (** interaction counts of step 1 *)
+}
+
+val simulate :
+  ?machine:Machine.t ->
+  ?params:Bh_force.params ->
+  ?leaf_cap:int ->
+  ?dt:float ->
+  ?seed:int ->
+  ?partition:[ `Block | `Costzones ] ->
+  nnodes:int ->
+  nbodies:int ->
+  nsteps:int ->
+  Dpa_baselines.Variant.t ->
+  sim_result
+(** Plummer input, [nsteps] leapfrog steps; each step rebuilds and
+    redistributes the tree (untimed) and times the force phase.
+    [partition] (default [`Block], equal body counts) can be set to
+    [`Costzones]: bodies weighted by their estimated traversal work, the
+    SPLASH-2 load-balancing scheme. *)
+
+val sequential_ns : params:Bh_force.params -> Bh_seq.counts -> int
+(** Modelled sequential execution time for the given interaction counts —
+    the denominator of the paper's speedups. *)

@@ -1,0 +1,104 @@
+type counts = { cell_visits : int; body_cell : int; body_body : int }
+
+let zero_counts = { cell_visits = 0; body_cell = 0; body_body = 0 }
+
+let add_counts a b =
+  {
+    cell_visits = a.cell_visits + b.cell_visits;
+    body_cell = a.body_cell + b.body_cell;
+    body_body = a.body_body + b.body_body;
+  }
+
+(* The traversal mirrors, interaction for interaction, the distributed
+   traversal in [Bh_force]: leaves and internal cells both pass the
+   acceptance test; accepted cells contribute through their center of mass,
+   opened leaves contribute body-by-body (skipping the subject itself). *)
+let force_on_counting ?(theta = 1.0) ?(eps = 0.05) ?(use_quad = false) tree
+    (b : Body.t) counts =
+  let bodies = Octree.bodies tree in
+  let acc = ref Vec3.zero in
+  let visits = ref 0 and bc = ref 0 and bb = ref 0 in
+  let rec visit ci =
+    incr visits;
+    let com = Octree.com tree ci and half = Octree.half tree ci in
+    if not (Kernels.opened ~theta ~pos:b.Body.pos ~com ~half) then begin
+      incr bc;
+      let contribution =
+        if use_quad then
+          Kernels.accel_with_quad ~eps ~pos:b.Body.pos ~src_pos:com
+            ~src_mass:(Octree.mass tree ci) ~quad:(Octree.quad tree ci)
+        else
+          Kernels.accel ~eps ~pos:b.Body.pos ~src_pos:com
+            ~src_mass:(Octree.mass tree ci)
+      in
+      acc := Vec3.add !acc contribution
+    end
+    else
+      match Octree.kind tree ci with
+      | Octree.Leaf ids ->
+        Array.iter
+          (fun bid ->
+            if bid <> b.Body.id then begin
+              incr bb;
+              let s = bodies.(bid) in
+              acc :=
+                Vec3.add !acc
+                  (Kernels.accel ~eps ~pos:b.Body.pos ~src_pos:s.Body.pos
+                     ~src_mass:s.Body.mass)
+            end)
+          ids
+      | Octree.Internal children ->
+        Array.iter (fun ch -> if ch >= 0 then visit ch) children
+  in
+  visit (Octree.root tree);
+  counts :=
+    add_counts !counts
+      { cell_visits = !visits; body_cell = !bc; body_body = !bb };
+  !acc
+
+let force_on ?theta ?eps ?use_quad tree b =
+  let c = ref zero_counts in
+  force_on_counting ?theta ?eps ?use_quad tree b c
+
+let compute_forces ?theta ?eps ?use_quad tree =
+  let counts = ref zero_counts in
+  Array.iter
+    (fun b -> b.Body.acc <- force_on_counting ?theta ?eps ?use_quad tree b counts)
+    (Octree.bodies tree);
+  !counts
+
+let per_body_work ?(theta = 1.0) ?(visit_w = 1) ?(body_cell_w = 10)
+    ?(body_body_w = 8) tree =
+  let bodies = Octree.bodies tree in
+  Array.map
+    (fun (b : Body.t) ->
+      let work = ref 0 in
+      let rec visit ci =
+        work := !work + visit_w;
+        let com = Octree.com tree ci and half = Octree.half tree ci in
+        if not (Kernels.opened ~theta ~pos:b.Body.pos ~com ~half) then
+          work := !work + body_cell_w
+        else
+          match Octree.kind tree ci with
+          | Octree.Leaf ids ->
+            Array.iter
+              (fun bid -> if bid <> b.Body.id then work := !work + body_body_w)
+              ids
+          | Octree.Internal children ->
+            Array.iter (fun ch -> if ch >= 0 then visit ch) children
+      in
+      visit (Octree.root tree);
+      !work)
+    bodies
+
+let visit_trace ?(theta = 1.0) tree b f =
+  let rec visit ci =
+    f ci;
+    let com = Octree.com tree ci and half = Octree.half tree ci in
+    if Kernels.opened ~theta ~pos:b.Body.pos ~com ~half then
+      match Octree.kind tree ci with
+      | Octree.Leaf _ -> ()
+      | Octree.Internal children ->
+        Array.iter (fun ch -> if ch >= 0 then visit ch) children
+  in
+  visit (Octree.root tree)

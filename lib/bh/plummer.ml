@@ -1,0 +1,63 @@
+open Dpa_util
+
+let mfrac = 0.999 (* mass cut-off, as in the original barnes code *)
+
+let pick_shell rng radius =
+  (* Uniform direction, fixed radius. *)
+  let rec loop () =
+    let x = (2. *. Rng.uniform rng) -. 1.
+    and y = (2. *. Rng.uniform rng) -. 1.
+    and z = (2. *. Rng.uniform rng) -. 1. in
+    let r2 = (x *. x) +. (y *. y) +. (z *. z) in
+    if r2 > 1.0 || r2 < 1e-12 then loop ()
+    else
+      let s = radius /. sqrt r2 in
+      Vec3.make (s *. x) (s *. y) (s *. z)
+  in
+  loop ()
+
+let generate ~n ~seed =
+  if n <= 0 then invalid_arg "Plummer.generate: n must be positive";
+  let rng = Rng.create ~seed in
+  let rsc = (3. *. Float.pi) /. 16. in
+  let vsc = sqrt (1. /. rsc) in
+  let bodies =
+    Array.init n (fun id ->
+        let m = Rng.uniform rng *. mfrac in
+        let r = 1. /. sqrt ((m ** (-2. /. 3.)) -. 1.) in
+        let pos = pick_shell rng (rsc *. r) in
+        (* von Neumann rejection for the velocity modulus. *)
+        let rec pick_v () =
+          let x = Rng.uniform rng in
+          let y = Rng.uniform rng *. 0.1 in
+          if y <= x *. x *. ((1. -. (x *. x)) ** 3.5) then x else pick_v ()
+        in
+        let v = pick_v () *. sqrt 2. /. ((1. +. (r *. r)) ** 0.25) in
+        let vel = pick_shell rng (vsc *. v) in
+        Body.make ~id ~mass:(1. /. float_of_int n) ~pos ~vel)
+  in
+  (* Shift to the center-of-mass frame. *)
+  let cm_pos = ref Vec3.zero and cm_vel = ref Vec3.zero in
+  Array.iter
+    (fun b ->
+      cm_pos := Vec3.axpy b.Body.mass b.Body.pos !cm_pos;
+      cm_vel := Vec3.axpy b.Body.mass b.Body.vel !cm_vel)
+    bodies;
+  let total_mass = Array.fold_left (fun a b -> a +. b.Body.mass) 0. bodies in
+  let cp = Vec3.scale (1. /. total_mass) !cm_pos in
+  let cv = Vec3.scale (1. /. total_mass) !cm_vel in
+  Array.iter
+    (fun b ->
+      b.Body.pos <- Vec3.sub b.Body.pos cp;
+      b.Body.vel <- Vec3.sub b.Body.vel cv)
+    bodies;
+  bodies
+
+let uniform_cube ~n ~seed =
+  if n <= 0 then invalid_arg "Plummer.uniform_cube: n must be positive";
+  let rng = Rng.create ~seed in
+  Array.init n (fun id ->
+      let pos =
+        Vec3.make (Rng.uniform rng) (Rng.uniform rng) (Rng.uniform rng)
+      in
+      Body.make ~id ~mass:(1. /. float_of_int n) ~pos ~vel:Vec3.zero)

@@ -1,0 +1,11 @@
+(** Plummer-model initial conditions, the distribution used by the SPLASH-2
+    Barnes-Hut inputs (Aarseth, Hénon & Wielen 1974 recipe). Deterministic
+    given the seed. *)
+
+val generate : n:int -> seed:int -> Body.t array
+(** [n] equal-mass bodies (total mass 1) in virial units, center-of-mass
+    frame. *)
+
+val uniform_cube : n:int -> seed:int -> Body.t array
+(** Alternative input: uniform positions in the unit cube, zero velocities.
+    Useful for tests and for the FMM-style uniform workloads. *)

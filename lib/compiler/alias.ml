@@ -1,0 +1,65 @@
+type env = (string, Ast.alias_class) Hashtbl.t
+
+let class_of env v = Hashtbl.find_opt env v
+
+let set env f v cls =
+  match Hashtbl.find_opt env v with
+  | None -> Hashtbl.replace env v cls
+  | Some c when c = cls -> ()
+  | Some _ ->
+    Ast.illegal "%s: variable %s assigned conflicting alias classes"
+      f.Ast.fname v
+
+let ptr_class env f v =
+  match Hashtbl.find_opt env v with
+  | Some c -> c
+  | None -> Ast.illegal "%s: %s dereferenced but is not a pointer" f.Ast.fname v
+
+let infer p f =
+  let env : env = Hashtbl.create 8 in
+  List.iter
+    (fun prm ->
+      match prm.Ast.pclass with
+      | Some c -> Hashtbl.replace env prm.Ast.pname c
+      | None -> ())
+    f.Ast.params;
+  let rec stmts ss = List.iter stmt ss
+  and stmt = function
+    | Ast.Let (v, _) ->
+      if Hashtbl.mem env v then
+        Ast.illegal "%s: %s used as both pointer and number" f.Ast.fname v
+    | Ast.Load_field (_, ptr, _) -> ignore (ptr_class env f ptr)
+    | Ast.Load_ptr (dst, ptr, _) ->
+      let c = ptr_class env f ptr in
+      set env f dst c
+    | Ast.Accum _ -> ()
+    | Ast.If (_, a, b) ->
+      stmts a;
+      stmts b
+    | Ast.While (_, b) -> stmts b
+    | Ast.Conc b -> stmts b
+    | Ast.Call (g, args) ->
+      let callee = Ast.func p g in
+      List.iter2
+        (fun arg prm ->
+          match (arg, prm.Ast.pclass) with
+          | Ast.Var v, Some want when Hashtbl.mem env v ->
+            if ptr_class env f v <> want then
+              Ast.illegal "%s: pointer argument %s has wrong class for %s"
+                f.Ast.fname v g
+          | Ast.Var _, Some _ ->
+            Ast.illegal
+              "%s: call to %s passes a non-pointer where a pointer is expected"
+              f.Ast.fname g
+          | _, Some _ ->
+            Ast.illegal "%s: pointer arguments to %s must be variables"
+              f.Ast.fname g
+          | _, None -> ())
+        args callee.Ast.params
+  in
+  stmts f.Ast.body;
+  env
+
+let check p =
+  Ast.validate p;
+  List.iter (fun f -> ignore (infer p f)) p.Ast.funcs

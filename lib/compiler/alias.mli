@@ -1,0 +1,19 @@
+(** Coarse-grained alias analysis over the mini IR.
+
+    Each pointer variable belongs to one alias class, seeded by parameter
+    annotations and propagated through [Load_ptr] (a pointer loaded out of a
+    structure belongs to the structure's class — the "connection" style of
+    coarse aliasing the paper assumes is practical to obtain). Numeric
+    variables have no class. *)
+
+type env = (string, Ast.alias_class) Hashtbl.t
+
+val infer : Ast.program -> Ast.func -> env
+(** Pointer classes of every pointer variable of [f]. Raises
+    {!Ast.Illegal} on class conflicts, touches of numeric variables, or
+    pointer arguments whose class does not match the callee's parameter. *)
+
+val check : Ast.program -> unit
+(** {!Ast.validate} plus {!infer} on every function. *)
+
+val class_of : env -> string -> Ast.alias_class option

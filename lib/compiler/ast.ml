@@ -1,0 +1,80 @@
+type alias_class = Local | Global of int
+
+type binop = Add | Sub | Mul | Div | Lt | Le | Eq | And | Or
+
+type unop = Neg | Not
+
+type expr =
+  | Num of float
+  | Var of string
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Is_nil of expr
+
+type stmt =
+  | Let of string * expr
+  | Load_field of string * string * int
+  | Load_ptr of string * string * int
+  | Accum of string * expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Call of string * expr list
+  | Conc of stmt list
+
+type param = { pname : string; pclass : alias_class option }
+
+type func = { fname : string; params : param list; body : stmt list }
+
+type program = { funcs : func list }
+
+exception Illegal of string
+
+let illegal fmt = Printf.ksprintf (fun s -> raise (Illegal s)) fmt
+
+let func p name =
+  match List.find_opt (fun f -> f.fname = name) p.funcs with
+  | Some f -> f
+  | None -> illegal "unknown function %s" name
+
+let rec has_touch stmts =
+  List.exists
+    (function
+      | Load_field _ | Load_ptr _ -> true
+      | If (_, a, b) -> has_touch a || has_touch b
+      | While (_, b) -> has_touch b
+      | Conc b -> has_touch b
+      | Call _ ->
+        (* Conservatively a touch: the callee may dereference. The paper's
+           function promotion treats calls as alignment points too. *)
+        true
+      | Let _ | Accum _ -> false)
+    stmts
+
+let validate p =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun f ->
+      if Hashtbl.mem seen f.fname then illegal "duplicate function %s" f.fname;
+      Hashtbl.replace seen f.fname ())
+    p.funcs;
+  let rec check_stmts f stmts =
+    List.iter
+      (fun s ->
+        match s with
+        | Let _ | Load_field _ | Load_ptr _ | Accum _ -> ()
+        | If (_, a, b) ->
+          check_stmts f a;
+          check_stmts f b
+        | While (_, body) ->
+          if has_touch body then
+            illegal "%s: While body contains a touch; use a recursive function"
+              f.fname;
+          check_stmts f body
+        | Call (g, args) ->
+          let callee = func p g in
+          if List.length args <> List.length callee.params then
+            illegal "%s: call to %s with wrong arity" f.fname g
+        | Conc b -> check_stmts f b)
+      stmts
+  in
+  List.iter (fun f -> check_stmts f f.body) p.funcs

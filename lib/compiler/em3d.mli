@@ -1,0 +1,57 @@
+(** EM3D: the classic irregular bipartite-graph kernel (electromagnetic
+    wave propagation on an unstructured mesh, from the Split-C/TAM
+    benchmark suites contemporary with the paper). E-nodes update from
+    H-nodes and vice versa:
+
+      e.value -= sum_k coeff_k * h_k.value
+
+    Each update iteration is a [conc] loop whose iterations chase a node's
+    dependency list through the global heap — reads of remote neighbor
+    values are exactly the pattern DPA aggregates.
+
+    Graph objects: a node is [{f=[value; coeff_0..coeff_{d-1}];
+    ptrs=[neighbor_0..neighbor_{d-1}]}]. The IR program [update_node] walks
+    one node's neighbors; its spawn structure has one labeled site (the
+    neighbor read). *)
+
+open Dpa_heap
+
+type t = {
+  heaps : Heap.cluster;
+  e_nodes : Gptr.t array;  (** owned in blocks across nodes *)
+  h_nodes : Gptr.t array;
+  degree : int;
+}
+
+val build :
+  nnodes:int ->
+  e_per_node:int ->
+  h_per_node:int ->
+  degree:int ->
+  remote_frac:float ->
+  seed:int ->
+  t
+(** Bipartite graph: each E-node depends on [degree] H-nodes (and
+    symmetrically in structure, though only E-updates are run here);
+    a dependency is remote with probability [remote_frac], matching the
+    original benchmark's [-p] parameter. Deterministic. *)
+
+val update_program : degree:int -> Ast.program
+(** The IR program for one node update (loop unrolled to [degree], since
+    [While] bodies must be touch-free — the compiler's documented
+    restriction). Accumulates the checksum of updated values in ["sum"]. *)
+
+val reference_update : t -> float
+(** Run one E-update sequentially against the heap (no simulation) and
+    return the checksum the distributed run must reproduce. The heap is not
+    mutated (the kernel is a gather). *)
+
+val items :
+  (module Dpa.Access.S with type ctx = 'c) ->
+  t ->
+  accum:(float -> unit) ->
+  int ->
+  ('c -> unit) array
+(** Hand-partitioned items (one per owned E-node) for any runtime,
+    equivalent to running [update_program] but without interpreter
+    overhead; used by the experiment harness. *)

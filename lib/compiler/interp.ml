@@ -1,0 +1,189 @@
+open Dpa_heap
+
+module Make (A : Dpa.Access.S) = struct
+  type compiled = {
+    program : Ast.program;
+    classes : (string, Alias.env) Hashtbl.t;  (* per function *)
+    accums : (string, float ref) Hashtbl.t;
+    stmt_cost_ns : int;
+  }
+
+  let compile ?(stmt_cost_ns = 40) program =
+    Alias.check program;
+    let classes = Hashtbl.create 8 in
+    List.iter
+      (fun f -> Hashtbl.replace classes f.Ast.fname (Alias.infer program f))
+      program.Ast.funcs;
+    { program; classes; accums = Hashtbl.create 8; stmt_cost_ns }
+
+  let accumulator c name =
+    match Hashtbl.find_opt c.accums name with Some r -> !r | None -> 0.
+
+  let accumulators c =
+    Hashtbl.fold (fun k r acc -> (k, !r) :: acc) c.accums []
+    |> List.sort compare
+
+  let reset c = Hashtbl.reset c.accums
+
+  let bump c name v =
+    match Hashtbl.find_opt c.accums name with
+    | Some r -> r := !r +. v
+    | None -> Hashtbl.replace c.accums name (ref v)
+
+  (* One activation of a function: values and fetched objects. *)
+  type act = {
+    values : (string, Value.t) Hashtbl.t;
+    views : (string, Obj_repr.t) Hashtbl.t;
+    classes : Alias.env;
+  }
+
+  let lookup act v =
+    match Hashtbl.find_opt act.values v with
+    | Some x -> x
+    | None -> raise (Value.Eval_error ("unbound variable " ^ v))
+
+  let rec eval act = function
+    | Ast.Num f -> Value.Num f
+    | Ast.Var v -> lookup act v
+    | Ast.Unop (Ast.Neg, e) -> Value.Num (-.Value.num (eval act e))
+    | Ast.Unop (Ast.Not, e) -> Value.Bool (not (Value.truthy (eval act e)))
+    | Ast.Is_nil e -> Value.Bool (Gptr.is_nil (Value.ptr (eval act e)))
+    | Ast.Binop (op, a, b) -> (
+      let va = eval act a in
+      match op with
+      | Ast.And -> Value.Bool (Value.truthy va && Value.truthy (eval act b))
+      | Ast.Or -> Value.Bool (Value.truthy va || Value.truthy (eval act b))
+      | _ -> (
+        let x = Value.num va and y = Value.num (eval act b) in
+        match op with
+        | Ast.Add -> Value.Num (x +. y)
+        | Ast.Sub -> Value.Num (x -. y)
+        | Ast.Mul -> Value.Num (x *. y)
+        | Ast.Div -> Value.Num (x /. y)
+        | Ast.Lt -> Value.Bool (x < y)
+        | Ast.Le -> Value.Bool (x <= y)
+        | Ast.Eq -> Value.Bool (x = y)
+        | Ast.And | Ast.Or -> assert false))
+
+  (* Fetch a batch of pointers and continue once all views are in. Reads
+     are issued together, so they land in the same aggregation window. *)
+  let read_batch ctx ptrs k =
+    match ptrs with
+    | [] -> k ctx
+    | _ ->
+      let remaining = ref (List.length ptrs) in
+      let last_ctx = ref ctx in
+      List.iter
+        (fun (p, store) ->
+          A.read ctx p (fun ctx view ->
+              store view;
+              last_ctx := ctx;
+              decr remaining;
+              if !remaining = 0 then k !last_ctx))
+        ptrs
+
+  (* The alignment point: make [v]'s object available, hoisting every
+     in-scope, same-class, unfetched, non-nil pointer into the same batch. *)
+  let acquire act ctx v k =
+    if Hashtbl.mem act.views v then k ctx
+    else begin
+      let cls = Hashtbl.find_opt act.classes v in
+      let companions =
+        match cls with
+        | Some (Ast.Global _ as g) ->
+          Hashtbl.fold
+            (fun w wc acc ->
+              if
+                w <> v && wc = g
+                && (not (Hashtbl.mem act.views w))
+                && match Hashtbl.find_opt act.values w with
+                   | Some (Value.Ptr p) -> not (Gptr.is_nil p)
+                   | _ -> false
+              then w :: acc
+              else acc)
+            act.classes []
+          |> List.sort compare
+        | _ -> []
+      in
+      let batch =
+        List.map
+          (fun w ->
+            (Value.ptr (lookup act w), fun view -> Hashtbl.replace act.views w view))
+          (v :: companions)
+      in
+      read_batch ctx batch k
+    end
+
+  let rec exec c act ctx stmts (k : A.ctx -> unit) =
+    match stmts with
+    | [] -> k ctx
+    | s :: rest ->
+      A.charge ctx c.stmt_cost_ns;
+      let continue ctx = exec c act ctx rest k in
+      (match s with
+      | Ast.Let (v, e) ->
+        Hashtbl.replace act.values v (eval act e);
+        continue ctx
+      | Ast.Accum (name, e) ->
+        bump c name (Value.num (eval act e));
+        continue ctx
+      | Ast.Load_field (dst, p, i) ->
+        acquire act ctx p (fun ctx ->
+            let view = Hashtbl.find act.views p in
+            let f = view.Obj_repr.floats in
+            if i < 0 || i >= Array.length f then
+              raise (Value.Eval_error "float field out of range");
+            Hashtbl.replace act.values dst (Value.Num f.(i));
+            continue ctx)
+      | Ast.Load_ptr (dst, p, i) ->
+        acquire act ctx p (fun ctx ->
+            let view = Hashtbl.find act.views p in
+            let ps = view.Obj_repr.ptrs in
+            if i < 0 || i >= Array.length ps then
+              raise (Value.Eval_error "pointer field out of range");
+            Hashtbl.replace act.values dst (Value.Ptr ps.(i));
+            Hashtbl.remove act.views dst;
+            continue ctx)
+      | Ast.If (e, a, b) ->
+        if Value.truthy (eval act e) then exec c act ctx a continue
+        else exec c act ctx b continue
+      | Ast.While (e, body) ->
+        let rec loop ctx =
+          A.charge ctx c.stmt_cost_ns;
+          if Value.truthy (eval act e) then exec c act ctx body loop
+          else continue ctx
+        in
+        loop ctx
+      | Ast.Call (g, args) ->
+        let vals = List.map (eval act) args in
+        call c ctx g vals continue
+      | Ast.Conc body ->
+        (match body with
+        | [] -> continue ctx
+        | _ ->
+          let remaining = ref (List.length body) in
+          let join ctx =
+            decr remaining;
+            if !remaining = 0 then continue ctx
+          in
+          List.iter (fun s -> exec c act ctx [ s ] join) body))
+
+  and call c ctx fname args k =
+    let f = Ast.func c.program fname in
+    let act =
+      {
+        values = Hashtbl.create 8;
+        views = Hashtbl.create 4;
+        classes = Hashtbl.find c.classes fname;
+      }
+    in
+    (try
+       List.iter2
+         (fun prm v -> Hashtbl.replace act.values prm.Ast.pname v)
+         f.Ast.params args
+     with Invalid_argument _ ->
+       raise (Value.Eval_error ("arity mismatch calling " ^ fname)));
+    exec c act ctx f.Ast.body k
+
+  let item c ~entry ~args ctx = call c ctx entry args (fun _ctx -> ())
+end

@@ -1,0 +1,29 @@
+(** CPS interpreter: executes a validated program against any runtime's
+    access interface, realizing at run time the thread structure that
+    {!Partition} describes statically. A dereference of an unfetched
+    global-class pointer suspends into [A.read] (together with its hoisted
+    same-class companions, issued as one batch so they share the runtime's
+    aggregation); everything else runs inline in the current thread.
+
+    Fetched objects are cached per activation ("availability"), so repeated
+    accesses through the same pointer in one activation cost nothing extra
+    — the access-hoisting effect. *)
+
+module Make (A : Dpa.Access.S) : sig
+  type compiled
+
+  val compile : ?stmt_cost_ns:int -> Ast.program -> compiled
+  (** Validates (structure and alias classes) and compiles. [stmt_cost_ns]
+      (default 40) is the simulated cost charged per executed statement. *)
+
+  val item :
+    compiled -> entry:string -> args:Value.t list -> A.ctx -> unit
+  (** A work item: one call of [entry] with [args]. Pointer arguments must
+      be passed as [Value.Ptr]. *)
+
+  val accumulator : compiled -> string -> float
+  (** Current value of a global accumulator (0 if never touched). *)
+
+  val accumulators : compiled -> (string * float) list
+  val reset : compiled -> unit
+end

@@ -1,0 +1,449 @@
+exception Parse_error of string
+
+(* --- lexer -------------------------------------------------------------- *)
+
+type token =
+  | IDENT of string
+  | NUM of float
+  | KW of string  (* func if else while conc is_nil num local global ptr *)
+  | SYM of string  (* punctuation and operators *)
+  | EOF
+
+let keywords =
+  [ "func"; "if"; "else"; "while"; "conc"; "is_nil"; "num"; "local"; "global"; "ptr" ]
+
+type lexer = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+  mutable tok : token;
+  mutable tok_line : int;
+  mutable tok_col : int;
+}
+
+let error lx fmt =
+  Printf.ksprintf
+    (fun s ->
+      raise (Parse_error (Printf.sprintf "line %d, col %d: %s" lx.tok_line lx.tok_col s)))
+    fmt
+
+let peek_char lx = if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
+
+let advance_char lx =
+  (match peek_char lx with
+  | Some '\n' ->
+    lx.line <- lx.line + 1;
+    lx.col <- 1
+  | Some _ -> lx.col <- lx.col + 1
+  | None -> ());
+  lx.pos <- lx.pos + 1
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let rec skip_ws lx =
+  match peek_char lx with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance_char lx;
+    skip_ws lx
+  | Some '/' when lx.pos + 1 < String.length lx.src && lx.src.[lx.pos + 1] = '/' ->
+    while peek_char lx <> None && peek_char lx <> Some '\n' do
+      advance_char lx
+    done;
+    skip_ws lx
+  | _ -> ()
+
+let two_char_syms = [ "->"; "+="; "<="; ">="; "=="; "&&"; "||" ]
+
+let lex_token lx =
+  skip_ws lx;
+  lx.tok_line <- lx.line;
+  lx.tok_col <- lx.col;
+  match peek_char lx with
+  | None -> EOF
+  | Some c when is_ident_start c ->
+    let start = lx.pos in
+    while (match peek_char lx with Some c -> is_ident_char c | None -> false) do
+      advance_char lx
+    done;
+    let s = String.sub lx.src start (lx.pos - start) in
+    if List.mem s keywords then KW s else IDENT s
+  | Some c when is_digit c ->
+    let start = lx.pos in
+    while
+      match peek_char lx with
+      | Some c -> is_digit c || c = '.' || c = 'e' || c = 'E' || c = '-' && lx.pos > start && (lx.src.[lx.pos - 1] = 'e' || lx.src.[lx.pos - 1] = 'E')
+      | None -> false
+    do
+      advance_char lx
+    done;
+    let s = String.sub lx.src start (lx.pos - start) in
+    (try NUM (float_of_string s) with Failure _ -> error lx "bad number %S" s)
+  | Some _ ->
+    let two =
+      if lx.pos + 1 < String.length lx.src then
+        Some (String.sub lx.src lx.pos 2)
+      else None
+    in
+    (match two with
+    | Some t when List.mem t two_char_syms ->
+      advance_char lx;
+      advance_char lx;
+      SYM t
+    | _ ->
+      let c = lx.src.[lx.pos] in
+      advance_char lx;
+      SYM (String.make 1 c))
+
+let next lx = lx.tok <- lex_token lx
+
+let make_lexer src =
+  let lx =
+    { src; pos = 0; line = 1; col = 1; tok = EOF; tok_line = 1; tok_col = 1 }
+  in
+  next lx;
+  lx
+
+let show_token = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | NUM f -> Printf.sprintf "number %g" f
+  | KW s -> Printf.sprintf "keyword %S" s
+  | SYM s -> Printf.sprintf "%S" s
+  | EOF -> "end of input"
+
+let expect_sym lx s =
+  match lx.tok with
+  | SYM t when t = s -> next lx
+  | t -> error lx "expected %S, found %s" s (show_token t)
+
+let expect_kw lx s =
+  match lx.tok with
+  | KW t when t = s -> next lx
+  | t -> error lx "expected %S, found %s" s (show_token t)
+
+let expect_ident lx =
+  match lx.tok with
+  | IDENT s ->
+    next lx;
+    s
+  | t -> error lx "expected an identifier, found %s" (show_token t)
+
+let expect_int lx =
+  match lx.tok with
+  | NUM f when Float.is_integer f ->
+    next lx;
+    int_of_float f
+  | t -> error lx "expected an integer, found %s" (show_token t)
+
+(* --- expressions --------------------------------------------------------- *)
+
+let rec parse_or lx =
+  let a = parse_and lx in
+  match lx.tok with
+  | SYM "||" ->
+    next lx;
+    Ast.Binop (Ast.Or, a, parse_or lx)
+  | _ -> a
+
+and parse_and lx =
+  let a = parse_cmp lx in
+  match lx.tok with
+  | SYM "&&" ->
+    next lx;
+    Ast.Binop (Ast.And, a, parse_and lx)
+  | _ -> a
+
+and parse_cmp lx =
+  let a = parse_add lx in
+  match lx.tok with
+  | SYM "<" ->
+    next lx;
+    Ast.Binop (Ast.Lt, a, parse_add lx)
+  | SYM "<=" ->
+    next lx;
+    Ast.Binop (Ast.Le, a, parse_add lx)
+  | SYM "==" ->
+    next lx;
+    Ast.Binop (Ast.Eq, a, parse_add lx)
+  | _ -> a
+
+and parse_add lx =
+  let rec go a =
+    match lx.tok with
+    | SYM "+" ->
+      next lx;
+      go (Ast.Binop (Ast.Add, a, parse_mul lx))
+    | SYM "-" ->
+      next lx;
+      go (Ast.Binop (Ast.Sub, a, parse_mul lx))
+    | _ -> a
+  in
+  go (parse_mul lx)
+
+and parse_mul lx =
+  let rec go a =
+    match lx.tok with
+    | SYM "*" ->
+      next lx;
+      go (Ast.Binop (Ast.Mul, a, parse_unary lx))
+    | SYM "/" ->
+      next lx;
+      go (Ast.Binop (Ast.Div, a, parse_unary lx))
+    | _ -> a
+  in
+  go (parse_unary lx)
+
+and parse_unary lx =
+  match lx.tok with
+  | SYM "-" ->
+    next lx;
+    Ast.Unop (Ast.Neg, parse_unary lx)
+  | SYM "!" ->
+    next lx;
+    Ast.Unop (Ast.Not, parse_unary lx)
+  | _ -> parse_primary lx
+
+and parse_primary lx =
+  match lx.tok with
+  | NUM f ->
+    next lx;
+    Ast.Num f
+  | IDENT v ->
+    next lx;
+    Ast.Var v
+  | KW "is_nil" ->
+    next lx;
+    expect_sym lx "(";
+    let e = parse_or lx in
+    expect_sym lx ")";
+    Ast.Is_nil e
+  | SYM "(" ->
+    next lx;
+    let e = parse_or lx in
+    expect_sym lx ")";
+    e
+  | t -> error lx "expected an expression, found %s" (show_token t)
+
+(* --- statements ---------------------------------------------------------- *)
+
+let rec parse_block lx =
+  expect_sym lx "{";
+  let rec go acc =
+    match lx.tok with
+    | SYM "}" ->
+      next lx;
+      List.rev acc
+    | EOF -> error lx "unterminated block"
+    | _ -> go (parse_stmt lx :: acc)
+  in
+  go []
+
+and parse_stmt lx =
+  match lx.tok with
+  | KW "if" ->
+    next lx;
+    let cond = parse_or lx in
+    let then_b = parse_block lx in
+    let else_b =
+      match lx.tok with
+      | KW "else" ->
+        next lx;
+        parse_block lx
+      | _ -> []
+    in
+    Ast.If (cond, then_b, else_b)
+  | KW "while" ->
+    next lx;
+    let cond = parse_or lx in
+    Ast.While (cond, parse_block lx)
+  | KW "conc" ->
+    next lx;
+    Ast.Conc (parse_block lx)
+  | IDENT name -> (
+    next lx;
+    match lx.tok with
+    | SYM "+=" ->
+      next lx;
+      let e = parse_or lx in
+      expect_sym lx ";";
+      Ast.Accum (name, e)
+    | SYM "(" ->
+      next lx;
+      let rec args acc =
+        match lx.tok with
+        | SYM ")" ->
+          next lx;
+          List.rev acc
+        | _ ->
+          let e = parse_or lx in
+          (match lx.tok with
+          | SYM "," ->
+            next lx;
+            args (e :: acc)
+          | SYM ")" ->
+            next lx;
+            List.rev (e :: acc)
+          | t -> error lx "expected ',' or ')', found %s" (show_token t))
+      in
+      let a = args [] in
+      expect_sym lx ";";
+      Ast.Call (name, a)
+    | SYM "=" -> (
+      next lx;
+      (* Either a load through a pointer or a plain expression. *)
+      match lx.tok with
+      | IDENT p ->
+        next lx;
+        (match lx.tok with
+        | SYM "->" -> (
+          next lx;
+          match lx.tok with
+          | IDENT "f" ->
+            next lx;
+            expect_sym lx "[";
+            let i = expect_int lx in
+            expect_sym lx "]";
+            expect_sym lx ";";
+            Ast.Load_field (name, p, i)
+          | KW "ptr" ->
+            next lx;
+            expect_sym lx "[";
+            let i = expect_int lx in
+            expect_sym lx "]";
+            expect_sym lx ";";
+            Ast.Load_ptr (name, p, i)
+          | t -> error lx "expected 'f' or 'ptr' after '->', found %s" (show_token t))
+        | _ ->
+          (* Re-parse as an expression that started with the variable. *)
+          let e = continue_expr lx (Ast.Var p) in
+          expect_sym lx ";";
+          Ast.Let (name, e))
+      | _ ->
+        let e = parse_or lx in
+        expect_sym lx ";";
+        Ast.Let (name, e))
+    | t -> error lx "expected '=', '+=' or '(', found %s" (show_token t))
+  | t -> error lx "expected a statement, found %s" (show_token t)
+
+(* Continue an expression whose first primary (a variable) was already
+   consumed: climb back through the precedence levels. *)
+and continue_expr lx seed =
+  let mul =
+    let rec go a =
+      match lx.tok with
+      | SYM "*" ->
+        next lx;
+        go (Ast.Binop (Ast.Mul, a, parse_unary lx))
+      | SYM "/" ->
+        next lx;
+        go (Ast.Binop (Ast.Div, a, parse_unary lx))
+      | _ -> a
+    in
+    go seed
+  in
+  let add =
+    let rec go a =
+      match lx.tok with
+      | SYM "+" ->
+        next lx;
+        go (Ast.Binop (Ast.Add, a, parse_mul lx))
+      | SYM "-" ->
+        next lx;
+        go (Ast.Binop (Ast.Sub, a, parse_mul lx))
+      | _ -> a
+    in
+    go mul
+  in
+  let cmp =
+    match lx.tok with
+    | SYM "<" ->
+      next lx;
+      Ast.Binop (Ast.Lt, add, parse_add lx)
+    | SYM "<=" ->
+      next lx;
+      Ast.Binop (Ast.Le, add, parse_add lx)
+    | SYM "==" ->
+      next lx;
+      Ast.Binop (Ast.Eq, add, parse_add lx)
+    | _ -> add
+  in
+  let conj =
+    match lx.tok with
+    | SYM "&&" ->
+      next lx;
+      Ast.Binop (Ast.And, cmp, parse_and lx)
+    | _ -> cmp
+  in
+  match lx.tok with
+  | SYM "||" ->
+    next lx;
+    Ast.Binop (Ast.Or, conj, parse_or lx)
+  | _ -> conj
+
+(* --- functions and programs --------------------------------------------- *)
+
+let parse_param lx =
+  let name = expect_ident lx in
+  expect_sym lx ":";
+  match lx.tok with
+  | KW "num" ->
+    next lx;
+    { Ast.pname = name; pclass = None }
+  | KW "local" ->
+    next lx;
+    expect_kw lx "ptr";
+    { Ast.pname = name; pclass = Some Ast.Local }
+  | KW "global" ->
+    next lx;
+    expect_kw lx "ptr";
+    expect_sym lx "<";
+    let c = expect_int lx in
+    expect_sym lx ">";
+    { Ast.pname = name; pclass = Some (Ast.Global c) }
+  | t -> error lx "expected a parameter type, found %s" (show_token t)
+
+let parse_func lx =
+  expect_kw lx "func";
+  let name = expect_ident lx in
+  expect_sym lx "(";
+  let rec params acc =
+    match lx.tok with
+    | SYM ")" ->
+      next lx;
+      List.rev acc
+    | _ ->
+      let p = parse_param lx in
+      (match lx.tok with
+      | SYM "," ->
+        next lx;
+        params (p :: acc)
+      | SYM ")" ->
+        next lx;
+        List.rev (p :: acc)
+      | t -> error lx "expected ',' or ')', found %s" (show_token t))
+  in
+  let ps = params [] in
+  let body = parse_block lx in
+  { Ast.fname = name; params = ps; body }
+
+let program src =
+  let lx = make_lexer src in
+  let rec go acc =
+    match lx.tok with
+    | EOF -> List.rev acc
+    | KW "func" -> go (parse_func lx :: acc)
+    | t -> error lx "expected 'func', found %s" (show_token t)
+  in
+  let p = { Ast.funcs = go [] } in
+  Alias.check p;
+  p
+
+let expr src =
+  let lx = make_lexer src in
+  let e = parse_or lx in
+  (match lx.tok with
+  | EOF -> ()
+  | t -> error lx "trailing input: %s" (show_token t));
+  e

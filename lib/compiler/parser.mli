@@ -1,0 +1,29 @@
+(** Parser for the mini IR's concrete syntax — the inverse of {!Pretty}.
+
+    {v
+    func sum_list(p: global ptr<0>) {
+      if is_nil(p) {
+      } else {
+        v = p->f[0];
+        sum += v;
+        q = p->ptr[0];
+        sum_list(q);
+      }
+    }
+    v}
+
+    Statements: [x = expr;], [x = p->f[i];], [x = p->ptr[i];],
+    [acc += expr;], [if e { } else { }], [while e { }], [conc { }],
+    [f(args);]. Parameter types: [num], [local ptr], [global ptr<class>].
+    Expressions use the usual precedence ([||] < [&&] < comparisons <
+    [+ -] < [* /] < unary), plus [is_nil(e)]. Comments run from [//] to end
+    of line. *)
+
+exception Parse_error of string
+(** Carries a message with line/column. *)
+
+val program : string -> Ast.program
+(** Parse and {!Alias.check} a whole program. *)
+
+val expr : string -> Ast.expr
+(** Parse a single expression (for tests and tooling). *)

@@ -1,0 +1,71 @@
+open Format
+
+let binop = function
+  | Ast.Add -> "+"
+  | Ast.Sub -> "-"
+  | Ast.Mul -> "*"
+  | Ast.Div -> "/"
+  | Ast.Lt -> "<"
+  | Ast.Le -> "<="
+  | Ast.Eq -> "=="
+  | Ast.And -> "&&"
+  | Ast.Or -> "||"
+
+let rec pp_expr ppf = function
+  | Ast.Num f -> fprintf ppf "%g" f
+  | Ast.Var v -> pp_print_string ppf v
+  | Ast.Binop (op, a, b) ->
+    fprintf ppf "(%a %s %a)" pp_expr a (binop op) pp_expr b
+  | Ast.Unop (Ast.Neg, e) -> fprintf ppf "(-%a)" pp_expr e
+  | Ast.Unop (Ast.Not, e) -> fprintf ppf "(!%a)" pp_expr e
+  | Ast.Is_nil e -> fprintf ppf "is_nil(%a)" pp_expr e
+
+let rec pp_stmt ppf = function
+  | Ast.Let (v, e) -> fprintf ppf "%s = %a;" v pp_expr e
+  | Ast.Load_field (d, p, i) -> fprintf ppf "%s = %s->f[%d];" d p i
+  | Ast.Load_ptr (d, p, i) -> fprintf ppf "%s = %s->ptr[%d];" d p i
+  | Ast.Accum (a, e) -> fprintf ppf "%s += %a;" a pp_expr e
+  | Ast.If (e, a, []) ->
+    fprintf ppf "@[<v 2>if %a {@ %a@]@ }" pp_expr e pp_block a
+  | Ast.If (e, a, b) ->
+    fprintf ppf "@[<v 2>if %a {@ %a@]@ @[<v 2>} else {@ %a@]@ }" pp_expr e
+      pp_block a pp_block b
+  | Ast.While (e, b) ->
+    fprintf ppf "@[<v 2>while %a {@ %a@]@ }" pp_expr e pp_block b
+  | Ast.Conc b ->
+    fprintf ppf "@[<v 2>conc {@ %a@]@ }" pp_block b
+  | Ast.Call (f, args) ->
+    fprintf ppf "%s(%a);" f
+      (pp_print_list ~pp_sep:(fun ppf () -> fprintf ppf ", ") pp_expr)
+      args
+
+and pp_block ppf stmts =
+  pp_print_list ~pp_sep:(fun ppf () -> fprintf ppf "@ ") pp_stmt ppf stmts
+
+let pp_param ppf prm =
+  match prm.Ast.pclass with
+  | None -> fprintf ppf "%s: num" prm.Ast.pname
+  | Some Ast.Local -> fprintf ppf "%s: local ptr" prm.Ast.pname
+  | Some (Ast.Global c) -> fprintf ppf "%s: global ptr<%d>" prm.Ast.pname c
+
+let pp_func ppf f =
+  fprintf ppf "@[<v 2>func %s(%a) {@ %a@]@ }" f.Ast.fname
+    (pp_print_list ~pp_sep:(fun ppf () -> fprintf ppf ", ") pp_param)
+    f.Ast.params pp_block f.Ast.body
+
+let pp_program ppf p =
+  pp_print_list ~pp_sep:(fun ppf () -> fprintf ppf "@ @ ") pp_func ppf
+    p.Ast.funcs
+
+let pp_info ppf (i : Partition.info) =
+  fprintf ppf "@[<v 2>%s: %d static thread(s)@ " i.Partition.fname
+    i.Partition.static_threads;
+  fprintf ppf "entry thread";
+  List.iter
+    (fun s ->
+      fprintf ppf "@ spawn on %s" s.Partition.label;
+      match s.Partition.hoisted with
+      | [] -> ()
+      | hs -> fprintf ppf " (hoisting %s)" (String.concat ", " hs))
+    i.Partition.spawn_sites;
+  fprintf ppf "@]"

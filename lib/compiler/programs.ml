@@ -1,0 +1,94 @@
+open Dpa_heap
+
+let gp = Some (Ast.Global 0)
+
+let list_sum =
+  {
+    Ast.funcs =
+      [
+        {
+          Ast.fname = "sum_list";
+          params = [ { Ast.pname = "p"; pclass = gp } ];
+          body =
+            [
+              Ast.If
+                ( Ast.Is_nil (Ast.Var "p"),
+                  [],
+                  [
+                    Ast.Load_field ("v", "p", 0);
+                    Ast.Accum ("sum", Ast.Var "v");
+                    Ast.Load_ptr ("q", "p", 0);
+                    Ast.Call ("sum_list", [ Ast.Var "q" ]);
+                  ] );
+            ];
+        };
+      ];
+  }
+
+let tree_sum =
+  {
+    Ast.funcs =
+      [
+        {
+          Ast.fname = "sum_tree";
+          params = [ { Ast.pname = "t"; pclass = gp } ];
+          body =
+            [
+              Ast.If
+                ( Ast.Is_nil (Ast.Var "t"),
+                  [],
+                  [
+                    Ast.Load_field ("v", "t", 0);
+                    Ast.Accum ("sum", Ast.Var "v");
+                    Ast.Load_ptr ("l", "t", 0);
+                    Ast.Load_ptr ("r", "t", 1);
+                    Ast.Conc
+                      [
+                        Ast.Call ("sum_tree", [ Ast.Var "l" ]);
+                        Ast.Call ("sum_tree", [ Ast.Var "r" ]);
+                      ];
+                  ] );
+            ];
+        };
+      ];
+  }
+
+let pair_sum =
+  {
+    Ast.funcs =
+      [
+        {
+          Ast.fname = "sum_pair";
+          params =
+            [
+              { Ast.pname = "a"; pclass = gp };
+              { Ast.pname = "b"; pclass = gp };
+            ];
+          body =
+            [
+              Ast.Load_field ("x", "a", 0);
+              Ast.Load_field ("y", "b", 0);
+              Ast.Accum ("sum", Ast.Binop (Ast.Add, Ast.Var "x", Ast.Var "y"));
+            ];
+        };
+      ];
+  }
+
+let build_list heaps ~length ~value ~owner =
+  let next = ref Gptr.nil in
+  for i = length - 1 downto 0 do
+    next :=
+      Heap.alloc heaps.(owner i) ~floats:[| value i |] ~ptrs:[| !next |]
+  done;
+  !next
+
+let build_tree heaps ~depth ~value ~owner =
+  if depth <= 0 then invalid_arg "Programs.build_tree: depth must be positive";
+  let rec alloc i level =
+    if level >= depth then Gptr.nil
+    else
+      let l = alloc ((2 * i) + 1) (level + 1) in
+      let r = alloc ((2 * i) + 2) (level + 1) in
+      Heap.alloc heaps.(owner i) ~floats:[| value i |] ~ptrs:[| l; r |]
+  in
+  alloc 0 0

@@ -1,0 +1,28 @@
+(** Canonical example programs (the paper's §3.4 flavor) and builders for
+    the distributed structures they traverse. *)
+
+open Dpa_heap
+
+val list_sum : Ast.program
+(** [sum_list(p)]: walk a singly linked list of cells
+    [{f=\[value\]; ptrs=\[next\]}], accumulating [sum]. *)
+
+val tree_sum : Ast.program
+(** [sum_tree(t)]: walk a binary tree of cells
+    [{f=\[value\]; ptrs=\[left; right\]}], accumulating [sum]. *)
+
+val pair_sum : Ast.program
+(** [sum_pair(a, b)]: reads fields of two same-class pointers — the minimal
+    access-hoisting example (both fetched at one alignment point). *)
+
+val build_list :
+  Heap.cluster -> length:int -> value:(int -> float) -> owner:(int -> int) ->
+  Gptr.t
+(** Linked list, element [i] on node [owner i]; returns the head (element
+    0). The list ends with a nil next pointer. *)
+
+val build_tree :
+  Heap.cluster -> depth:int -> value:(int -> float) -> owner:(int -> int) ->
+  Gptr.t
+(** Complete binary tree with [2^depth - 1] cells, heap-indexed 1..;
+    cell [i] lives on node [owner i]. Returns the root. *)

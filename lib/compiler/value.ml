@@ -1,0 +1,22 @@
+type t = Num of float | Bool of bool | Ptr of Dpa_heap.Gptr.t
+
+exception Eval_error of string
+
+let num = function
+  | Num f -> f
+  | Bool _ -> raise (Eval_error "expected a number, got a boolean")
+  | Ptr _ -> raise (Eval_error "expected a number, got a pointer")
+
+let truthy = function
+  | Bool b -> b
+  | Num f -> f <> 0.
+  | Ptr _ -> raise (Eval_error "a pointer is not a condition")
+
+let ptr = function
+  | Ptr p -> p
+  | Num _ | Bool _ -> raise (Eval_error "expected a pointer")
+
+let pp ppf = function
+  | Num f -> Format.fprintf ppf "%g" f
+  | Bool b -> Format.fprintf ppf "%b" b
+  | Ptr p -> Format.fprintf ppf "%s" (Dpa_heap.Gptr.show p)

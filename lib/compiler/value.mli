@@ -1,0 +1,10 @@
+(** Runtime values of the mini IR. *)
+
+type t = Num of float | Bool of bool | Ptr of Dpa_heap.Gptr.t
+
+exception Eval_error of string
+
+val num : t -> float
+val truthy : t -> bool
+val ptr : t -> Dpa_heap.Gptr.t
+val pp : Format.formatter -> t -> unit

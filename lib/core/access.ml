@@ -1,0 +1,33 @@
+(** The access interface shared by the DPA runtime and every baseline
+    runtime. Application force-computation phases are written once as
+    functors over this signature, so the same application code runs under
+    DPA, software caching, and blocking remote reads — as the paper's
+    compiler-generated code would. *)
+
+module type S = sig
+  type ctx
+  (** Per-node execution context. *)
+
+  val node_id : ctx -> int
+
+  val charge : ctx -> int -> unit
+  (** Account [ns] of local application computation. *)
+
+  val read :
+    ctx ->
+    Dpa_heap.Gptr.t ->
+    (ctx -> Dpa_heap.Obj_repr.t -> unit) ->
+    unit
+  (** [read ctx p k] — dereference a global pointer and continue with [k].
+      The continuation may run immediately (local or reused data) or later
+      (suspended thread); the runtime decides. The returned view is
+      read-only and valid for the current phase. *)
+
+  val accumulate : ctx -> Dpa_heap.Gptr.t -> idx:int -> float -> unit
+  (** [accumulate ctx p ~idx v] — add [v] to float field [idx] of the
+      object at [p]: a commutative remote reduction. Applied immediately
+      for local objects; buffered, possibly combined, and delivered in
+      bulk for remote ones. All updates of a phase are applied by the time
+      the phase returns; ordering within a phase is unspecified (the
+      [conc] contract). *)
+end

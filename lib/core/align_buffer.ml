@@ -1,0 +1,16 @@
+open Dpa_heap
+
+type t = { table : Obj_repr.t Gptr.Tbl.t; mutable peak : int }
+
+let create () = { table = Gptr.Tbl.create 256; peak = 0 }
+
+let find t ptr = Gptr.Tbl.find_opt t.table ptr
+
+let add t ptr view =
+  Gptr.Tbl.replace t.table ptr view;
+  let n = Gptr.Tbl.length t.table in
+  if n > t.peak then t.peak <- n
+
+let size t = Gptr.Tbl.length t.table
+let peak t = t.peak
+let clear t = Gptr.Tbl.reset t.table

@@ -1,0 +1,15 @@
+(** The alignment buffer [D] of the paper: renamed local copies of remote
+    objects, valid for the duration of one strip. Cleared at strip
+    boundaries, so its peak size — reported in the statistics table — is
+    bounded by the strip's working set. *)
+
+type t
+
+val create : unit -> t
+val find : t -> Dpa_heap.Gptr.t -> Dpa_heap.Obj_repr.t option
+val add : t -> Dpa_heap.Gptr.t -> Dpa_heap.Obj_repr.t -> unit
+val size : t -> int
+val peak : t -> int
+(** Largest size reached since creation (survives [clear]). *)
+
+val clear : t -> unit

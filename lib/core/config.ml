@@ -1,0 +1,20 @@
+type t = { name : string; strip_size : int; agg_max : int; reuse : bool }
+
+let check t =
+  if t.strip_size <= 0 then invalid_arg "Config: strip_size must be positive";
+  if t.agg_max <= 0 then invalid_arg "Config: agg_max must be positive";
+  t
+
+let dpa ?(strip_size = 50) ?(agg_max = 64) () =
+  check
+    { name = Printf.sprintf "DPA(%d)" strip_size; strip_size; agg_max; reuse = true }
+
+let pipeline_only ?(strip_size = 50) () =
+  check { name = "pipeline"; strip_size; agg_max = 1; reuse = false }
+
+let pipeline_aggregate ?(strip_size = 50) ?(agg_max = 64) () =
+  check { name = "pipeline+agg"; strip_size; agg_max; reuse = false }
+
+let pp ppf t =
+  Format.fprintf ppf "%s{strip=%d; agg=%d; reuse=%b}" t.name t.strip_size
+    t.agg_max t.reuse

@@ -1,0 +1,23 @@
+(** Configuration of the DPA runtime: the paper's tuning knobs.
+
+    [strip_size] is the static strip-mining bound on top-level concurrent
+    loops (the paper's "DPA (50)" / "DPA (300)" notation). [agg_max] bounds
+    how many read requests are packed per message before an eager flush.
+    [reuse] enables the alignment buffer D and request merging in the
+    pointer map M — the data-reuse ("tiling") half of DPA; with it off the
+    runtime still pipelines and aggregates but refetches every object. *)
+
+type t = { name : string; strip_size : int; agg_max : int; reuse : bool }
+
+val dpa : ?strip_size:int -> ?agg_max:int -> unit -> t
+(** Full DPA. Defaults: strip 50 (the paper's headline setting), agg 64. *)
+
+val pipeline_only : ?strip_size:int -> unit -> t
+(** Non-blocking threads with message pipelining but no aggregation and no
+    reuse: each remote read is its own message. (This is also how the greedy
+    prefetching of related work behaves.) *)
+
+val pipeline_aggregate : ?strip_size:int -> ?agg_max:int -> unit -> t
+(** Pipelining plus aggregation, still no reuse. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,67 @@
+type t = {
+  mutable spawns : int;
+  mutable inline_local : int;
+  mutable align_hits : int;
+  mutable merge_hits : int;
+  mutable requests : int;
+  mutable request_msgs : int;
+  mutable max_outstanding : int;
+  mutable max_batch : int;
+  mutable strips : int;
+  mutable align_peak : int;
+  mutable updates : int;
+  mutable updates_combined : int;
+  mutable update_msgs : int;
+}
+
+let create () =
+  {
+    spawns = 0;
+    inline_local = 0;
+    align_hits = 0;
+    merge_hits = 0;
+    requests = 0;
+    request_msgs = 0;
+    max_outstanding = 0;
+    max_batch = 0;
+    strips = 0;
+    align_peak = 0;
+    updates = 0;
+    updates_combined = 0;
+    update_msgs = 0;
+  }
+
+let merge ts =
+  let acc = create () in
+  List.iter
+    (fun t ->
+      acc.spawns <- acc.spawns + t.spawns;
+      acc.inline_local <- acc.inline_local + t.inline_local;
+      acc.align_hits <- acc.align_hits + t.align_hits;
+      acc.merge_hits <- acc.merge_hits + t.merge_hits;
+      acc.requests <- acc.requests + t.requests;
+      acc.request_msgs <- acc.request_msgs + t.request_msgs;
+      acc.max_outstanding <- max acc.max_outstanding t.max_outstanding;
+      acc.max_batch <- max acc.max_batch t.max_batch;
+      acc.strips <- acc.strips + t.strips;
+      acc.align_peak <- max acc.align_peak t.align_peak;
+      acc.updates <- acc.updates + t.updates;
+      acc.updates_combined <- acc.updates_combined + t.updates_combined;
+      acc.update_msgs <- acc.update_msgs + t.update_msgs)
+    ts;
+  acc
+
+let total_reads t = t.spawns + t.inline_local + t.align_hits + t.merge_hits
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>reads: %d (local %d, D hits %d, M merges %d, fetched %d)@ request \
+     msgs: %d carrying %d entries (max batch %d)@ max outstanding threads: \
+     %d; peak D size: %d; strips: %d@]"
+    (total_reads t) t.inline_local t.align_hits t.merge_hits t.spawns
+    t.request_msgs t.requests t.max_batch t.max_outstanding t.align_peak
+    t.strips;
+  if t.updates > 0 then
+    Format.fprintf ppf
+      "@ @[updates: %d (%d combined away, %d messages)@]" t.updates
+      t.updates_combined t.update_msgs

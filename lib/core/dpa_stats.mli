@@ -1,0 +1,25 @@
+(** Runtime statistics collected per phase: the raw material of the paper's
+    static/dynamic thread-statistics table (T1). *)
+
+type t = {
+  mutable spawns : int;  (** thread records created (suspended remote reads) *)
+  mutable inline_local : int;  (** reads satisfied from the local heap *)
+  mutable align_hits : int;  (** reads satisfied from the alignment buffer D *)
+  mutable merge_hits : int;  (** reads merged onto an outstanding request in M *)
+  mutable requests : int;  (** request entries sent *)
+  mutable request_msgs : int;  (** aggregated request messages sent *)
+  mutable max_outstanding : int;  (** peak suspended threads on one node *)
+  mutable max_batch : int;  (** largest aggregated batch *)
+  mutable strips : int;  (** strips executed *)
+  mutable align_peak : int;  (** peak objects held in D on one node *)
+  mutable updates : int;  (** accumulate operations issued *)
+  mutable updates_combined : int;  (** folded into a buffered update *)
+  mutable update_msgs : int;  (** aggregated update messages sent *)
+}
+
+val create : unit -> t
+val merge : t list -> t
+(** Componentwise sum; the [max_*] fields take the maximum. *)
+
+val total_reads : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,59 @@
+open Dpa_heap
+
+type 'k slot = { ptr : Gptr.t; mutable ks : 'k list (* reversed *); mutable count : int }
+
+type 'k t = {
+  tokens : (int, 'k slot) Hashtbl.t;
+  by_ptr : int Gptr.Tbl.t;  (* pointer -> outstanding token, reuse mode *)
+  mutable next_token : int;
+  mutable waiters : int;
+}
+
+let create () =
+  {
+    tokens = Hashtbl.create 64;
+    by_ptr = Gptr.Tbl.create 64;
+    next_token = 0;
+    waiters = 0;
+  }
+
+let fresh t ptr k =
+  let token = t.next_token in
+  t.next_token <- token + 1;
+  Hashtbl.replace t.tokens token { ptr; ks = [ k ]; count = 1 };
+  token
+
+let register t ~reuse ptr k =
+  t.waiters <- t.waiters + 1;
+  if reuse then
+    match Gptr.Tbl.find_opt t.by_ptr ptr with
+    | Some token ->
+      let slot = Hashtbl.find t.tokens token in
+      slot.ks <- k :: slot.ks;
+      slot.count <- slot.count + 1;
+      `Merged
+    | None ->
+      let token = fresh t ptr k in
+      Gptr.Tbl.replace t.by_ptr ptr token;
+      `New_request token
+  else `New_request (fresh t ptr k)
+
+let take t token =
+  match Hashtbl.find_opt t.tokens token with
+  | None -> raise Not_found
+  | Some slot ->
+    Hashtbl.remove t.tokens token;
+    (match Gptr.Tbl.find_opt t.by_ptr slot.ptr with
+    | Some tok when tok = token -> Gptr.Tbl.remove t.by_ptr slot.ptr
+    | Some _ | None -> ());
+    t.waiters <- t.waiters - slot.count;
+    (slot.ptr, List.rev slot.ks)
+
+let outstanding t = Hashtbl.length t.tokens
+let waiters t = t.waiters
+let is_empty t = Hashtbl.length t.tokens = 0
+
+let clear t =
+  Hashtbl.reset t.tokens;
+  Gptr.Tbl.reset t.by_ptr;
+  t.waiters <- 0

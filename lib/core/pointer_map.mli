@@ -1,0 +1,31 @@
+(** The pointer-to-dependent-threads mapping [M] of the paper.
+
+    Each outstanding fetch is identified by a token. With [reuse] on,
+    at most one token is outstanding per pointer: threads created for a
+    pointer that is already being fetched are merged onto the existing token
+    (the runtime's deduplication, which makes message aggregation and data
+    reuse possible). With [reuse] off every registration gets a fresh token
+    and triggers its own request. *)
+
+type 'k t
+
+val create : unit -> 'k t
+
+val register :
+  'k t -> reuse:bool -> Dpa_heap.Gptr.t -> 'k -> [ `New_request of int | `Merged ]
+(** Record a thread waiting on a pointer. [`New_request token] means the
+    caller must issue a fetch carrying [token]; [`Merged] means one is
+    already in flight. *)
+
+val take : 'k t -> int -> Dpa_heap.Gptr.t * 'k list
+(** Consume a token on reply arrival: returns the pointer and the waiting
+    threads in registration order. Raises [Not_found] for unknown tokens. *)
+
+val outstanding : 'k t -> int
+(** Tokens currently in flight. *)
+
+val waiters : 'k t -> int
+(** Threads currently suspended. *)
+
+val is_empty : 'k t -> bool
+val clear : 'k t -> unit

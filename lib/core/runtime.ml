@@ -1,0 +1,276 @@
+open Dpa_sim
+open Dpa_heap
+
+type request = { token : int; ptr : Gptr.t }
+
+type ctx = {
+  engine : Engine.t;
+  machine : Machine.t;
+  heaps : Heap.cluster;
+  heap : Heap.t;
+  node : Node.t;
+  cfg : Config.t;
+  stats : Dpa_stats.t;
+  ready : (Obj_repr.t * k) Queue.t;
+  map : k Pointer_map.t;
+  buffer : Align_buffer.t;
+  mutable agg : request Dpa_msg.Aggregator.t;
+  mutable updates : Update_buffer.t;
+  mutable pending : int;  (* threads suspended in M or queued in [ready] *)
+  mutable scheduled : bool;
+  mutable items : (ctx -> unit) array;
+  mutable next_item : int;
+  mutable finished : bool;
+}
+
+and k = ctx -> Obj_repr.t -> unit
+
+let node_id ctx = ctx.node.Node.id
+let heaps ctx = ctx.heaps
+let charge ctx ns = Node.charge_local ctx.node ns
+
+(* --- scheduler -------------------------------------------------------- *)
+
+let rec ensure_scheduled ctx =
+  if not ctx.scheduled then begin
+    ctx.scheduled <- true;
+    Engine.post_now ctx.engine ~node:ctx.node (fun () ->
+        ctx.scheduled <- false;
+        run_quantum ctx)
+  end
+
+(* Run ready threads for at most one poll quantum, then decide: keep going
+   (via a fresh event, so messages with earlier timestamps interleave —
+   this is the "poll" of an FM-style runtime), wait for replies after
+   flushing buffered requests, or advance to the next strip. *)
+and run_quantum ctx =
+  let quantum = ctx.machine.Machine.poll_quantum_ns in
+  let start = ctx.node.Node.clock in
+  let rec loop () =
+    if Queue.is_empty ctx.ready then after_drain ()
+    else if ctx.node.Node.clock - start >= quantum then ensure_scheduled ctx
+    else begin
+      let view, k = Queue.pop ctx.ready in
+      Node.charge_comm ctx.node ctx.machine.Machine.dispatch_overhead_ns;
+      ctx.pending <- ctx.pending - 1;
+      k ctx view;
+      loop ()
+    end
+  and after_drain () =
+    if ctx.pending > 0 then begin
+      (* Out of ready threads: push buffered requests onto the wire and
+         wait. Replies re-enter through [deliver]. *)
+      if Dpa_msg.Aggregator.pending ctx.agg > 0 then
+        Dpa_msg.Aggregator.flush_all ctx.agg
+    end
+    else begin
+      (* Strip boundary: outstanding accumulations leave with the strip. *)
+      if Update_buffer.pending ctx.updates > 0 then
+        Update_buffer.flush_all ctx.updates;
+      next_strip ctx
+    end
+  in
+  loop ()
+
+(* Strip boundary: discard the alignment buffer (renamed copies die with
+   the strip) and inject the next strip of work items. *)
+and next_strip ctx =
+  if ctx.next_item >= Array.length ctx.items then ctx.finished <- true
+  else begin
+    ctx.stats.Dpa_stats.strips <- ctx.stats.Dpa_stats.strips + 1;
+    Align_buffer.clear ctx.buffer;
+    let limit =
+      min (Array.length ctx.items) (ctx.next_item + ctx.cfg.Config.strip_size)
+    in
+    while ctx.next_item < limit do
+      let item = ctx.items.(ctx.next_item) in
+      ctx.next_item <- ctx.next_item + 1;
+      item ctx
+    done;
+    ensure_scheduled ctx
+  end
+
+(* Reply arrival: wake every thread recorded in M for each delivered
+   pointer. Threads waiting on the same object are enqueued consecutively,
+   so they execute together — the tiling effect. *)
+and deliver ctx pairs =
+  List.iter
+    (fun (req, view) ->
+      let ptr, ks = Pointer_map.take ctx.map req.token in
+      if ctx.cfg.Config.reuse then Align_buffer.add ctx.buffer ptr view;
+      List.iter (fun k -> Queue.push (view, k) ctx.ready) ks)
+    pairs;
+  let peak = Align_buffer.peak ctx.buffer in
+  if peak > ctx.stats.Dpa_stats.align_peak then
+    ctx.stats.Dpa_stats.align_peak <- peak;
+  ensure_scheduled ctx
+
+and flush_requests ctx ~dst batch =
+  let nreqs = List.length batch in
+  let stats = ctx.stats in
+  stats.Dpa_stats.request_msgs <- stats.Dpa_stats.request_msgs + 1;
+  stats.Dpa_stats.requests <- stats.Dpa_stats.requests + nreqs;
+  if nreqs > stats.Dpa_stats.max_batch then stats.Dpa_stats.max_batch <- nreqs;
+  let bytes = Dpa_msg.Am.request_bytes ctx.machine ~nreqs in
+  Dpa_msg.Am.send ctx.engine ~src:ctx.node ~dst ~bytes (fun owner ->
+      (* Owner-side service handler: look the objects up and ship them back
+         in one bulk reply. This steals owner CPU, as an FM handler does. *)
+      let m = ctx.machine in
+      Node.charge_comm owner
+        (m.Machine.request_service_ns
+        + (nreqs * m.Machine.request_service_per_obj_ns));
+      let owner_heap = ctx.heaps.(dst) in
+      let payload = ref 0 in
+      let pairs =
+        List.map
+          (fun req ->
+            let view = Heap.get owner_heap req.ptr in
+            payload := !payload + Obj_repr.bytes view;
+            (req, view))
+          batch
+      in
+      let reply = Dpa_msg.Am.reply_bytes m ~payload:!payload ~nreqs in
+      Dpa_msg.Am.send ctx.engine ~src:owner ~dst:ctx.node.Node.id ~bytes:reply
+        (fun _self -> deliver ctx pairs))
+
+and flush_updates ctx ~dst batch =
+  let n = List.length batch in
+  ctx.stats.Dpa_stats.update_msgs <- ctx.stats.Dpa_stats.update_msgs + 1;
+  let bytes = Dpa_msg.Am.update_bytes ctx.machine ~nupdates:n in
+  Dpa_msg.Am.send ctx.engine ~src:ctx.node ~dst ~bytes (fun owner ->
+      let m = ctx.machine in
+      Node.charge_comm owner (n * m.Machine.update_apply_ns);
+      let owner_heap = ctx.heaps.(dst) in
+      List.iter
+        (fun { Update_buffer.ptr; idx; value } ->
+          Heap.bump_float owner_heap ptr ~idx value)
+        batch)
+
+(* --- the access operations --------------------------------------------- *)
+
+let read ctx ptr k =
+  if Gptr.is_nil ptr then invalid_arg "Runtime.read: nil pointer";
+  (* Thread creation is charged on every labeled spawn site — the data may
+     turn out to be local, but the compiler emitted a thread either way
+     (this is the single-node overhead visible in the paper's P=1 column).
+     Threads whose data is at hand still go through the ready queue rather
+     than running inline: dispatching through the scheduler is what keeps
+     the poll quantum honest (a node deep in local work must still extract
+     incoming requests), exactly as a polling FM runtime behaves. *)
+  Node.charge_comm ctx.node ctx.machine.Machine.spawn_overhead_ns;
+  if ptr.Gptr.node = ctx.node.Node.id then begin
+    ctx.stats.Dpa_stats.inline_local <- ctx.stats.Dpa_stats.inline_local + 1;
+    ctx.pending <- ctx.pending + 1;
+    Queue.push (Heap.get ctx.heap ptr, k) ctx.ready;
+    ensure_scheduled ctx
+  end
+  else begin
+    let reused =
+      if ctx.cfg.Config.reuse then Align_buffer.find ctx.buffer ptr else None
+    in
+    match reused with
+    | Some view ->
+      ctx.stats.Dpa_stats.align_hits <- ctx.stats.Dpa_stats.align_hits + 1;
+      ctx.pending <- ctx.pending + 1;
+      Queue.push (view, k) ctx.ready;
+      ensure_scheduled ctx
+    | None ->
+      ctx.pending <- ctx.pending + 1;
+      if ctx.pending > ctx.stats.Dpa_stats.max_outstanding then
+        ctx.stats.Dpa_stats.max_outstanding <- ctx.pending;
+      (match Pointer_map.register ctx.map ~reuse:ctx.cfg.Config.reuse ptr k with
+      | `Merged ->
+        ctx.stats.Dpa_stats.merge_hits <- ctx.stats.Dpa_stats.merge_hits + 1
+      | `New_request token ->
+        ctx.stats.Dpa_stats.spawns <- ctx.stats.Dpa_stats.spawns + 1;
+        Dpa_msg.Aggregator.add ctx.agg ~dst:ptr.Gptr.node { token; ptr })
+  end
+
+let accumulate ctx ptr ~idx value =
+  if Gptr.is_nil ptr then invalid_arg "Runtime.accumulate: nil pointer";
+  ctx.stats.Dpa_stats.updates <- ctx.stats.Dpa_stats.updates + 1;
+  if ptr.Gptr.node = ctx.node.Node.id then begin
+    Node.charge_local ctx.node ctx.machine.Machine.update_apply_ns;
+    Heap.bump_float ctx.heap ptr ~idx value
+  end
+  else begin
+    Node.charge_comm ctx.node ctx.machine.Machine.spawn_overhead_ns;
+    let before = Update_buffer.combined ctx.updates in
+    Update_buffer.add ctx.updates ~dst:ptr.Gptr.node ptr ~idx value;
+    if Update_buffer.combined ctx.updates > before then
+      ctx.stats.Dpa_stats.updates_combined <-
+        ctx.stats.Dpa_stats.updates_combined + 1
+  end
+
+(* --- phase driver ------------------------------------------------------ *)
+
+let make_ctx ~engine ~heaps ~config ~items node =
+  let dummy =
+    Dpa_msg.Aggregator.create ~ndest:1 ~max_batch:1 ~flush:(fun ~dst:_ _ ->
+        assert false)
+  in
+  let dummy_updates =
+    Update_buffer.create ~ndest:1 ~combine:false ~max_batch:1
+      ~flush:(fun ~dst:_ _ -> assert false)
+  in
+  let ctx =
+    {
+      engine;
+      machine = Engine.machine engine;
+      heaps;
+      heap = heaps.(node.Node.id);
+      node;
+      cfg = config;
+      stats = Dpa_stats.create ();
+      ready = Queue.create ();
+      map = Pointer_map.create ();
+      buffer = Align_buffer.create ();
+      agg = dummy;
+      updates = dummy_updates;
+      pending = 0;
+      scheduled = false;
+      items;
+      next_item = 0;
+      finished = false;
+    }
+  in
+  ctx.agg <-
+    Dpa_msg.Aggregator.create
+      ~ndest:(Array.length heaps)
+      ~max_batch:config.Config.agg_max
+      ~flush:(fun ~dst batch -> flush_requests ctx ~dst batch);
+  ctx.updates <-
+    Update_buffer.create
+      ~ndest:(Array.length heaps)
+      ~combine:config.Config.reuse ~max_batch:config.Config.agg_max
+      ~flush:(fun ~dst batch -> flush_updates ctx ~dst batch);
+  ctx
+
+let run_phase ~engine ~heaps ~config ~items =
+  let nodes = Engine.nodes engine in
+  Engine.barrier engine;
+  Array.iter Node.reset_breakdown nodes;
+  let start = Engine.elapsed engine in
+  let ctxs =
+    Array.map
+      (fun node -> make_ctx ~engine ~heaps ~config ~items:(items node.Node.id) node)
+      nodes
+  in
+  Array.iter ensure_scheduled ctxs;
+  Engine.run engine;
+  Array.iter
+    (fun ctx ->
+      if
+        not
+          (ctx.finished && ctx.pending = 0
+          && Pointer_map.is_empty ctx.map
+          && Update_buffer.pending ctx.updates = 0)
+      then failwith "Runtime.run_phase: node did not quiesce")
+    ctxs;
+  Engine.barrier engine;
+  let elapsed_ns = Engine.elapsed engine - start in
+  let breakdown = Breakdown.of_nodes ~elapsed_ns nodes in
+  let stats =
+    Dpa_stats.merge (Array.to_list (Array.map (fun c -> c.stats) ctxs))
+  in
+  (breakdown, stats)

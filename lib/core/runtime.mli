@@ -1,0 +1,40 @@
+(** The DPA runtime: dynamic pointer alignment.
+
+    A phase executes, on every node, an array of independent work items (the
+    iterations of a top-level [conc] loop). Items are strip-mined by
+    {!Config.strip_size}. Within a strip, each remote read creates a
+    non-blocking thread labeled by the pointer it needs:
+
+    - the pointer→threads map [M] merges threads waiting on the same pointer
+      onto one outstanding fetch;
+    - fetched copies are renamed into the alignment buffer [D] and reused by
+      later reads in the strip (tiling);
+    - requests are aggregated per owner node and flushed either when a batch
+      fills or when the node runs out of ready threads (pipelining:
+      communication overlaps the execution of ready threads);
+    - a bulk reply wakes all threads waiting on its pointers, which then run
+      consecutively.
+
+    Between strips [D] and the thread state are discarded, bounding memory
+    as the paper's k-bounded strip-mining does. *)
+
+type ctx
+
+include Access.S with type ctx := ctx
+
+val heaps : ctx -> Dpa_heap.Heap.cluster
+(** The cluster's heaps (for reading co-located metadata; communication to
+    other nodes must go through {!read}). *)
+
+val run_phase :
+  engine:Dpa_sim.Engine.t ->
+  heaps:Dpa_heap.Heap.cluster ->
+  config:Config.t ->
+  items:(int -> (ctx -> unit) array) ->
+  Dpa_sim.Breakdown.t * Dpa_stats.t
+(** [run_phase ~engine ~heaps ~config ~items] runs one parallel phase.
+    [items node] gives the work items of [node]; each item is run once and
+    may issue {!read}s and {!charge}s. Returns the phase breakdown (elapsed
+    time, local/comm/idle split) and merged runtime statistics.
+
+    The engine's queue must be empty. The phase ends with a barrier. *)

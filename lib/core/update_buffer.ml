@@ -1,0 +1,86 @@
+open Dpa_heap
+
+type entry = { ptr : Gptr.t; idx : int; value : float }
+
+type slot = { mutable acc : float }
+
+(* Per destination: combining map keyed by (ptr, idx), plus insertion order
+   so flushed batches are deterministic. *)
+type bucket = {
+  combine_map : (Gptr.t * int, slot) Hashtbl.t;
+  mutable order : (Gptr.t * int) list;  (* reversed *)
+  mutable count : int;
+}
+
+type t = {
+  buckets : bucket array;
+  combine : bool;
+  max_batch : int;
+  flush : dst:int -> entry list -> unit;
+  mutable pending : int;
+  mutable sent_entries : int;
+  mutable combined : int;
+  mutable messages : int;
+}
+
+let create ~ndest ~combine ~max_batch ~flush =
+  if ndest <= 0 then invalid_arg "Update_buffer.create: ndest must be positive";
+  if max_batch <= 0 then
+    invalid_arg "Update_buffer.create: max_batch must be positive";
+  {
+    buckets =
+      Array.init ndest (fun _ ->
+          { combine_map = Hashtbl.create 32; order = []; count = 0 });
+    combine;
+    max_batch;
+    flush;
+    pending = 0;
+    sent_entries = 0;
+    combined = 0;
+    messages = 0;
+  }
+
+let flush_dst t dst =
+  let b = t.buckets.(dst) in
+  if b.count > 0 then begin
+    let batch =
+      List.rev_map
+        (fun ((ptr, idx) as key) ->
+          let s = Hashtbl.find b.combine_map key in
+          { ptr; idx; value = s.acc })
+        b.order
+    in
+    Hashtbl.reset b.combine_map;
+    b.order <- [];
+    t.pending <- t.pending - b.count;
+    t.sent_entries <- t.sent_entries + b.count;
+    b.count <- 0;
+    t.messages <- t.messages + 1;
+    t.flush ~dst batch
+  end
+
+let add t ~dst ptr ~idx value =
+  let b = t.buckets.(dst) in
+  let key = (ptr, idx) in
+  (match if t.combine then Hashtbl.find_opt b.combine_map key else None with
+  | Some s ->
+    s.acc <- s.acc +. value;
+    t.combined <- t.combined + 1
+  | None ->
+    (* Without combining, key collisions must still create fresh entries;
+       use a replace-into-fresh-slot scheme: non-combining buckets never
+       look the key up, so aliased keys are flushed eagerly instead. *)
+    if (not t.combine) && Hashtbl.mem b.combine_map key then flush_dst t dst;
+    Hashtbl.replace b.combine_map key { acc = value };
+    b.order <- key :: b.order;
+    b.count <- b.count + 1;
+    t.pending <- t.pending + 1);
+  if b.count >= t.max_batch then flush_dst t dst
+
+let flush_all t =
+  Array.iteri (fun dst _ -> flush_dst t dst) t.buckets
+
+let pending t = t.pending
+let sent_entries t = t.sent_entries
+let combined t = t.combined
+let messages t = t.messages

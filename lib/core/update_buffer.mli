@@ -1,0 +1,30 @@
+(** Buffer for remote accumulations (reductions) — the write-side dual of
+    the request aggregator. Updates destined for the same node are batched
+    into one message; with [combine] on, updates to the same (pointer,
+    field) slot within the buffering window are summed locally before
+    anything is sent — the reduction optimization the paper lists as an
+    extension enabled by more precise aliasing. *)
+
+open Dpa_heap
+
+type t
+
+type entry = { ptr : Gptr.t; idx : int; value : float }
+
+val create :
+  ndest:int ->
+  combine:bool ->
+  max_batch:int ->
+  flush:(dst:int -> entry list -> unit) ->
+  t
+
+val add : t -> dst:int -> Gptr.t -> idx:int -> float -> unit
+val flush_all : t -> unit
+val pending : t -> int
+(** Buffered entries across destinations (after combining). *)
+
+val sent_entries : t -> int
+val combined : t -> int
+(** Updates folded into an existing buffered entry. *)
+
+val messages : t -> int

@@ -1,0 +1,34 @@
+(** Distributed adaptive-FMM force phase over the {!Dpa.Access.S}
+    interface: one work item per owned leaf, performing the dual tree walk
+    through the global heap. Reads of remote cell objects (structure +
+    multipole in one object, as the paper's inline allocation merges them)
+    are the threads DPA aligns. *)
+
+module Make (A : Dpa.Access.S) : sig
+  val items :
+    params:Fmm_force.params ->
+    global:Afmm_global.t ->
+    potential:float array ->
+    field:Complex.t array ->
+    int ->
+    (A.ctx -> unit) array
+end
+
+val force_phase :
+  engine:Dpa_sim.Engine.t ->
+  global:Afmm_global.t ->
+  params:Fmm_force.params ->
+  Dpa_baselines.Variant.t ->
+  Dpa_sim.Breakdown.t * Fmm_seq.result * Dpa.Dpa_stats.t option
+
+val run :
+  ?machine:Dpa_sim.Machine.t ->
+  ?params:Fmm_force.params ->
+  ?leaf_cap:int ->
+  ?seed:int ->
+  ?distribution:[ `Uniform | `Clustered of int ] ->
+  nnodes:int ->
+  nparticles:int ->
+  Dpa_baselines.Variant.t ->
+  Dpa_sim.Breakdown.t * Fmm_seq.result * Aquadtree.t
+(** Build, distribute, and run the timed adaptive force phase. *)

@@ -1,0 +1,7 @@
+(** Direct O(n²) summation for the 2-D logarithmic kernel: the accuracy
+    yardstick for the FMM. *)
+
+val compute : Particle2d.t array -> Fmm_seq.result
+
+val max_field_error : Fmm_seq.result -> reference:Fmm_seq.result -> float
+(** Largest relative field error, normalized by the RMS reference field. *)

@@ -1,0 +1,33 @@
+(** The FMM force-evaluation phase against the {!Dpa.Access.S} interface.
+
+    One work item per owned leaf. The item reads the multipole objects of
+    every V-list cell of each of the leaf's ancestors (M2L translated to the
+    leaf center and evaluated at the leaf's particles — each contribution is
+    independent, so the threads commute) and the particle lists of the U
+    list for near-field direct interaction. Remote multipole vectors are
+    exactly the bulk objects whose reads DPA aggregates and reuses. *)
+
+type params = {
+  p : int;  (** expansion order (the paper runs 29 terms) *)
+  m2l_term2_ns : int;  (** cost per (p+1)^2 unit of an M2L translation *)
+  eval_term_ns : int;  (** cost per (p+1) unit of a local evaluation *)
+  p2p_ns : int;  (** cost per near-field pair *)
+  visit_ns : int;  (** per-interaction-cell bookkeeping *)
+}
+
+val default_params : params
+(** p = 13; cost constants calibrated against the paper's 14.46 s
+    sequential time at full scale (32,768 particles, p = 29). *)
+
+val m2l_cost_ns : params -> int
+val eval_cost_ns : params -> int
+
+module Make (A : Dpa.Access.S) : sig
+  val items :
+    params:params ->
+    global:Fmm_global.t ->
+    potential:float array ->
+    field:Complex.t array ->
+    int ->
+    (A.ctx -> unit) array
+end

@@ -1,0 +1,142 @@
+open Dpa_sim
+open Dpa_heap
+
+type result = {
+  breakdown : Breakdown.t;
+  dpa_stats : Dpa.Dpa_stats.t option;
+}
+
+(* Work items against the generic access interface, so the pass runs under
+   every runtime. *)
+module Items (A : Dpa.Access.S) = struct
+  let write_local_expansion heaps (ptr : Gptr.t) (e : Expansion.t) =
+    let view = Heap.get heaps.(ptr.Gptr.node) ptr in
+    Array.iteri
+      (fun i c ->
+        view.Obj_repr.floats.(2 * i) <- c.Complex.re;
+        view.Obj_repr.floats.((2 * i) + 1) <- c.Complex.im)
+      e
+
+  let p2m_items ~(params : Fmm_force.params) ~(global : Fmm_global.t) node =
+    let tree = global.Fmm_global.tree in
+    let parts = Quadtree.particles tree in
+    let p = params.Fmm_force.p in
+    Array.map
+      (fun leaf ->
+        let ids = Quadtree.leaf_particles tree leaf in
+        let center = Quadtree.center tree leaf in
+        let ptr = global.Fmm_global.mp_ptrs.(leaf) in
+        fun (ctx : A.ctx) ->
+          A.charge ctx
+            (Array.length ids * Fmm_force.eval_cost_ns params);
+          let charges =
+            Array.to_list ids
+            |> List.map (fun pid ->
+                   (parts.(pid).Particle2d.q, parts.(pid).Particle2d.z))
+          in
+          let e = Expansion.p2m ~p ~center charges in
+          (* The leaf's multipole object is owned here: a direct write. *)
+          write_local_expansion global.Fmm_global.heaps ptr e)
+      global.Fmm_global.owner_leaves.(node)
+
+  let m2m_items ~(params : Fmm_force.params) ~(global : Fmm_global.t)
+      ~owned_cells node =
+    let tree = global.Fmm_global.tree in
+    Array.map
+      (fun ci ->
+        let parent = Quadtree.parent tree ci in
+        let parent_ptr = global.Fmm_global.mp_ptrs.(parent) in
+        let my_ptr = global.Fmm_global.mp_ptrs.(ci) in
+        let from_center = Quadtree.center tree ci in
+        let to_center = Quadtree.center tree parent in
+        fun (ctx : A.ctx) ->
+          (* Our own multipole is local: the owner of a cell owns its first
+             descendant leaf, which is also this item's owner. *)
+          let view = Heap.get global.Fmm_global.heaps.(A.node_id ctx) my_ptr in
+          A.charge ctx (Fmm_force.m2l_cost_ns params / 2);
+          let shifted =
+            Expansion.m2m (Fmm_global.View.expansion view) ~from_center
+              ~to_center
+          in
+          Array.iteri
+            (fun i c ->
+              if c.Complex.re <> 0. then
+                A.accumulate ctx parent_ptr ~idx:(2 * i) c.Complex.re;
+              if c.Complex.im <> 0. then
+                A.accumulate ctx parent_ptr ~idx:((2 * i) + 1) c.Complex.im)
+            shifted)
+      owned_cells.(node)
+end
+
+module I_dpa = Items (Dpa.Runtime)
+module I_caching = Items (Dpa_baselines.Caching)
+
+let cells_by_owner tree ~nnodes ~level =
+  let owned = Array.make nnodes [] in
+  let side = 1 lsl level in
+  (* Reverse iteration so the accumulated lists come out in row-major
+     order. *)
+  for iy = side - 1 downto 0 do
+    for ix = side - 1 downto 0 do
+      let ci = Quadtree.index tree ~level ~ix ~iy in
+      let o = Fmm_global.owner_of_cell tree ~nnodes ci in
+      owned.(o) <- ci :: owned.(o)
+    done
+  done;
+  Array.map Array.of_list owned
+
+let run ~engine ~global ~params variant =
+  let tree = global.Fmm_global.tree in
+  let nnodes = Array.length global.Fmm_global.heaps in
+  let depth = Quadtree.depth tree in
+  let total = ref None in
+  let stats = ref [] in
+  let add_phase (b, s) =
+    (total := match !total with None -> Some b | Some t -> Some (Breakdown.add t b));
+    match s with Some s -> stats := s :: !stats | None -> ()
+  in
+  let run_items items_dpa items_caching =
+    match variant with
+    | Dpa_baselines.Variant.Dpa config ->
+      let b, s =
+        Dpa.Runtime.run_phase ~engine ~heaps:global.Fmm_global.heaps ~config
+          ~items:items_dpa
+      in
+      add_phase (b, Some s)
+    | Dpa_baselines.Variant.Prefetch { strip_size } ->
+      let b, s =
+        Dpa.Runtime.run_phase ~engine ~heaps:global.Fmm_global.heaps
+          ~config:(Dpa.Config.pipeline_only ~strip_size ())
+          ~items:items_dpa
+      in
+      add_phase (b, Some s)
+    | Dpa_baselines.Variant.Caching { capacity } ->
+      let b, _ =
+        Dpa_baselines.Caching.run_phase ~engine ~heaps:global.Fmm_global.heaps
+          ~capacity ~items:items_caching ()
+      in
+      add_phase (b, None)
+    | Dpa_baselines.Variant.Blocking ->
+      let b, _ =
+        Dpa_baselines.Blocking.run_phase ~engine ~heaps:global.Fmm_global.heaps
+          ~items:items_caching
+      in
+      add_phase (b, None)
+  in
+  (* P2M at the leaves. *)
+  run_items
+    (I_dpa.p2m_items ~params ~global)
+    (I_caching.p2m_items ~params ~global);
+  (* M2M, level by level (each phase is a barrier: parents are complete
+     before they are shifted further up). *)
+  for level = depth downto 3 do
+    let owned_cells = cells_by_owner tree ~nnodes ~level in
+    run_items
+      (I_dpa.m2m_items ~params ~global ~owned_cells)
+      (I_caching.m2m_items ~params ~global ~owned_cells)
+  done;
+  {
+    breakdown = Option.get !total;
+    dpa_stats =
+      (match !stats with [] -> None | l -> Some (Dpa.Dpa_stats.merge l));
+  }

@@ -1,0 +1,30 @@
+(** Parallel FMM upward pass, built on the runtime's remote-reduction
+    extension ({!Dpa.Access.S.accumulate}) — the "more general access
+    patterns, such as reductions" the paper lists as enabled by sharper
+    aliasing information.
+
+    Phase 0 (P2M): every node forms its owned leaves' multipole expansions
+    and writes them into the (local) multipole objects. Phases depth..3
+    (M2M): each owned cell shifts its multipole to its parent's center and
+    accumulates the 2(p+1) coefficients into the parent object, which may
+    live on another node. Under DPA the per-coefficient updates of the four
+    children combine in the update buffer and travel in aggregated
+    messages; under the baselines each update is its own message. A level
+    completes (phase barrier) before the next begins. *)
+
+open Dpa_sim
+
+type result = {
+  breakdown : Breakdown.t;  (** summed over the P2M and M2M phases *)
+  dpa_stats : Dpa.Dpa_stats.t option;  (** merged, DPA variants only *)
+}
+
+val run :
+  engine:Engine.t ->
+  global:Fmm_global.t ->
+  params:Fmm_force.params ->
+  Dpa_baselines.Variant.t ->
+  result
+(** [global] must come from {!Fmm_global.distribute_empty}. After [run],
+    the heap's multipole objects equal the sequential {!Fmm_seq.upward}
+    (up to summation order). *)

@@ -1,0 +1,886 @@
+open Dpa_sim
+
+(* ------------------------------------------------------------------ T2/T3 *)
+
+type timing = {
+  procs : int;
+  dpa_s : float;
+  caching_s : float;
+  seq_s : float;
+  paper_dpa_s : float option;
+  paper_caching_s : float option;
+}
+
+let bh_run (conf : Runconf.t) ~procs variant =
+  Dpa_bh.Bh_run.simulate ~nnodes:procs ~nbodies:conf.Runconf.bh_bodies
+    ~nsteps:conf.Runconf.bh_steps variant
+
+let bh_seq_s (conf : Runconf.t) (r : Dpa_bh.Bh_run.sim_result) =
+  float_of_int
+    (conf.Runconf.bh_steps
+    * Dpa_bh.Bh_run.sequential_ns ~params:Dpa_bh.Bh_force.default_params
+        r.Dpa_bh.Bh_run.seq_counts)
+  *. 1e-9
+
+let bh_times (conf : Runconf.t) =
+  List.map
+    (fun procs ->
+      let dpa =
+        bh_run conf ~procs
+          (Dpa_baselines.Variant.dpa ~strip_size:conf.Runconf.bh_strip ())
+      in
+      let caching =
+        bh_run conf ~procs
+          (Dpa_baselines.Variant.Caching
+             { capacity = conf.Runconf.cache_capacity })
+      in
+      {
+        procs;
+        dpa_s = Breakdown.elapsed_s dpa.Dpa_bh.Bh_run.total;
+        caching_s = Breakdown.elapsed_s caching.Dpa_bh.Bh_run.total;
+        seq_s = bh_seq_s conf dpa;
+        paper_dpa_s =
+          (if conf.Runconf.name = "full" then Paper.bh_dpa50_s procs else None);
+        paper_caching_s =
+          (if conf.Runconf.name = "full" then Paper.bh_caching_s procs else None);
+      })
+    conf.Runconf.procs
+
+let fmm_params (conf : Runconf.t) =
+  { Dpa_fmm.Fmm_force.default_params with Dpa_fmm.Fmm_force.p = conf.Runconf.fmm_p }
+
+let fmm_run (conf : Runconf.t) ~procs variant =
+  Dpa_fmm.Fmm_run.run ~params:(fmm_params conf) ~nnodes:procs
+    ~nparticles:conf.Runconf.fmm_particles variant
+
+let fmm_seq_s (conf : Runconf.t) (r : Dpa_fmm.Fmm_run.run_result) =
+  float_of_int
+    (Dpa_fmm.Fmm_run.sequential_ns ~params:(fmm_params conf)
+       r.Dpa_fmm.Fmm_run.seq_counts)
+  *. 1e-9
+
+let fmm_times (conf : Runconf.t) =
+  List.map
+    (fun procs ->
+      let dpa =
+        fmm_run conf ~procs
+          (Dpa_baselines.Variant.dpa ~strip_size:conf.Runconf.bh_strip ())
+      in
+      let caching =
+        fmm_run conf ~procs
+          (Dpa_baselines.Variant.Caching
+             { capacity = conf.Runconf.cache_capacity })
+      in
+      {
+        procs;
+        dpa_s =
+          Breakdown.elapsed_s dpa.Dpa_fmm.Fmm_run.phase.Dpa_fmm.Fmm_run.breakdown;
+        caching_s =
+          Breakdown.elapsed_s
+            caching.Dpa_fmm.Fmm_run.phase.Dpa_fmm.Fmm_run.breakdown;
+        seq_s = fmm_seq_s conf dpa;
+        paper_dpa_s =
+          (if conf.Runconf.name = "full" then Paper.fmm_dpa50_s procs else None);
+        paper_caching_s =
+          (if conf.Runconf.name = "full" then Paper.fmm_caching_s procs
+           else None);
+      })
+    conf.Runconf.procs
+
+let print_times ~title rows =
+  Printf.printf "%s\n" title;
+  let t =
+    Table.make
+      ~header:
+        [
+          "PROCS"; "DPA(s)"; "Caching(s)"; "DPA speedup"; "Caching speedup";
+          "paper DPA"; "paper Caching";
+        ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [
+          string_of_int r.procs;
+          Table.sec r.dpa_s;
+          Table.sec r.caching_s;
+          Table.speedup (r.seq_s /. r.dpa_s);
+          Table.speedup (r.seq_s /. r.caching_s);
+          Table.opt Table.sec r.paper_dpa_s;
+          Table.opt Table.sec r.paper_caching_s;
+        ])
+    rows;
+  Table.print t;
+  print_newline ()
+
+(* ------------------------------------------------------------------ F1/F2 *)
+
+type breakdown_bar = {
+  variant : string;
+  breakdown : Breakdown.t;
+  speedup : float;
+}
+
+let breakdown_variants ~strip =
+  [
+    ("Blocking (base)", Dpa_baselines.Variant.Blocking);
+    ("Caching", Dpa_baselines.Variant.Caching { capacity = 0 } (* set below *));
+    ( "Pipeline",
+      Dpa_baselines.Variant.Dpa (Dpa.Config.pipeline_only ~strip_size:strip ()) );
+    ( "Pipeline+agg",
+      Dpa_baselines.Variant.Dpa
+        (Dpa.Config.pipeline_aggregate ~strip_size:strip ()) );
+    ( Printf.sprintf "DPA(%d)" strip,
+      Dpa_baselines.Variant.Dpa (Dpa.Config.dpa ~strip_size:strip ()) );
+  ]
+
+let patch_cache conf variant =
+  match variant with
+  | Dpa_baselines.Variant.Caching _ ->
+    Dpa_baselines.Variant.Caching { capacity = conf.Runconf.cache_capacity }
+  | v -> v
+
+let bh_breakdown (conf : Runconf.t) =
+  let procs = conf.Runconf.breakdown_procs in
+  List.map
+    (fun (name, variant) ->
+      let r = bh_run conf ~procs (patch_cache conf variant) in
+      {
+        variant = name;
+        breakdown = r.Dpa_bh.Bh_run.total;
+        speedup = bh_seq_s conf r /. Breakdown.elapsed_s r.Dpa_bh.Bh_run.total;
+      })
+    (breakdown_variants ~strip:conf.Runconf.bh_strip)
+
+let fmm_breakdown (conf : Runconf.t) =
+  let procs = conf.Runconf.breakdown_procs in
+  List.map
+    (fun (name, variant) ->
+      let r = fmm_run conf ~procs (patch_cache conf variant) in
+      let b = r.Dpa_fmm.Fmm_run.phase.Dpa_fmm.Fmm_run.breakdown in
+      {
+        variant = name;
+        breakdown = b;
+        speedup = fmm_seq_s conf r /. Breakdown.elapsed_s b;
+      })
+    (breakdown_variants ~strip:conf.Runconf.fmm_strip)
+
+let print_breakdown ~title bars =
+  Printf.printf "%s\n" title;
+  Barchart.print
+    (List.map
+       (fun b ->
+         Barchart.of_breakdown ~label:b.variant ~speedup:b.speedup b.breakdown)
+       bars);
+  print_newline ()
+
+(* --------------------------------------------------------------------- F3 *)
+
+type strip_point = {
+  strip : int;
+  bh_s : float;
+  fmm_s : float;
+  bh_outstanding : int;
+  bh_align_peak : int;
+  bh_max_batch : int;
+}
+
+let default_strips = [ 10; 25; 50; 100; 200; 300; 500; 1000 ]
+
+let strip_sweep ?(strips = default_strips) (conf : Runconf.t) =
+  let procs = conf.Runconf.breakdown_procs in
+  List.map
+    (fun strip ->
+      let bh =
+        bh_run conf ~procs (Dpa_baselines.Variant.dpa ~strip_size:strip ())
+      in
+      let fmm =
+        fmm_run conf ~procs (Dpa_baselines.Variant.dpa ~strip_size:strip ())
+      in
+      let stats = Option.get bh.Dpa_bh.Bh_run.last.Dpa_bh.Bh_run.dpa_stats in
+      {
+        strip;
+        bh_s = Breakdown.elapsed_s bh.Dpa_bh.Bh_run.total;
+        fmm_s =
+          Breakdown.elapsed_s
+            fmm.Dpa_fmm.Fmm_run.phase.Dpa_fmm.Fmm_run.breakdown;
+        bh_outstanding = stats.Dpa.Dpa_stats.max_outstanding;
+        bh_align_peak = stats.Dpa.Dpa_stats.align_peak;
+        bh_max_batch = stats.Dpa.Dpa_stats.max_batch;
+      })
+    strips
+
+let print_strip_sweep points =
+  print_endline "F3: strip-size sensitivity (DPA, breakdown node count)";
+  let t =
+    Table.make
+      ~header:
+        [
+          "STRIP"; "BH(s)"; "FMM(s)"; "BH max outstanding"; "BH peak D";
+          "BH max batch";
+        ]
+  in
+  List.iter
+    (fun p ->
+      Table.add_row t
+        [
+          string_of_int p.strip;
+          Table.sec p.bh_s;
+          Table.sec p.fmm_s;
+          string_of_int p.bh_outstanding;
+          string_of_int p.bh_align_peak;
+          string_of_int p.bh_max_batch;
+        ])
+    points;
+  Table.print t;
+  print_newline ()
+
+(* --------------------------------------------------------------------- F4 *)
+
+type speedup_row = { procs : int; bh_speedup : float; fmm_speedup : float }
+
+let speedups ~bh ~fmm =
+  List.map
+    (fun (b : timing) ->
+      let f = List.find (fun (f : timing) -> f.procs = b.procs) fmm in
+      {
+        procs = b.procs;
+        bh_speedup = b.seq_s /. b.dpa_s;
+        fmm_speedup = f.seq_s /. f.dpa_s;
+      })
+    bh
+
+let print_speedups rows =
+  print_endline "F4: DPA speedups over modelled sequential time";
+  let t = Table.make ~header:[ "PROCS"; "BH speedup"; "FMM speedup" ] in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [
+          string_of_int r.procs;
+          Table.speedup r.bh_speedup;
+          Table.speedup r.fmm_speedup;
+        ])
+    rows;
+  Table.print t;
+  print_newline ()
+
+(* --------------------------------------------------------------------- T1 *)
+
+type stats_row = {
+  name : string;
+  static_sites : int;
+  dynamic_threads : int;
+  max_outstanding : int;
+  align_peak : int;
+  max_batch : int;
+  request_msgs : int;
+}
+
+(* Static thread-creation sites in the hand-partitioned phases: the root
+   read and the child-cell read for Barnes-Hut; the V-list multipole read
+   and the U-list particle read for FMM. These constants mirror what
+   Partition.analyze reports for the equivalent IR programs. *)
+let bh_static_sites = 2
+let fmm_static_sites = 2
+
+let of_dpa_stats ~name ~static_sites (s : Dpa.Dpa_stats.t) =
+  {
+    name;
+    static_sites;
+    dynamic_threads = s.Dpa.Dpa_stats.spawns + s.Dpa.Dpa_stats.merge_hits;
+    max_outstanding = s.Dpa.Dpa_stats.max_outstanding;
+    align_peak = s.Dpa.Dpa_stats.align_peak;
+    max_batch = s.Dpa.Dpa_stats.max_batch;
+    request_msgs = s.Dpa.Dpa_stats.request_msgs;
+  }
+
+let thread_stats (conf : Runconf.t) =
+  let procs = conf.Runconf.breakdown_procs in
+  let bh =
+    bh_run conf ~procs (Dpa_baselines.Variant.dpa ~strip_size:conf.Runconf.bh_strip ())
+  in
+  let fmm =
+    fmm_run conf ~procs
+      (Dpa_baselines.Variant.dpa ~strip_size:conf.Runconf.fmm_strip ())
+  in
+  let compiler_rows =
+    List.map
+      (fun (name, program, entry) ->
+        let info =
+          Dpa_compiler.Partition.analyze program
+            (Dpa_compiler.Ast.func program entry)
+        in
+        {
+          name;
+          static_sites = List.length info.Dpa_compiler.Partition.spawn_sites;
+          dynamic_threads = 0;
+          max_outstanding = 0;
+          align_peak = 0;
+          max_batch = 0;
+          request_msgs = 0;
+        })
+      [
+        ("list_sum (IR)", Dpa_compiler.Programs.list_sum, "sum_list");
+        ("tree_sum (IR)", Dpa_compiler.Programs.tree_sum, "sum_tree");
+        ("pair_sum (IR)", Dpa_compiler.Programs.pair_sum, "sum_pair");
+      ]
+  in
+  of_dpa_stats ~name:"Barnes-Hut" ~static_sites:bh_static_sites
+    (Option.get bh.Dpa_bh.Bh_run.last.Dpa_bh.Bh_run.dpa_stats)
+  :: of_dpa_stats ~name:"FMM" ~static_sites:fmm_static_sites
+       (Option.get fmm.Dpa_fmm.Fmm_run.phase.Dpa_fmm.Fmm_run.dpa_stats)
+  :: compiler_rows
+
+let print_thread_stats rows =
+  print_endline "T1: static and dynamic thread statistics (DPA)";
+  let t =
+    Table.make
+      ~header:
+        [
+          "PROGRAM"; "STATIC SITES"; "DYN THREADS"; "MAX OUTSTANDING";
+          "PEAK D"; "MAX BATCH"; "REQ MSGS";
+        ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [
+          r.name;
+          string_of_int r.static_sites;
+          string_of_int r.dynamic_threads;
+          string_of_int r.max_outstanding;
+          string_of_int r.align_peak;
+          string_of_int r.max_batch;
+          string_of_int r.request_msgs;
+        ])
+    rows;
+  Table.print t;
+  print_newline ()
+
+(* --------------------------------------------------------------------- A1 *)
+
+type agg_point = { agg : int; time_s : float; msgs : int; max_batch : int }
+
+let agg_sweep ?(aggs = [ 1; 4; 16; 64; 256 ]) (conf : Runconf.t) =
+  let procs = conf.Runconf.breakdown_procs in
+  List.map
+    (fun agg ->
+      let r =
+        bh_run conf ~procs
+          (Dpa_baselines.Variant.Dpa
+             (Dpa.Config.dpa ~strip_size:conf.Runconf.bh_strip ~agg_max:agg ()))
+      in
+      let stats = Option.get r.Dpa_bh.Bh_run.last.Dpa_bh.Bh_run.dpa_stats in
+      {
+        agg;
+        time_s = Breakdown.elapsed_s r.Dpa_bh.Bh_run.total;
+        msgs = r.Dpa_bh.Bh_run.total.Breakdown.msgs;
+        max_batch = stats.Dpa.Dpa_stats.max_batch;
+      })
+    aggs
+
+let print_agg_sweep points =
+  print_endline "A1: aggregation-bound ablation (Barnes-Hut, DPA)";
+  let t = Table.make ~header:[ "AGG MAX"; "TIME(s)"; "MESSAGES"; "MAX BATCH" ] in
+  List.iter
+    (fun p ->
+      Table.add_row t
+        [
+          string_of_int p.agg;
+          Table.sec p.time_s;
+          string_of_int p.msgs;
+          string_of_int p.max_batch;
+        ])
+    points;
+  Table.print t;
+  print_newline ()
+
+(* --------------------------------------------------------------------- A2 *)
+
+type cache_point = {
+  capacity : int;
+  time_s : float;
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+let cache_sweep ?(capacities = [ 64; 256; 1024; 4096; 16384 ]) (conf : Runconf.t) =
+  let procs = conf.Runconf.breakdown_procs in
+  List.map
+    (fun capacity ->
+      let r = bh_run conf ~procs (Dpa_baselines.Variant.Caching { capacity }) in
+      let stats = Option.get r.Dpa_bh.Bh_run.last.Dpa_bh.Bh_run.cache_stats in
+      {
+        capacity;
+        time_s = Breakdown.elapsed_s r.Dpa_bh.Bh_run.total;
+        hits = stats.Dpa_baselines.Caching.hits;
+        misses = stats.Dpa_baselines.Caching.misses;
+        evictions = stats.Dpa_baselines.Caching.evictions;
+      })
+    capacities
+
+let print_cache_sweep ~dpa_time_s points =
+  print_endline "A2: software-caching cache-size ablation (Barnes-Hut)";
+  let t =
+    Table.make ~header:[ "CAPACITY"; "TIME(s)"; "HITS"; "MISSES"; "EVICTIONS" ]
+  in
+  List.iter
+    (fun p ->
+      Table.add_row t
+        [
+          string_of_int p.capacity;
+          Table.sec p.time_s;
+          string_of_int p.hits;
+          string_of_int p.misses;
+          string_of_int p.evictions;
+        ])
+    points;
+  Table.print t;
+  Printf.printf "(DPA reference time: %s s)\n\n" (Table.sec dpa_time_s)
+
+(* --------------------------------------------------------------------- A3 *)
+
+type dist_point = {
+  dist_name : string;
+  dist_time_s : float;
+  dist_idle_frac : float;
+  dist_msgs : int;
+}
+
+let distribution_sweep (conf : Runconf.t) =
+  let procs = conf.Runconf.breakdown_procs in
+  List.map
+    (fun (dist_name, distribution) ->
+      let r =
+        Dpa_fmm.Fmm_run.run ~params:(fmm_params conf) ~nnodes:procs
+          ~nparticles:conf.Runconf.fmm_particles ~distribution
+          (Dpa_baselines.Variant.dpa ~strip_size:conf.Runconf.fmm_strip ())
+      in
+      let b = r.Dpa_fmm.Fmm_run.phase.Dpa_fmm.Fmm_run.breakdown in
+      {
+        dist_name;
+        dist_time_s = Breakdown.elapsed_s b;
+        dist_idle_frac = Breakdown.idle_frac b;
+        dist_msgs = b.Breakdown.msgs;
+      })
+    [ ("uniform", `Uniform); ("clustered(8)", `Clustered 8) ]
+
+let print_distribution_sweep points =
+  print_endline "A3: FMM input-distribution ablation (DPA)";
+  let t = Table.make ~header:[ "DISTRIBUTION"; "TIME(s)"; "IDLE %"; "MESSAGES" ] in
+  List.iter
+    (fun p ->
+      Table.add_row t
+        [
+          p.dist_name;
+          Table.sec p.dist_time_s;
+          Printf.sprintf "%.0f" (100. *. p.dist_idle_frac);
+          string_of_int p.dist_msgs;
+        ])
+    points;
+  Table.print t;
+  print_newline ()
+
+(* --------------------------------------------------------------------- A4 *)
+
+type partition_point = {
+  part_name : string;
+  part_time_s : float;
+  part_idle_frac : float;
+}
+
+let partition_sweep (conf : Runconf.t) =
+  let procs = conf.Runconf.breakdown_procs in
+  List.map
+    (fun (part_name, partition) ->
+      let r =
+        Dpa_bh.Bh_run.simulate ~nnodes:procs ~nbodies:conf.Runconf.bh_bodies
+          ~nsteps:conf.Runconf.bh_steps ~partition
+          (Dpa_baselines.Variant.dpa ~strip_size:conf.Runconf.bh_strip ())
+      in
+      {
+        part_name;
+        part_time_s = Breakdown.elapsed_s r.Dpa_bh.Bh_run.total;
+        part_idle_frac = Breakdown.idle_frac r.Dpa_bh.Bh_run.total;
+      })
+    [ ("equal-count blocks", `Block); ("costzones", `Costzones) ]
+
+let print_partition_sweep points =
+  print_endline "A4: Barnes-Hut partitioning ablation (DPA)";
+  let t = Table.make ~header:[ "PARTITION"; "TIME(s)"; "IDLE %" ] in
+  List.iter
+    (fun p ->
+      Table.add_row t
+        [
+          p.part_name;
+          Table.sec p.part_time_s;
+          Printf.sprintf "%.0f" (100. *. p.part_idle_frac);
+        ])
+    points;
+  Table.print t;
+  print_newline ()
+
+(* --------------------------------------------------------------------- A5 *)
+
+type em3d_point = {
+  em3d_variant : string;
+  em3d_time_s : float;
+  em3d_msgs : int;
+  em3d_checksum : float;
+}
+
+let em3d_sweep (conf : Runconf.t) =
+  let procs = conf.Runconf.breakdown_procs in
+  let per_node = max 8 (conf.Runconf.bh_bodies / procs / 4) in
+  let run name f =
+    (* The original EM3D defaults: degree 20, 10-40% remote dependencies. *)
+    let g =
+      Dpa_compiler.Em3d.build ~nnodes:procs ~e_per_node:per_node
+        ~h_per_node:per_node ~degree:20 ~remote_frac:0.25 ~seed:29
+    in
+    let sum = ref 0. in
+    let b = f g (fun v -> sum := !sum +. v) in
+    {
+      em3d_variant = name;
+      em3d_time_s = Breakdown.elapsed_s b;
+      em3d_msgs = b.Breakdown.msgs;
+      em3d_checksum = !sum;
+    }
+  in
+  [
+    run "DPA(50)" (fun g accum ->
+        let engine = Engine.create (Machine.t3d ~nodes:procs) in
+        fst
+          (Dpa.Runtime.run_phase ~engine ~heaps:g.Dpa_compiler.Em3d.heaps
+             ~config:(Dpa.Config.dpa ~strip_size:conf.Runconf.bh_strip ())
+             ~items:(Dpa_compiler.Em3d.items (module Dpa.Runtime) g ~accum)));
+    run "Caching" (fun g accum ->
+        let engine = Engine.create (Machine.t3d ~nodes:procs) in
+        fst
+          (Dpa_baselines.Caching.run_phase ~engine
+             ~heaps:g.Dpa_compiler.Em3d.heaps
+             ~capacity:conf.Runconf.cache_capacity
+             ~items:
+               (Dpa_compiler.Em3d.items (module Dpa_baselines.Caching) g ~accum)
+             ()));
+    run "Blocking" (fun g accum ->
+        let engine = Engine.create (Machine.t3d ~nodes:procs) in
+        fst
+          (Dpa_baselines.Blocking.run_phase ~engine
+             ~heaps:g.Dpa_compiler.Em3d.heaps
+             ~items:
+               (Dpa_compiler.Em3d.items
+                  (module Dpa_baselines.Blocking)
+                  g ~accum)));
+  ]
+
+let print_em3d_sweep points =
+  print_endline "A5: EM3D irregular-graph kernel (degree 20, 25% remote)";
+  let t = Table.make ~header:[ "RUNTIME"; "TIME(s)"; "MESSAGES"; "CHECKSUM" ] in
+  List.iter
+    (fun p ->
+      Table.add_row t
+        [
+          p.em3d_variant;
+          Table.sec p.em3d_time_s;
+          string_of_int p.em3d_msgs;
+          Printf.sprintf "%.6f" p.em3d_checksum;
+        ])
+    points;
+  Table.print t;
+  print_newline ()
+
+(* --------------------------------------------------------------------- A6 *)
+
+type latency_point = {
+  lat_scale : float;
+  lat_dpa_s : float;
+  lat_blocking_s : float;
+}
+
+let latency_sweep ?(scales = [ 0.5; 1.; 2.; 4.; 8. ]) (conf : Runconf.t) =
+  let procs = conf.Runconf.breakdown_procs in
+  List.map
+    (fun scale ->
+      let base = Machine.t3d ~nodes:procs in
+      let machine =
+        Machine.make ~nodes:procs
+          ~send_overhead_ns:
+            (int_of_float (float_of_int base.Machine.send_overhead_ns *. scale))
+          ~recv_overhead_ns:
+            (int_of_float (float_of_int base.Machine.recv_overhead_ns *. scale))
+          ~wire_latency_ns:
+            (int_of_float (float_of_int base.Machine.wire_latency_ns *. scale))
+          ()
+      in
+      let time variant =
+        let r =
+          Dpa_bh.Bh_run.simulate ~machine ~nnodes:procs
+            ~nbodies:conf.Runconf.bh_bodies ~nsteps:1 variant
+        in
+        Breakdown.elapsed_s r.Dpa_bh.Bh_run.total
+      in
+      {
+        lat_scale = scale;
+        lat_dpa_s =
+          time (Dpa_baselines.Variant.dpa ~strip_size:conf.Runconf.bh_strip ());
+        lat_blocking_s = time Dpa_baselines.Variant.Blocking;
+      })
+    scales
+
+let print_latency_sweep points =
+  print_endline "A6: network-latency sensitivity (Barnes-Hut, 1 step)";
+  let t =
+    Table.make ~header:[ "LATENCY x"; "DPA(s)"; "Blocking(s)"; "Blocking/DPA" ]
+  in
+  List.iter
+    (fun p ->
+      Table.add_row t
+        [
+          Printf.sprintf "%.1f" p.lat_scale;
+          Table.sec p.lat_dpa_s;
+          Table.sec p.lat_blocking_s;
+          Printf.sprintf "%.1f" (p.lat_blocking_s /. p.lat_dpa_s);
+        ])
+    points;
+  Table.print t;
+  print_newline ()
+
+(* --------------------------------------------------------------------- A7 *)
+
+type upward_point = {
+  up_variant : string;
+  up_time_s : float;
+  up_msgs : int;
+  up_combined : int;
+}
+
+let upward_sweep (conf : Runconf.t) =
+  (* An odd node count: power-of-two Morton blocks never split sibling
+     groups on a complete quadtree, which would make every M2M local. *)
+  let procs = max 3 (conf.Runconf.breakdown_procs - 1) in
+  let params = fmm_params conf in
+  let parts =
+    Dpa_fmm.Particle2d.uniform ~n:conf.Runconf.fmm_particles ~seed:23
+  in
+  let tree = Dpa_fmm.Quadtree.build parts in
+  List.map
+    (fun (name, variant) ->
+      let global =
+        Dpa_fmm.Fmm_global.distribute_empty ~p:params.Dpa_fmm.Fmm_force.p tree
+          ~nnodes:procs
+      in
+      let engine = Engine.create (Machine.t3d ~nodes:procs) in
+      let r = Dpa_fmm.Fmm_upward.run ~engine ~global ~params variant in
+      {
+        up_variant = name;
+        up_time_s = Breakdown.elapsed_s r.Dpa_fmm.Fmm_upward.breakdown;
+        up_msgs = r.Dpa_fmm.Fmm_upward.breakdown.Breakdown.msgs;
+        up_combined =
+          (match r.Dpa_fmm.Fmm_upward.dpa_stats with
+          | Some s -> s.Dpa.Dpa_stats.updates_combined
+          | None -> 0);
+      })
+    [
+      ("DPA (combining)", Dpa_baselines.Variant.dpa ~strip_size:conf.Runconf.fmm_strip ());
+      ( "Pipeline (no combine)",
+        Dpa_baselines.Variant.Prefetch { strip_size = conf.Runconf.fmm_strip } );
+      ("Caching (put/update)", Dpa_baselines.Variant.Caching { capacity = conf.Runconf.cache_capacity });
+      ("Blocking", Dpa_baselines.Variant.Blocking);
+    ]
+
+let print_upward_sweep points =
+  print_endline
+    "A7: parallel FMM upward pass via remote reductions (P2M + per-level M2M)";
+  let t =
+    Table.make ~header:[ "RUNTIME"; "TIME(s)"; "MESSAGES"; "UPDATES COMBINED" ]
+  in
+  List.iter
+    (fun pnt ->
+      Table.add_row t
+        [
+          pnt.up_variant;
+          Table.sec pnt.up_time_s;
+          string_of_int pnt.up_msgs;
+          string_of_int pnt.up_combined;
+        ])
+    points;
+  Table.print t;
+  print_newline ()
+
+(* --------------------------------------------------------------------- A8 *)
+
+type afmm_point = {
+  af_variant : string;
+  af_time_s : float;
+  af_msgs : int;
+}
+
+let afmm_sweep (conf : Runconf.t) =
+  let procs = conf.Runconf.breakdown_procs in
+  let params = fmm_params conf in
+  let n = conf.Runconf.fmm_particles in
+  let adaptive variant name =
+    let b, _, _ =
+      Dpa_fmm.Afmm_force.run ~params ~nnodes:procs ~nparticles:n
+        ~distribution:(`Clustered 8) ~seed:23 variant
+    in
+    { af_variant = name; af_time_s = Breakdown.elapsed_s b; af_msgs = b.Breakdown.msgs }
+  in
+  let uniform =
+    let r =
+      Dpa_fmm.Fmm_run.run ~params ~nnodes:procs ~nparticles:n
+        ~distribution:(`Clustered 8) ~seed:23
+        (Dpa_baselines.Variant.dpa ~strip_size:conf.Runconf.fmm_strip ())
+    in
+    let b = r.Dpa_fmm.Fmm_run.phase.Dpa_fmm.Fmm_run.breakdown in
+    {
+      af_variant = "complete tree + DPA";
+      af_time_s = Breakdown.elapsed_s b;
+      af_msgs = b.Breakdown.msgs;
+    }
+  in
+  [
+    adaptive
+      (Dpa_baselines.Variant.dpa ~strip_size:conf.Runconf.fmm_strip ())
+      "adaptive + DPA";
+    adaptive
+      (Dpa_baselines.Variant.Caching { capacity = conf.Runconf.cache_capacity })
+      "adaptive + Caching";
+    adaptive Dpa_baselines.Variant.Blocking "adaptive + Blocking";
+    uniform;
+  ]
+
+let print_afmm_sweep points =
+  print_endline "A8: adaptive FMM on a clustered input (8 Gaussian clusters)";
+  let t = Table.make ~header:[ "CONFIGURATION"; "TIME(s)"; "MESSAGES" ] in
+  List.iter
+    (fun p ->
+      Table.add_row t
+        [ p.af_variant; Table.sec p.af_time_s; string_of_int p.af_msgs ])
+    points;
+  Table.print t;
+  print_newline ()
+
+(* --------------------------------------------------------------------- A9 *)
+
+type cache_locality_point = {
+  cl_lines : int;
+  cl_random_miss : float;
+  cl_tree_miss : float;
+}
+
+let cache_locality ?(lines = [ 128; 512; 2048 ]) (conf : Runconf.t) =
+  let bodies = Dpa_bh.Plummer.generate ~n:conf.Runconf.bh_bodies ~seed:17 in
+  let tree = Dpa_bh.Octree.build bodies in
+  let tree_order = Dpa_bh.Octree.dfs_body_order tree in
+  let random_order =
+    (* Deterministic shuffle. *)
+    let rng = Dpa_util.Rng.create ~seed:99 in
+    let a = Array.copy tree_order in
+    for i = Array.length a - 1 downto 1 do
+      let j = Dpa_util.Rng.int rng (i + 1) in
+      let tmp = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- tmp
+    done;
+    a
+  in
+  List.map
+    (fun nlines ->
+      let miss order =
+        let c = Dcache.create ~lines:nlines () in
+        Array.iter
+          (fun bid ->
+            Dpa_bh.Bh_seq.visit_trace tree bodies.(bid) (fun ci ->
+                ignore (Dcache.access c ci)))
+          order;
+        Dcache.miss_rate c
+      in
+      {
+        cl_lines = nlines;
+        cl_random_miss = miss random_order;
+        cl_tree_miss = miss tree_order;
+      })
+    lines
+
+let print_cache_locality points =
+  print_endline
+    "A9: single-node cache locality of iteration order (BH cell accesses)";
+  let t =
+    Table.make
+      ~header:[ "CACHE LINES"; "RANDOM ORDER MISS%"; "TREE ORDER MISS%" ]
+  in
+  List.iter
+    (fun p ->
+      Table.add_row t
+        [
+          string_of_int p.cl_lines;
+          Printf.sprintf "%.2f" (100. *. p.cl_random_miss);
+          Printf.sprintf "%.2f" (100. *. p.cl_tree_miss);
+        ])
+    points;
+  Table.print t;
+  print_newline ()
+
+(* -------------------------------------------------------------------- A10 *)
+
+type hotspot_point = {
+  hs_config : string;
+  hs_time_s : float;
+  hs_msgs : int;
+}
+
+let hotspot (conf : Runconf.t) =
+  let procs = conf.Runconf.breakdown_procs in
+  let nobjs = 256 and items = 64 and reads = 8 in
+  let run ~ingress ~config name =
+    let machine = Machine.make ~ingress_serialized:ingress ~nodes:procs () in
+    let engine = Engine.create machine in
+    let heaps = Dpa_heap.Heap.cluster ~nnodes:procs in
+    let ptrs =
+      Array.init nobjs (fun _ ->
+          Dpa_heap.Heap.alloc heaps.(0) ~floats:(Array.make 128 1.) ~ptrs:[||])
+    in
+    let items_of node =
+      if node = 0 then [||]
+      else
+        Array.init items (fun item ->
+            fun ctx ->
+              for r = 0 to reads - 1 do
+                let h = (node * 7919) + (item * 104729) + (r * 1299721) in
+                Dpa.Runtime.read ctx ptrs.(h mod nobjs) (fun ctx _ ->
+                    Dpa.Runtime.charge ctx 2_000)
+              done)
+    in
+    let b, _ = Dpa.Runtime.run_phase ~engine ~heaps ~config ~items:items_of in
+    {
+      hs_config = name;
+      hs_time_s = Breakdown.elapsed_s b;
+      hs_msgs = b.Breakdown.msgs;
+    }
+  in
+  [
+    run ~ingress:false ~config:(Dpa.Config.dpa ()) "DPA, contention-free";
+    run ~ingress:true ~config:(Dpa.Config.dpa ()) "DPA, serialized ingress";
+    run ~ingress:false
+      ~config:(Dpa.Config.pipeline_only ())
+      "Pipeline, contention-free";
+    run ~ingress:true
+      ~config:(Dpa.Config.pipeline_only ())
+      "Pipeline, serialized ingress";
+  ]
+
+let print_hotspot points =
+  print_endline
+    "A10: hot spot (all nodes read node 0) with/without link serialization";
+  let t = Table.make ~header:[ "CONFIGURATION"; "TIME(s)"; "MESSAGES" ] in
+  List.iter
+    (fun p ->
+      Table.add_row t
+        [ p.hs_config; Table.sec p.hs_time_s; string_of_int p.hs_msgs ])
+    points;
+  Table.print t;
+  print_newline ()

@@ -1,0 +1,203 @@
+(** Runners for every experiment in DESIGN.md §7 (one per table/figure of
+    the paper, plus two ablations). Each returns structured data; the
+    [print_*] functions render the paper-style artifact. *)
+
+type timing = {
+  procs : int;
+  dpa_s : float;
+  caching_s : float;
+  seq_s : float;  (** modelled sequential time: the speedup denominator *)
+  paper_dpa_s : float option;
+  paper_caching_s : float option;
+}
+
+val bh_times : Runconf.t -> timing list
+(** T2: Barnes-Hut, DPA(strip) vs software caching across processor counts. *)
+
+val fmm_times : Runconf.t -> timing list
+(** T3: FMM. *)
+
+val print_times : title:string -> timing list -> unit
+
+type breakdown_bar = {
+  variant : string;
+  breakdown : Dpa_sim.Breakdown.t;
+  speedup : float;
+}
+
+val bh_breakdown : Runconf.t -> breakdown_bar list
+(** F1: Blocking / Caching / pipeline / pipeline+agg / full DPA on the
+    breakdown node count. *)
+
+val fmm_breakdown : Runconf.t -> breakdown_bar list
+(** F2 (the paper's FMM figure uses strip 300). *)
+
+val print_breakdown : title:string -> breakdown_bar list -> unit
+
+type strip_point = {
+  strip : int;
+  bh_s : float;
+  fmm_s : float;
+  bh_outstanding : int;
+  bh_align_peak : int;
+  bh_max_batch : int;
+}
+
+val strip_sweep : ?strips:int list -> Runconf.t -> strip_point list
+(** F3: strip-size sensitivity on the breakdown node count. *)
+
+val print_strip_sweep : strip_point list -> unit
+
+type speedup_row = {
+  procs : int;
+  bh_speedup : float;
+  fmm_speedup : float;
+}
+
+val speedups : bh:timing list -> fmm:timing list -> speedup_row list
+(** F4, derived from T2/T3 data. *)
+
+val print_speedups : speedup_row list -> unit
+
+type stats_row = {
+  name : string;
+  static_sites : int;  (** static thread creation sites *)
+  dynamic_threads : int;  (** thread records created at run time *)
+  max_outstanding : int;
+  align_peak : int;
+  max_batch : int;
+  request_msgs : int;
+}
+
+val thread_stats : Runconf.t -> stats_row list
+(** T1: static/dynamic thread statistics for BH, FMM and the compiler
+    examples. *)
+
+val print_thread_stats : stats_row list -> unit
+
+type agg_point = { agg : int; time_s : float; msgs : int; max_batch : int }
+
+val agg_sweep : ?aggs:int list -> Runconf.t -> agg_point list
+(** A1: aggregation-bound ablation on Barnes-Hut. *)
+
+val print_agg_sweep : agg_point list -> unit
+
+type cache_point = {
+  capacity : int;
+  time_s : float;
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+val cache_sweep : ?capacities:int list -> Runconf.t -> cache_point list
+(** A2: caching-baseline cache-size ablation on Barnes-Hut. *)
+
+val print_cache_sweep : dpa_time_s:float -> cache_point list -> unit
+
+type dist_point = {
+  dist_name : string;
+  dist_time_s : float;
+  dist_idle_frac : float;
+  dist_msgs : int;
+}
+
+val distribution_sweep : Runconf.t -> dist_point list
+(** A3: FMM under uniform vs clustered particle distributions — the load
+    imbalance a Morton block partition suffers on non-uniform inputs. *)
+
+val print_distribution_sweep : dist_point list -> unit
+
+type partition_point = {
+  part_name : string;
+  part_time_s : float;
+  part_idle_frac : float;
+}
+
+val partition_sweep : Runconf.t -> partition_point list
+(** A4: Barnes-Hut under equal-count blocks vs cost-weighted "costzones"
+    partitioning, on the breakdown node count. *)
+
+val print_partition_sweep : partition_point list -> unit
+
+type em3d_point = {
+  em3d_variant : string;
+  em3d_time_s : float;
+  em3d_msgs : int;
+  em3d_checksum : float;
+}
+
+val em3d_sweep : Runconf.t -> em3d_point list
+(** A5: the EM3D irregular-graph kernel under DPA / caching / blocking.
+    All three must report the same checksum. *)
+
+val print_em3d_sweep : em3d_point list -> unit
+
+type latency_point = {
+  lat_scale : float;  (** multiplier on wire latency and message overheads *)
+  lat_dpa_s : float;
+  lat_blocking_s : float;
+}
+
+val latency_sweep : ?scales:float list -> Runconf.t -> latency_point list
+(** A6: machine-latency sensitivity on Barnes-Hut — DPA's advantage over
+    blocking must grow with latency (the "robust memory performance"
+    claim). *)
+
+val print_latency_sweep : latency_point list -> unit
+
+type upward_point = {
+  up_variant : string;
+  up_time_s : float;
+  up_msgs : int;
+  up_combined : int;
+}
+
+val upward_sweep : Runconf.t -> upward_point list
+(** A7: the parallel FMM upward pass (remote reductions) under DPA,
+    pipelining (no combining) and the baselines. Runs on an odd node count
+    so Morton blocks split some sibling groups (with power-of-two counts on
+    a complete quadtree every parent is co-located and no M2M is remote). *)
+
+val print_upward_sweep : upward_point list -> unit
+
+type afmm_point = {
+  af_variant : string;
+  af_time_s : float;
+  af_msgs : int;
+}
+
+val afmm_sweep : Runconf.t -> afmm_point list
+(** A8: the *adaptive* FMM (the SPLASH-2 formulation) on a clustered input
+    under the runtimes, plus the complete-tree FMM on the same input for
+    contrast. *)
+
+val print_afmm_sweep : afmm_point list -> unit
+
+type cache_locality_point = {
+  cl_lines : int;
+  cl_random_miss : float;  (** miss rate, random body order *)
+  cl_tree_miss : float;  (** miss rate, tree (Morton) body order *)
+}
+
+val cache_locality : ?lines:int list -> Runconf.t -> cache_locality_point list
+(** A9: the single-node cache-locality effect of iteration reordering (§6's
+    connection to Philbin et al.): the Barnes-Hut cell-access trace through
+    a hardware cache model, with bodies visited in random vs tree order
+    (tree order is what strip-mining over the aligned traversals yields). *)
+
+val print_cache_locality : cache_locality_point list -> unit
+
+type hotspot_point = {
+  hs_config : string;
+  hs_time_s : float;
+  hs_msgs : int;
+}
+
+val hotspot : Runconf.t -> hotspot_point list
+(** A10: a hot-spot workload (every node reads objects owned by node 0)
+    with contention-free vs ingress-serialized links, under full DPA and
+    pipelining-only. Aggregation's value grows when the hot node's link
+    serializes messages. *)
+
+val print_hotspot : hotspot_point list -> unit

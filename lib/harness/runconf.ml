@@ -1,0 +1,45 @@
+type t = {
+  name : string;
+  bh_bodies : int;
+  bh_steps : int;
+  fmm_particles : int;
+  fmm_p : int;
+  procs : int list;
+  breakdown_procs : int;
+  bh_strip : int;
+  fmm_strip : int;
+  cache_capacity : int;
+}
+
+let small =
+  {
+    name = "small";
+    bh_bodies = 2048;
+    bh_steps = 1;
+    fmm_particles = 2048;
+    fmm_p = 13;
+    procs = [ 1; 2; 4; 8; 16 ];
+    breakdown_procs = 8;
+    bh_strip = 50;
+    fmm_strip = 50;
+    cache_capacity = 2048;
+  }
+
+let full =
+  {
+    name = "full";
+    bh_bodies = 16384;
+    bh_steps = 4;
+    fmm_particles = 32768;
+    fmm_p = 29;
+    procs = [ 1; 2; 4; 8; 16; 32; 64 ];
+    breakdown_procs = 16;
+    bh_strip = 50;
+    fmm_strip = 300;
+    cache_capacity = 16384;
+  }
+
+let of_name = function
+  | "small" -> small
+  | "full" -> full
+  | s -> invalid_arg ("Runconf.of_name: unknown scale " ^ s)

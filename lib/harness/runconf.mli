@@ -1,0 +1,22 @@
+(** Experiment scales. [small] keeps every experiment at a size that runs
+    in seconds (CI, `dune exec bench/main.exe`); [full] is the paper's
+    configuration (16,384-body Barnes-Hut over 4 steps, 32,768-particle
+    29-term FMM, up to 64 nodes) and takes minutes of host time. *)
+
+type t = {
+  name : string;
+  bh_bodies : int;
+  bh_steps : int;
+  fmm_particles : int;
+  fmm_p : int;  (** expansion order *)
+  procs : int list;
+  breakdown_procs : int;  (** node count for the breakdown figures *)
+  bh_strip : int;
+  fmm_strip : int;  (** the paper uses 300 for FMM's breakdown figure *)
+  cache_capacity : int;  (** software-caching baseline cache size *)
+}
+
+val small : t
+val full : t
+val of_name : string -> t
+(** "small" or "full". *)

@@ -1,0 +1,16 @@
+(** Plain-text tables in the style of the paper's time tables. *)
+
+type t
+
+val make : header:string list -> t
+val add_row : t -> string list -> unit
+val render : t -> string
+val print : t -> unit
+
+val sec : float -> string
+(** Seconds with paper-style precision ("118.02", "2.63"). *)
+
+val sec_ns : int -> string
+val speedup : float -> string
+val opt : ('a -> string) -> 'a option -> string
+(** "-" for [None]. *)

@@ -1,0 +1,68 @@
+let check ~nitems ~nnodes =
+  if nitems < 0 then invalid_arg "Distribution: negative nitems";
+  if nnodes <= 0 then invalid_arg "Distribution: nnodes must be positive"
+
+let block_range ~nitems ~nnodes node =
+  check ~nitems ~nnodes;
+  if node < 0 || node >= nnodes then invalid_arg "Distribution: bad node";
+  let base = nitems / nnodes and extra = nitems mod nnodes in
+  let first = (node * base) + min node extra in
+  let count = base + if node < extra then 1 else 0 in
+  (first, count)
+
+let block_owner ~nitems ~nnodes i =
+  check ~nitems ~nnodes;
+  if i < 0 || i >= nitems then invalid_arg "Distribution: bad item";
+  let base = nitems / nnodes and extra = nitems mod nnodes in
+  (* Items [0, extra*(base+1)) live in the enlarged blocks. *)
+  let cut = extra * (base + 1) in
+  if i < cut then i / (base + 1) else extra + ((i - cut) / base)
+
+let round_robin_owner ~nnodes i =
+  if nnodes <= 0 then invalid_arg "Distribution: nnodes must be positive";
+  i mod nnodes
+
+let weighted_ranges ~weights ~nnodes =
+  if nnodes <= 0 then invalid_arg "Distribution: nnodes must be positive";
+  let n = Array.length weights in
+  let total =
+    Array.fold_left
+      (fun acc w ->
+        if w < 0 then invalid_arg "Distribution: negative weight";
+        acc + w)
+      0 weights
+  in
+  let ranges = Array.make nnodes (0, 0) in
+  let cum = ref 0 and item = ref 0 in
+  for node = 0 to nnodes - 1 do
+    let first = !item in
+    (* Take items until the cumulative weight crosses this node's share,
+       leaving enough items for the remaining nodes. *)
+    let target = total * (node + 1) / nnodes in
+    let remaining_nodes = nnodes - node - 1 in
+    while !item < n - remaining_nodes && (!cum < target || !item = first) do
+      cum := !cum + weights.(!item);
+      incr item
+    done;
+    (* Nodes beyond the item count get empty ranges. *)
+    if first >= n then ranges.(node) <- (n, 0)
+    else ranges.(node) <- (first, !item - first)
+  done;
+  (* Any leftover items go to the last node. *)
+  (if !item < n then
+     let first, count = ranges.(nnodes - 1) in
+     ranges.(nnodes - 1) <- (first, count + (n - !item)));
+  ranges
+
+let owner_of_ranges ranges =
+  let n =
+    Array.fold_left (fun acc (_, count) -> acc + count) 0 ranges
+  in
+  let owner = Array.make n 0 in
+  Array.iteri
+    (fun node (first, count) ->
+      for i = first to first + count - 1 do
+        owner.(i) <- node
+      done)
+    ranges;
+  owner

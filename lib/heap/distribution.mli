@@ -1,0 +1,21 @@
+(** Helpers for distributing work items and objects across nodes. *)
+
+val block_owner : nitems:int -> nnodes:int -> int -> int
+(** [block_owner ~nitems ~nnodes i] is the owner of item [i] under a
+    contiguous block distribution (the first [nitems mod nnodes] blocks hold
+    one extra item). *)
+
+val block_range : nitems:int -> nnodes:int -> int -> int * int
+(** [block_range ~nitems ~nnodes node] is the [(first, count)] of the items
+    owned by [node]. The ranges partition [0 .. nitems-1]. *)
+
+val round_robin_owner : nnodes:int -> int -> int
+
+val weighted_ranges : weights:int array -> nnodes:int -> (int * int) array
+(** [weighted_ranges ~weights ~nnodes] cuts the item sequence into [nnodes]
+    contiguous [(first, count)] ranges of roughly equal total weight
+    (greedy prefix cuts at multiples of [total/nnodes]). The ranges
+    partition the items; weights must be non-negative. *)
+
+val owner_of_ranges : (int * int) array -> int array
+(** Expand ranges into an item -> owner map. *)

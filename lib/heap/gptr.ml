@@ -1,0 +1,20 @@
+type t = { node : int; slot : int } [@@deriving show, eq, ord]
+
+let nil = { node = -1; slot = -1 }
+
+let is_nil t = t.node < 0
+
+let make ~node ~slot =
+  if node < 0 || slot < 0 then invalid_arg "Gptr.make: negative component";
+  { node; slot }
+
+let hash t = (t.node * 0x9E3779B1) lxor t.slot
+
+let bytes = 8
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

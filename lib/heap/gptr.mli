@@ -1,0 +1,17 @@
+(** Global pointers: the names of objects in the distributed heap.
+
+    A global pointer is an (owner node, slot) pair. It is the unit the DPA
+    runtime labels threads with, maps in [M], and renames in the alignment
+    buffer [D]. *)
+
+type t = { node : int; slot : int } [@@deriving show, eq, ord]
+
+val nil : t
+val is_nil : t -> bool
+val make : node:int -> slot:int -> t
+val hash : t -> int
+
+val bytes : int
+(** Serialized size of a pointer (8 bytes, as on the T3D). *)
+
+module Tbl : Hashtbl.S with type key = t

@@ -1,0 +1,41 @@
+type t = { node : int; objects : Obj_repr.t Dpa_util.Dynarray.t }
+
+type cluster = t array
+
+let cluster ~nnodes =
+  if nnodes <= 0 then invalid_arg "Heap.cluster: nnodes must be positive";
+  Array.init nnodes (fun node ->
+      { node; objects = Dpa_util.Dynarray.create () })
+
+let node_of c i = c.(i)
+
+let alloc t ~floats ~ptrs =
+  let slot = Dpa_util.Dynarray.add t.objects (Obj_repr.make ~floats ~ptrs) in
+  Gptr.make ~node:t.node ~slot
+
+let size t = Dpa_util.Dynarray.length t.objects
+
+let get t (p : Gptr.t) =
+  if Gptr.is_nil p then invalid_arg "Heap.get: nil pointer";
+  if p.node <> t.node then invalid_arg "Heap.get: pointer owned by another node";
+  Dpa_util.Dynarray.get t.objects p.slot
+
+let deref c (p : Gptr.t) =
+  if Gptr.is_nil p then invalid_arg "Heap.deref: nil pointer";
+  get c.(p.node) p
+
+let bump_float t p ~idx v =
+  let o = get t p in
+  if idx < 0 || idx >= Array.length o.Obj_repr.floats then
+    invalid_arg "Heap.bump_float: field out of range";
+  o.Obj_repr.floats.(idx) <- o.Obj_repr.floats.(idx) +. v
+
+let total_objects c = Array.fold_left (fun acc t -> acc + size t) 0 c
+
+let total_bytes c =
+  Array.fold_left
+    (fun acc t ->
+      let sum = ref 0 in
+      Dpa_util.Dynarray.iter (fun o -> sum := !sum + Obj_repr.bytes o) t.objects;
+      acc + !sum)
+    0 c

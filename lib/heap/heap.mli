@@ -1,0 +1,35 @@
+(** The distributed global heap: one object store per node.
+
+    Allocation returns a {!Gptr.t} naming the object. Local dereference is
+    direct; remote dereference must go through a runtime (DPA or a baseline)
+    which models the communication. [deref] is the omniscient accessor used
+    by sequential reference code and by request handlers at the owner. *)
+
+type t
+(** A single node's store. *)
+
+type cluster = t array
+
+val cluster : nnodes:int -> cluster
+val node_of : cluster -> int -> t
+
+val alloc : t -> floats:float array -> ptrs:Gptr.t array -> Gptr.t
+(** Allocate on this node; the arrays are owned by the heap afterwards. *)
+
+val size : t -> int
+(** Number of objects allocated on this node. *)
+
+val get : t -> Gptr.t -> Obj_repr.t
+(** Local dereference. Raises [Invalid_argument] if the pointer is not owned
+    by this node or is nil. *)
+
+val deref : cluster -> Gptr.t -> Obj_repr.t
+(** Dereference anywhere (no communication modelled — for reference code and
+    owner-side request service). *)
+
+val bump_float : t -> Gptr.t -> idx:int -> float -> unit
+(** [bump_float t p ~idx v] adds [v] to float field [idx] of a local
+    object — the owner-side application of a remote accumulation. *)
+
+val total_objects : cluster -> int
+val total_bytes : cluster -> int

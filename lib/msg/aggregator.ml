@@ -1,0 +1,52 @@
+type 'a t = {
+  buffers : 'a list array;  (* reversed: newest first *)
+  counts : int array;
+  max_batch : int;
+  flush : dst:int -> 'a list -> unit;
+  mutable pending : int;
+  mutable flushes : int;
+  mutable max_batch_seen : int;
+}
+
+let create ~ndest ~max_batch ~flush =
+  if ndest <= 0 then invalid_arg "Aggregator.create: ndest must be positive";
+  if max_batch <= 0 then invalid_arg "Aggregator.create: max_batch must be positive";
+  {
+    buffers = Array.make ndest [];
+    counts = Array.make ndest 0;
+    max_batch;
+    flush;
+    pending = 0;
+    flushes = 0;
+    max_batch_seen = 0;
+  }
+
+(* `buffers` is mutated *before* calling the user's flush callback so that a
+   callback that re-enters [add] (e.g. a handler spawning new requests)
+   observes a consistent state. *)
+let flush_dst t dst =
+  let n = t.counts.(dst) in
+  if n > 0 then begin
+    let batch = List.rev t.buffers.(dst) in
+    t.buffers.(dst) <- [];
+    t.counts.(dst) <- 0;
+    t.pending <- t.pending - n;
+    t.flushes <- t.flushes + 1;
+    if n > t.max_batch_seen then t.max_batch_seen <- n;
+    t.flush ~dst batch
+  end
+
+let add t ~dst x =
+  t.buffers.(dst) <- x :: t.buffers.(dst);
+  t.counts.(dst) <- t.counts.(dst) + 1;
+  t.pending <- t.pending + 1;
+  if t.counts.(dst) >= t.max_batch then flush_dst t dst
+
+let flush_all t =
+  for dst = 0 to Array.length t.buffers - 1 do
+    flush_dst t dst
+  done
+
+let pending t = t.pending
+let flushes t = t.flushes
+let max_batch_seen t = t.max_batch_seen

@@ -1,0 +1,24 @@
+(** Per-destination request aggregation.
+
+    Requests destined for the same node are buffered and sent as one
+    message. A buffer flushes eagerly when it reaches [max_batch] entries
+    (bounding per-message size and keeping the pipeline busy) and lazily via
+    {!flush_all} when the scheduler runs out of local work. [max_batch = 1]
+    degenerates to message pipelining without aggregation — one of the
+    ablation points of the evaluation. *)
+
+type 'a t
+
+val create : ndest:int -> max_batch:int -> flush:(dst:int -> 'a list -> unit) -> 'a t
+(** [flush ~dst reqs] receives the batch in FIFO order. *)
+
+val add : 'a t -> dst:int -> 'a -> unit
+val flush_all : 'a t -> unit
+val pending : 'a t -> int
+(** Total buffered requests across destinations. *)
+
+val flushes : 'a t -> int
+(** Number of flush callbacks issued so far. *)
+
+val max_batch_seen : 'a t -> int
+(** Largest batch handed to [flush] so far. *)

@@ -1,0 +1,43 @@
+open Dpa_sim
+
+let message_bytes (m : Machine.t) ~payload = m.msg_header_bytes + payload
+
+let request_bytes (m : Machine.t) ~nreqs =
+  m.msg_header_bytes + (nreqs * m.req_entry_bytes)
+
+let update_bytes (m : Machine.t) ~nupdates =
+  m.msg_header_bytes + (nupdates * m.update_entry_bytes)
+
+let reply_bytes (m : Machine.t) ~payload ~nreqs =
+  m.msg_header_bytes + (nreqs * m.req_entry_bytes) + payload
+
+let send engine ~src ~dst ~bytes handler =
+  let m = Engine.machine engine in
+  if bytes < m.Machine.msg_header_bytes then
+    invalid_arg "Am.send: message smaller than header";
+  Node.charge_comm src m.Machine.send_overhead_ns;
+  src.Node.msgs_sent <- src.Node.msgs_sent + 1;
+  src.Node.bytes_sent <- src.Node.bytes_sent + bytes;
+  let arrival =
+    if m.Machine.ingress_serialized then begin
+      (* Each NIC moves one message at a time: the message first drains
+         through the sender's egress link, crosses the wire, then drains
+         through the destination's ingress link. *)
+      let ser = int_of_float (ceil (float_of_int bytes *. m.Machine.ns_per_byte)) in
+      let out_start = max src.Node.clock src.Node.out_link_free_at in
+      let out_done = out_start + ser in
+      src.Node.out_link_free_at <- out_done;
+      let d = Engine.node engine dst in
+      let in_start = max (out_done + m.Machine.wire_latency_ns) d.Node.link_free_at in
+      let finish = in_start + ser in
+      d.Node.link_free_at <- finish;
+      finish
+    end
+    else src.Node.clock + Machine.transfer_ns m ~bytes
+  in
+  Engine.post engine ~time:arrival ~node:dst (fun () ->
+      let d = Engine.node engine dst in
+      Node.charge_comm d m.Machine.recv_overhead_ns;
+      d.Node.msgs_recv <- d.Node.msgs_recv + 1;
+      d.Node.bytes_recv <- d.Node.bytes_recv + bytes;
+      handler d)

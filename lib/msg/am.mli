@@ -1,0 +1,28 @@
+(** Active-message layer in the style of Illinois Fast Messages.
+
+    [send] charges the sender its injection overhead, computes the arrival
+    time from the wire latency and serialization of [bytes], and schedules
+    the handler on the destination node, where the extraction overhead is
+    charged before the handler body runs. Handlers run at
+    [max(arrival, destination clock)] — a busy receiver polls the message
+    later, exactly the behaviour FM's poll-based extraction has. *)
+
+open Dpa_sim
+
+val send :
+  Engine.t -> src:Node.t -> dst:int -> bytes:int -> (Node.t -> unit) -> unit
+(** [send engine ~src ~dst ~bytes handler]. [bytes] must include any header;
+    use {!message_bytes} to build it. *)
+
+val message_bytes : Machine.t -> payload:int -> int
+(** Header plus payload. *)
+
+val request_bytes : Machine.t -> nreqs:int -> int
+(** Size of an aggregated read-request message carrying [nreqs] entries. *)
+
+val reply_bytes : Machine.t -> payload:int -> nreqs:int -> int
+(** Size of a bulk reply: header, one request-entry echo (token) per object,
+    plus the serialized objects themselves ([payload] bytes). *)
+
+val update_bytes : Machine.t -> nupdates:int -> int
+(** Size of an aggregated accumulate-update message. *)

@@ -1,0 +1,58 @@
+type t = {
+  procs : int;
+  elapsed_ns : int;
+  local_ns : int;
+  comm_ns : int;
+  idle_ns : int;
+  msgs : int;
+  bytes : int;
+}
+
+let of_nodes ~elapsed_ns nodes =
+  let acc f = Array.fold_left (fun s n -> s + f n) 0 nodes in
+  {
+    procs = Array.length nodes;
+    elapsed_ns;
+    local_ns = acc (fun n -> n.Node.local_ns);
+    comm_ns = acc (fun n -> n.Node.comm_ns);
+    idle_ns = acc (fun n -> n.Node.idle_ns);
+    msgs = acc (fun n -> n.Node.msgs_sent);
+    bytes = acc (fun n -> n.Node.bytes_sent);
+  }
+
+let elapsed_s t = float_of_int t.elapsed_ns *. 1e-9
+
+let total t = t.local_ns + t.comm_ns + t.idle_ns
+
+let frac part t =
+  let d = total t in
+  if d = 0 then 0. else float_of_int part /. float_of_int d
+
+let local_frac t = frac t.local_ns t
+let comm_frac t = frac t.comm_ns t
+let idle_frac t = frac t.idle_ns t
+
+let add a b =
+  if a.procs <> b.procs then invalid_arg "Breakdown.add: proc mismatch";
+  {
+    procs = a.procs;
+    elapsed_ns = a.elapsed_ns + b.elapsed_ns;
+    local_ns = a.local_ns + b.local_ns;
+    comm_ns = a.comm_ns + b.comm_ns;
+    idle_ns = a.idle_ns + b.idle_ns;
+    msgs = a.msgs + b.msgs;
+    bytes = a.bytes + b.bytes;
+  }
+
+let zero ~procs =
+  { procs; elapsed_ns = 0; local_ns = 0; comm_ns = 0; idle_ns = 0; msgs = 0; bytes = 0 }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[%.4f s on %d procs (local %.0f%%, comm %.0f%%, idle %.0f%%; %d msgs, \
+     %d bytes)@]"
+    (elapsed_s t) t.procs
+    (100. *. local_frac t)
+    (100. *. comm_frac t)
+    (100. *. idle_frac t)
+    t.msgs t.bytes

@@ -1,0 +1,30 @@
+(** Aggregated time breakdown of a simulated phase, in the terms the paper's
+    figures use: local computation, communication overhead, and idle time,
+    plus message statistics. *)
+
+type t = {
+  procs : int;
+  elapsed_ns : int;  (** wall clock of the phase: max over nodes *)
+  local_ns : int;  (** summed over nodes *)
+  comm_ns : int;
+  idle_ns : int;
+  msgs : int;
+  bytes : int;
+}
+
+val of_nodes : elapsed_ns:int -> Node.t array -> t
+
+val elapsed_s : t -> float
+
+val local_frac : t -> float
+(** Fraction of total node-time spent in local computation. *)
+
+val comm_frac : t -> float
+val idle_frac : t -> float
+
+val add : t -> t -> t
+(** Componentwise sum; [elapsed_ns] adds too (use to accumulate over
+    sequential phases, e.g. time steps). [procs] must match. *)
+
+val zero : procs:int -> t
+val pp : Format.formatter -> t -> unit

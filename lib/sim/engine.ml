@@ -1,0 +1,54 @@
+type event = { node : int; action : unit -> unit }
+
+type t = {
+  machine : Machine.t;
+  nodes : Node.t array;
+  queue : event Event_queue.t;
+  mutable events_processed : int;
+}
+
+let create machine =
+  {
+    machine;
+    nodes = Array.init machine.Machine.nodes (fun id -> Node.create ~machine ~id);
+    queue = Event_queue.create ();
+    events_processed = 0;
+  }
+
+let machine t = t.machine
+
+let nodes t = t.nodes
+
+let node t i = t.nodes.(i)
+
+let post t ~time ~node action =
+  if node < 0 || node >= Array.length t.nodes then
+    invalid_arg "Engine.post: bad node id";
+  Event_queue.add t.queue ~time { node; action }
+
+let post_now t ~node action =
+  Event_queue.add t.queue ~time:node.Node.clock
+    { node = node.Node.id; action }
+
+let run t =
+  let rec loop () =
+    match Event_queue.pop t.queue with
+    | None -> ()
+    | Some (time, ev) ->
+      let n = t.nodes.(ev.node) in
+      Node.wait_until n time;
+      t.events_processed <- t.events_processed + 1;
+      ev.action ();
+      loop ()
+  in
+  loop ()
+
+let events_processed t = t.events_processed
+
+let elapsed t = Array.fold_left (fun acc n -> max acc n.Node.clock) 0 t.nodes
+
+let barrier t =
+  if not (Event_queue.is_empty t.queue) then
+    invalid_arg "Engine.barrier: events still pending";
+  let m = elapsed t in
+  Array.iter (fun n -> Node.wait_until n m) t.nodes

@@ -1,0 +1,37 @@
+(** Discrete-event simulation engine.
+
+    The engine owns one {!Node.t} per machine node and a global event queue.
+    An event targets a node; when it is popped, the node's clock is advanced
+    to the event timestamp (the gap accounted as idle — the node had nothing
+    runnable, otherwise it would have scheduled work) and the action runs
+    with the node clock as "now". Actions advance the clock through
+    {!Node.charge_local} / {!Node.charge_comm} and may post further events.
+
+    A busy node therefore serializes naturally: an event whose timestamp is
+    in the node's past executes at the node's current clock, modelling a
+    processor that polls the network only between units of work. *)
+
+type t
+
+val create : Machine.t -> t
+val machine : t -> Machine.t
+val nodes : t -> Node.t array
+val node : t -> int -> Node.t
+
+val post : t -> time:int -> node:int -> (unit -> unit) -> unit
+(** Schedule an action on [node] no earlier than [time]. *)
+
+val post_now : t -> node:Node.t -> (unit -> unit) -> unit
+(** Schedule an action on [node] at the node's current clock. *)
+
+val run : t -> unit
+(** Process events until the queue is empty. *)
+
+val events_processed : t -> int
+
+val barrier : t -> unit
+(** Synchronize: advance every node's clock to the global maximum,
+    accounting the gaps as idle. The queue must be empty. *)
+
+val elapsed : t -> int
+(** Maximum node clock. *)

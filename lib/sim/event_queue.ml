@@ -1,0 +1,70 @@
+(* Binary min-heap keyed by (time, seq). The [seq] counter implements the
+   FIFO tie-break documented in the interface. *)
+
+type 'a cell = { time : int; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a cell array;
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = [||]; len = 0; next_seq = 0 }
+
+let length t = t.len
+
+let is_empty t = t.len = 0
+
+let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t cell =
+  let cap = Array.length t.heap in
+  let ncap = if cap = 0 then 16 else cap * 2 in
+  let nheap = Array.make ncap cell in
+  Array.blit t.heap 0 nheap 0 t.len;
+  t.heap <- nheap
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less h.(i) h.(parent) then begin
+      let tmp = h.(i) in
+      h.(i) <- h.(parent);
+      h.(parent) <- tmp;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h len i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = if l < len && less h.(l) h.(i) then l else i in
+  let smallest = if r < len && less h.(r) h.(smallest) then r else smallest in
+  if smallest <> i then begin
+    let tmp = h.(i) in
+    h.(i) <- h.(smallest);
+    h.(smallest) <- tmp;
+    sift_down h len smallest
+  end
+
+let add t ~time payload =
+  if time < 0 then invalid_arg "Event_queue.add: negative time";
+  let cell = { time; seq = t.next_seq; payload } in
+  t.next_seq <- t.next_seq + 1;
+  if t.len = Array.length t.heap then grow t cell;
+  t.heap.(t.len) <- cell;
+  t.len <- t.len + 1;
+  sift_up t.heap (t.len - 1)
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.heap.(0) <- t.heap.(t.len);
+      sift_down t.heap t.len 0
+    end;
+    Some (top.time, top.payload)
+  end
+
+let peek_time t = if t.len = 0 then None else Some t.heap.(0).time

@@ -1,0 +1,20 @@
+(** Priority queue of timestamped events.
+
+    Ties are broken by insertion order (FIFO), which makes the whole
+    simulation deterministic: two events posted for the same instant are
+    processed in the order they were posted. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val add : 'a t -> time:int -> 'a -> unit
+(** [add t ~time x] inserts [x] at timestamp [time] (nanoseconds). *)
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the event with the smallest [(time, insertion-order)]
+    key, or [None] when empty. *)
+
+val peek_time : 'a t -> int option

@@ -1,0 +1,58 @@
+type t = {
+  nodes : int;
+  send_overhead_ns : int;
+  recv_overhead_ns : int;
+  wire_latency_ns : int;
+  ns_per_byte : float;
+  request_service_ns : int;
+  request_service_per_obj_ns : int;
+  hash_probe_ns : int;
+  spawn_overhead_ns : int;
+  dispatch_overhead_ns : int;
+  poll_quantum_ns : int;
+  msg_header_bytes : int;
+  req_entry_bytes : int;
+  update_entry_bytes : int;
+  update_apply_ns : int;
+  ingress_serialized : bool;
+}
+
+let make ?(send_overhead_ns = 2_500) ?(recv_overhead_ns = 2_500)
+    ?(wire_latency_ns = 2_000) ?(ns_per_byte = 33.)
+    ?(request_service_ns = 1_500) ?(request_service_per_obj_ns = 200)
+    ?(hash_probe_ns = 700) ?(spawn_overhead_ns = 700)
+    ?(dispatch_overhead_ns = 100) ?(poll_quantum_ns = 50_000)
+    ?(msg_header_bytes = 16) ?(req_entry_bytes = 12)
+    ?(update_entry_bytes = 20) ?(update_apply_ns = 150)
+    ?(ingress_serialized = false) ~nodes () =
+  if nodes <= 0 then invalid_arg "Machine.make: nodes must be positive";
+  {
+    nodes;
+    send_overhead_ns;
+    recv_overhead_ns;
+    wire_latency_ns;
+    ns_per_byte;
+    request_service_ns;
+    request_service_per_obj_ns;
+    hash_probe_ns;
+    spawn_overhead_ns;
+    dispatch_overhead_ns;
+    poll_quantum_ns;
+    msg_header_bytes;
+    req_entry_bytes;
+    update_entry_bytes;
+    update_apply_ns;
+    ingress_serialized;
+  }
+
+let t3d ~nodes = make ~nodes ()
+
+let transfer_ns t ~bytes =
+  t.wire_latency_ns + int_of_float (ceil (float_of_int bytes *. t.ns_per_byte))
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>machine: %d nodes@ send/recv overhead: %d/%d ns@ wire latency: %d \
+     ns@ bandwidth: %.1f ns/byte@ request service: %d + %d/obj ns@]"
+    t.nodes t.send_overhead_ns t.recv_overhead_ns t.wire_latency_ns
+    t.ns_per_byte t.request_service_ns t.request_service_per_obj_ns

@@ -1,0 +1,109 @@
+type segment = { kind : Node.segment_kind; start : int; dur : int }
+
+type t = {
+  engine : Engine.t;
+  per_node : segment Dpa_util.Dynarray.t array;
+}
+
+let attach engine =
+  let nodes = Engine.nodes engine in
+  let t =
+    { engine; per_node = Array.map (fun _ -> Dpa_util.Dynarray.create ()) nodes }
+  in
+  Array.iteri
+    (fun i node ->
+      Node.set_tracer node
+        (Some
+           (fun kind ~start ~dur ->
+             ignore (Dpa_util.Dynarray.add t.per_node.(i) { kind; start; dur }))))
+    nodes;
+  t
+
+let detach t =
+  Array.iter (fun node -> Node.set_tracer node None) (Engine.nodes t.engine)
+
+let nsegments t =
+  Array.fold_left (fun acc d -> acc + Dpa_util.Dynarray.length d) 0 t.per_node
+
+let totals t node =
+  let local = ref 0 and comm = ref 0 and idle = ref 0 in
+  Dpa_util.Dynarray.iter
+    (fun s ->
+      match s.kind with
+      | Node.Local -> local := !local + s.dur
+      | Node.Comm -> comm := !comm + s.dur
+      | Node.Idle -> idle := !idle + s.dur)
+    t.per_node.(node);
+  (!local, !comm, !idle)
+
+let bounds t =
+  let lo = ref max_int and hi = ref 0 in
+  Array.iter
+    (Dpa_util.Dynarray.iter (fun s ->
+         lo := min !lo s.start;
+         hi := max !hi (s.start + s.dur)))
+    t.per_node;
+  if !lo > !hi then (0, 0) else (!lo, !hi)
+
+let timeline ?(width = 72) t =
+  let lo, hi = bounds t in
+  let span = max 1 (hi - lo) in
+  let buf = Buffer.create 1024 in
+  Array.iteri
+    (fun node segs ->
+      (* Per-bin accumulation of local/comm/idle nanoseconds. *)
+      let acc = Array.make_matrix width 3 0 in
+      Dpa_util.Dynarray.iter
+        (fun s ->
+          let k =
+            match s.kind with Node.Local -> 0 | Node.Comm -> 1 | Node.Idle -> 2
+          in
+          (* Spread the segment across the bins it overlaps. *)
+          let b0 = (s.start - lo) * width / span in
+          let b1 = (s.start + s.dur - 1 - lo) * width / span in
+          let b0 = max 0 (min (width - 1) b0)
+          and b1 = max 0 (min (width - 1) b1) in
+          if b0 = b1 then acc.(b0).(k) <- acc.(b0).(k) + s.dur
+          else
+            for b = b0 to b1 do
+              (* Approximate: duration split evenly over covered bins. *)
+              acc.(b).(k) <- acc.(b).(k) + (s.dur / (b1 - b0 + 1))
+            done)
+        segs;
+      Buffer.add_string buf (Printf.sprintf "node %2d |" node);
+      for b = 0 to width - 1 do
+        let l = acc.(b).(0) and c = acc.(b).(1) and i = acc.(b).(2) in
+        let ch =
+          if l = 0 && c = 0 && i = 0 then ' '
+          else if l >= c && l >= i then '#'
+          else if c >= i then '+'
+          else '.'
+        in
+        Buffer.add_char buf ch
+      done;
+      Buffer.add_string buf "|\n")
+    t.per_node;
+  Buffer.add_string buf
+    (Printf.sprintf "%8s %s\n" ""
+       (Printf.sprintf "0 .. %.4f ms   (# local, + comm, . idle)"
+          (float_of_int span *. 1e-6)));
+  Buffer.contents buf
+
+let to_csv t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "node,kind,start_ns,dur_ns\n";
+  Array.iteri
+    (fun node segs ->
+      Dpa_util.Dynarray.iter
+        (fun s ->
+          let kind =
+            match s.kind with
+            | Node.Local -> "local"
+            | Node.Comm -> "comm"
+            | Node.Idle -> "idle"
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "%d,%s,%d,%d\n" node kind s.start s.dur))
+        segs)
+    t.per_node;
+  Buffer.contents buf

@@ -1,0 +1,26 @@
+(** Execution traces: record every node's local/comm/idle segments during a
+    phase and render per-node utilization timelines — the visual form of
+    the paper's breakdown figures, resolved over time. *)
+
+type t
+
+val attach : Engine.t -> t
+(** Install tracers on every node of the engine. Only one trace can be
+    attached at a time; segments recorded before [attach] are lost. *)
+
+val detach : t -> unit
+(** Remove the tracers; recorded segments remain readable. *)
+
+val nsegments : t -> int
+
+val totals : t -> int -> int * int * int
+(** [(local, comm, idle)] nanoseconds recorded for a node — matches the
+    node's own accounting over the traced window. *)
+
+val timeline : ?width:int -> t -> string
+(** One row per node. Each column is a time bin colored by the dominant
+    activity: '#' local work, '+' communication overhead, '.' idle,
+    ' ' nothing recorded. *)
+
+val to_csv : t -> string
+(** "node,kind,start_ns,dur_ns" rows in recording order. *)

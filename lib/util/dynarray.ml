@@ -1,0 +1,44 @@
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+
+let length t = t.len
+
+let grow t x =
+  let cap = Array.length t.data in
+  let ncap = if cap = 0 then 8 else cap * 2 in
+  let ndata = Array.make ncap x in
+  Array.blit t.data 0 ndata 0 t.len;
+  t.data <- ndata
+
+let add t x =
+  if t.len = Array.length t.data then grow t x;
+  let i = t.len in
+  t.data.(i) <- x;
+  t.len <- t.len + 1;
+  i
+
+let check t i =
+  if i < 0 || i >= t.len then invalid_arg "Dynarray: index out of bounds"
+
+let get t i = check t i; t.data.(i)
+
+let set t i x = check t i; t.data.(i) <- x
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let iteri f t =
+  for i = 0 to t.len - 1 do
+    f i t.data.(i)
+  done
+
+let clear t =
+  t.data <- [||];
+  t.len <- 0
+
+let to_list t =
+  let rec loop i acc = if i < 0 then acc else loop (i - 1) (t.data.(i) :: acc) in
+  loop (t.len - 1) []

@@ -1,0 +1,15 @@
+(** Growable arrays (OCaml 5.1 predates [Stdlib.Dynarray]). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val add : 'a t -> 'a -> int
+(** [add t x] appends [x] and returns its index. *)
+
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val clear : 'a t -> unit
+val to_list : 'a t -> 'a list

@@ -1,0 +1,22 @@
+(** LRU cache, parameterized by a hashtable implementation for its keys.
+    Used by the software-caching baseline runtime. A capacity of 0 gives a
+    cache that never holds anything (every lookup misses). *)
+
+module Make (H : Hashtbl.S) : sig
+  type 'a t
+
+  val create : capacity:int -> 'a t
+  val capacity : 'a t -> int
+  val size : 'a t -> int
+
+  val find : 'a t -> H.key -> 'a option
+  (** [find t k] returns the cached value and marks it most-recently used. *)
+
+  val add : 'a t -> H.key -> 'a -> unit
+  (** Insert as most-recently used, evicting the least-recently-used entry
+      if the cache is full. Replaces any existing binding for the key. *)
+
+  val mem : 'a t -> H.key -> bool
+  val evictions : 'a t -> int
+  val clear : 'a t -> unit
+end

@@ -1,0 +1,163 @@
+open Dpa_sim
+
+let machine nodes = Machine.t3d ~nodes
+
+let run_caching ?(nnodes = 4) ?(nobjs = 32) ?(nitems = 20) ?(reads = 8)
+    ?(capacity = 64) () =
+  let w = Workload.make ~nnodes ~nobjs in
+  let engine = Engine.create (machine nnodes) in
+  let sums = Array.make nnodes 0. in
+  let items =
+    Workload.items
+      (module Dpa_baselines.Caching)
+      w ~nitems ~reads ~work_ns:200 sums
+  in
+  let breakdown, stats =
+    Dpa_baselines.Caching.run_phase ~engine ~heaps:w.Workload.heaps ~capacity
+      ~items ()
+  in
+  (w, sums, breakdown, stats)
+
+let run_blocking ?(nnodes = 4) ?(nobjs = 32) ?(nitems = 20) ?(reads = 8) () =
+  let w = Workload.make ~nnodes ~nobjs in
+  let engine = Engine.create (machine nnodes) in
+  let sums = Array.make nnodes 0. in
+  let items =
+    Workload.items
+      (module Dpa_baselines.Blocking)
+      w ~nitems ~reads ~work_ns:200 sums
+  in
+  let breakdown, stats =
+    Dpa_baselines.Blocking.run_phase ~engine ~heaps:w.Workload.heaps ~items
+  in
+  (w, sums, breakdown, stats)
+
+let check_sums w sums ~nitems ~reads =
+  Array.iteri
+    (fun node got ->
+      let want = Workload.expected_sum w ~node ~nitems ~reads in
+      Alcotest.(check (float 1e-6)) (Printf.sprintf "node %d" node) want got)
+    sums
+
+let test_caching_correct () =
+  let w, sums, _, _ = run_caching () in
+  check_sums w sums ~nitems:20 ~reads:8
+
+let test_blocking_correct () =
+  let w, sums, _, _ = run_blocking () in
+  check_sums w sums ~nitems:20 ~reads:8
+
+let test_caching_hits () =
+  let _, _, _, stats = run_caching ~capacity:1024 () in
+  Alcotest.(check bool) "some hits" true (stats.Dpa_baselines.Caching.hits > 0)
+
+let test_blocking_never_hits () =
+  let _, _, _, stats = run_blocking () in
+  Alcotest.(check int) "no hits" 0 stats.Dpa_baselines.Caching.hits;
+  Alcotest.(check int) "no cached objects" 0
+    stats.Dpa_baselines.Caching.peak_cached
+
+let test_caching_capacity_bound () =
+  let cap = 8 in
+  let _, _, _, stats = run_caching ~capacity:cap () in
+  Alcotest.(check bool) "peak within capacity" true
+    (stats.Dpa_baselines.Caching.peak_cached <= cap)
+
+let test_read_accounting () =
+  let nnodes = 4 and nitems = 20 and reads = 8 in
+  let _, _, _, stats = run_caching ~nnodes ~nitems ~reads () in
+  let s = stats in
+  Alcotest.(check int) "reads partitioned" (nnodes * nitems * reads)
+    (s.Dpa_baselines.Caching.hits + s.Dpa_baselines.Caching.misses
+   + s.Dpa_baselines.Caching.local)
+
+let test_runtimes_agree () =
+  (* DPA, caching and blocking must compute identical results. *)
+  let nnodes = 3 and nobjs = 16 and nitems = 15 and reads = 6 in
+  let dpa_sums =
+    let w = Workload.make ~nnodes ~nobjs in
+    let engine = Engine.create (machine nnodes) in
+    let sums = Array.make nnodes 0. in
+    let items =
+      Workload.items (module Dpa.Runtime) w ~nitems ~reads ~work_ns:100 sums
+    in
+    ignore
+      (Dpa.Runtime.run_phase ~engine ~heaps:w.Workload.heaps
+         ~config:(Dpa.Config.dpa ()) ~items);
+    sums
+  in
+  let caching_sums =
+    let w = Workload.make ~nnodes ~nobjs in
+    let engine = Engine.create (machine nnodes) in
+    let sums = Array.make nnodes 0. in
+    let items =
+      Workload.items
+        (module Dpa_baselines.Caching)
+        w ~nitems ~reads ~work_ns:100 sums
+    in
+    ignore
+      (Dpa_baselines.Caching.run_phase ~engine ~heaps:w.Workload.heaps
+         ~capacity:32 ~items ());
+    sums
+  in
+  Array.iteri
+    (fun i a ->
+      Alcotest.(check (float 1e-9)) (Printf.sprintf "node %d" i) a
+        caching_sums.(i))
+    dpa_sums
+
+let test_dpa_beats_blocking () =
+  (* The headline property: with remote traffic, DPA's overlap+aggregation
+     must beat blocking round trips. *)
+  let nnodes = 4 and nitems = 40 and reads = 8 in
+  let dpa_time =
+    let w = Workload.make ~nnodes ~nobjs:32 in
+    let engine = Engine.create (machine nnodes) in
+    let sums = Array.make nnodes 0. in
+    let items =
+      Workload.items (module Dpa.Runtime) w ~nitems ~reads ~work_ns:200 sums
+    in
+    let b, _ =
+      Dpa.Runtime.run_phase ~engine ~heaps:w.Workload.heaps
+        ~config:(Dpa.Config.dpa ()) ~items
+    in
+    b.Breakdown.elapsed_ns
+  in
+  let blocking_time =
+    let _, _, b, _ = run_blocking ~nnodes ~nitems ~reads () in
+    b.Breakdown.elapsed_ns
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "dpa %d < blocking %d" dpa_time blocking_time)
+    true
+    (dpa_time < blocking_time)
+
+let test_prefetch_correct () =
+  let nnodes = 3 in
+  let w = Workload.make ~nnodes ~nobjs:16 in
+  let engine = Engine.create (machine nnodes) in
+  let sums = Array.make nnodes 0. in
+  let items =
+    Workload.items
+      (module Dpa_baselines.Prefetch)
+      w ~nitems:10 ~reads:5 ~work_ns:100 sums
+  in
+  ignore
+    (Dpa_baselines.Prefetch.run_phase ~engine ~heaps:w.Workload.heaps ~items ());
+  check_sums w sums ~nitems:10 ~reads:5
+
+let suites =
+  [
+    ( "baselines",
+      [
+        Alcotest.test_case "caching correct" `Quick test_caching_correct;
+        Alcotest.test_case "blocking correct" `Quick test_blocking_correct;
+        Alcotest.test_case "caching hits" `Quick test_caching_hits;
+        Alcotest.test_case "blocking never hits" `Quick test_blocking_never_hits;
+        Alcotest.test_case "capacity bound" `Quick test_caching_capacity_bound;
+        Alcotest.test_case "read accounting" `Quick test_read_accounting;
+        Alcotest.test_case "runtimes agree" `Quick test_runtimes_agree;
+        Alcotest.test_case "dpa beats blocking" `Quick test_dpa_beats_blocking;
+        Alcotest.test_case "prefetch correct" `Quick test_prefetch_correct;
+      ] );
+  ]

@@ -1,0 +1,407 @@
+open Dpa_compiler
+open Dpa_sim
+
+let test_validate_catches_bad_arity () =
+  let p =
+    {
+      Ast.funcs =
+        [
+          {
+            Ast.fname = "f";
+            params = [ { Ast.pname = "x"; pclass = None } ];
+            body = [ Ast.Call ("f", []) ];
+          };
+        ];
+    }
+  in
+  (match Ast.validate p with
+  | () -> Alcotest.fail "expected Illegal"
+  | exception Ast.Illegal _ -> ())
+
+let test_validate_catches_touch_in_while () =
+  let p =
+    {
+      Ast.funcs =
+        [
+          {
+            Ast.fname = "f";
+            params = [ { Ast.pname = "p"; pclass = Some (Ast.Global 0) } ];
+            body =
+              [ Ast.While (Ast.Num 1., [ Ast.Load_field ("v", "p", 0) ]) ];
+          };
+        ];
+    }
+  in
+  (match Ast.validate p with
+  | () -> Alcotest.fail "expected Illegal"
+  | exception Ast.Illegal _ -> ())
+
+let test_alias_propagates_through_load_ptr () =
+  let f = Ast.func Programs.list_sum "sum_list" in
+  let env = Alias.infer Programs.list_sum f in
+  Alcotest.(check bool) "q has p's class" true
+    (Alias.class_of env "q" = Some (Ast.Global 0))
+
+let test_alias_rejects_numeric_deref () =
+  let p =
+    {
+      Ast.funcs =
+        [
+          {
+            Ast.fname = "f";
+            params = [ { Ast.pname = "x"; pclass = None } ];
+            body = [ Ast.Load_field ("v", "x", 0) ];
+          };
+        ];
+    }
+  in
+  (match Alias.check p with
+  | () -> Alcotest.fail "expected Illegal"
+  | exception Ast.Illegal _ -> ())
+
+let test_partition_list_sum () =
+  let info = Partition.analyze Programs.list_sum (Ast.func Programs.list_sum "sum_list") in
+  (* One spawn site: the first touch of p. The Load_ptr of p reuses the
+     fetched object — transitive expansion keeps it in the same thread. *)
+  Alcotest.(check int) "static threads" 2 info.Partition.static_threads;
+  match info.Partition.spawn_sites with
+  | [ s ] ->
+    Alcotest.(check string) "label" "p" s.Partition.label;
+    Alcotest.(check (list string)) "no hoist partners" [] s.Partition.hoisted
+  | _ -> Alcotest.fail "expected one spawn site"
+
+let test_partition_pair_sum_hoists () =
+  let info = Partition.analyze Programs.pair_sum (Ast.func Programs.pair_sum "sum_pair") in
+  Alcotest.(check int) "static threads" 2 info.Partition.static_threads;
+  match info.Partition.spawn_sites with
+  | [ s ] ->
+    Alcotest.(check string) "label" "a" s.Partition.label;
+    Alcotest.(check (list string)) "b hoisted" [ "b" ] s.Partition.hoisted
+  | _ -> Alcotest.fail "expected one spawn site (b folded into a's alignment)"
+
+let test_partition_tree_sum () =
+  let info = Partition.analyze Programs.tree_sum (Ast.func Programs.tree_sum "sum_tree") in
+  (* All four accesses to t (one field, two pointer loads) are one thread. *)
+  Alcotest.(check int) "static threads" 2 info.Partition.static_threads
+
+let machine nodes = Machine.t3d ~nodes
+
+module I_dpa = Interp.Make (Dpa.Runtime)
+module I_caching = Interp.Make (Dpa_baselines.Caching)
+
+let run_list_sum_dpa ~nnodes ~len =
+  let heaps = Dpa_heap.Heap.cluster ~nnodes in
+  let head =
+    Programs.build_list heaps ~length:len
+      ~value:(fun i -> float_of_int (i + 1))
+      ~owner:(fun i -> i mod nnodes)
+  in
+  let c = I_dpa.compile Programs.list_sum in
+  let engine = Engine.create (machine nnodes) in
+  let items node =
+    if node = 0 then
+      [| I_dpa.item c ~entry:"sum_list" ~args:[ Value.Ptr head ] |]
+    else [||]
+  in
+  let breakdown, stats =
+    Dpa.Runtime.run_phase ~engine ~heaps ~config:(Dpa.Config.dpa ()) ~items
+  in
+  (I_dpa.accumulator c "sum", breakdown, stats)
+
+let test_interp_list_sum () =
+  let len = 40 in
+  let sum, _, _ = run_list_sum_dpa ~nnodes:3 ~len in
+  Alcotest.(check (float 1e-9)) "sum 1..40" (float_of_int (len * (len + 1) / 2)) sum
+
+let test_interp_list_sum_single_node () =
+  let sum, _, stats = run_list_sum_dpa ~nnodes:1 ~len:25 in
+  Alcotest.(check (float 1e-9)) "sum" 325. sum;
+  Alcotest.(check int) "no fetches" 0 stats.Dpa.Dpa_stats.spawns
+
+let test_interp_tree_sum_all_runtimes () =
+  let depth = 6 in
+  let ncells = (1 lsl depth) - 1 in
+  let expected =
+    (* value i = i+1 for i in 0..ncells-1 *)
+    float_of_int (ncells * (ncells + 1) / 2)
+  in
+  let run_dpa () =
+    let heaps = Dpa_heap.Heap.cluster ~nnodes:4 in
+    let root =
+      Programs.build_tree heaps ~depth
+        ~value:(fun i -> float_of_int (i + 1))
+        ~owner:(fun i -> i mod 4)
+    in
+    let c = I_dpa.compile Programs.tree_sum in
+    let engine = Engine.create (machine 4) in
+    let items node =
+      if node = 0 then
+        [| I_dpa.item c ~entry:"sum_tree" ~args:[ Value.Ptr root ] |]
+      else [||]
+    in
+    ignore (Dpa.Runtime.run_phase ~engine ~heaps ~config:(Dpa.Config.dpa ()) ~items);
+    I_dpa.accumulator c "sum"
+  in
+  let run_caching () =
+    let heaps = Dpa_heap.Heap.cluster ~nnodes:4 in
+    let root =
+      Programs.build_tree heaps ~depth
+        ~value:(fun i -> float_of_int (i + 1))
+        ~owner:(fun i -> i mod 4)
+    in
+    let c = I_caching.compile Programs.tree_sum in
+    let engine = Engine.create (machine 4) in
+    let items node =
+      if node = 0 then
+        [| I_caching.item c ~entry:"sum_tree" ~args:[ Value.Ptr root ] |]
+      else [||]
+    in
+    ignore
+      (Dpa_baselines.Caching.run_phase ~engine ~heaps ~capacity:64 ~items ());
+    I_caching.accumulator c "sum"
+  in
+  Alcotest.(check (float 1e-9)) "dpa" expected (run_dpa ());
+  Alcotest.(check (float 1e-9)) "caching" expected (run_caching ())
+
+let test_interp_pair_sum_hoist_batches () =
+  (* Both pointers live on node 1; hoisting must fetch them in one request
+     message. *)
+  let heaps = Dpa_heap.Heap.cluster ~nnodes:2 in
+  let a = Dpa_heap.Heap.alloc heaps.(1) ~floats:[| 3. |] ~ptrs:[||] in
+  let b = Dpa_heap.Heap.alloc heaps.(1) ~floats:[| 4. |] ~ptrs:[||] in
+  let c = I_dpa.compile Programs.pair_sum in
+  let engine = Engine.create (machine 2) in
+  let items node =
+    if node = 0 then
+      [| I_dpa.item c ~entry:"sum_pair" ~args:[ Value.Ptr a; Value.Ptr b ] |]
+    else [||]
+  in
+  let _, stats =
+    Dpa.Runtime.run_phase ~engine ~heaps ~config:(Dpa.Config.dpa ()) ~items
+  in
+  Alcotest.(check (float 1e-9)) "sum" 7. (I_dpa.accumulator c "sum");
+  Alcotest.(check int) "one aggregated message" 1
+    stats.Dpa.Dpa_stats.request_msgs;
+  Alcotest.(check int) "two objects in it" 2 stats.Dpa.Dpa_stats.requests
+
+let test_interp_while_loop () =
+  let p =
+    {
+      Ast.funcs =
+        [
+          {
+            Ast.fname = "count";
+            params = [ { Ast.pname = "n"; pclass = None } ];
+            body =
+              [
+                Ast.Let ("i", Ast.Num 0.);
+                Ast.While
+                  ( Ast.Binop (Ast.Lt, Ast.Var "i", Ast.Var "n"),
+                    [
+                      Ast.Accum ("total", Ast.Var "i");
+                      Ast.Let ("i", Ast.Binop (Ast.Add, Ast.Var "i", Ast.Num 1.));
+                    ] );
+              ];
+          };
+        ];
+    }
+  in
+  let heaps = Dpa_heap.Heap.cluster ~nnodes:1 in
+  let c = I_dpa.compile p in
+  let engine = Engine.create (machine 1) in
+  let items _ = [| I_dpa.item c ~entry:"count" ~args:[ Value.Num 10. ] |] in
+  ignore (Dpa.Runtime.run_phase ~engine ~heaps ~config:(Dpa.Config.dpa ()) ~items);
+  Alcotest.(check (float 1e-9)) "sum 0..9" 45. (I_dpa.accumulator c "total")
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let test_pretty_roundtrip_smoke () =
+  let s = Format.asprintf "%a" Pretty.pp_program Programs.tree_sum in
+  Alcotest.(check bool) "mentions function" true (contains s "sum_tree");
+  let info =
+    Partition.analyze Programs.pair_sum (Ast.func Programs.pair_sum "sum_pair")
+  in
+  let s = Format.asprintf "%a" Pretty.pp_info info in
+  Alcotest.(check bool) "mentions hoist" true (contains s "hoisting b")
+
+let suites =
+  [
+    ( "compiler.validate",
+      [
+        Alcotest.test_case "bad arity" `Quick test_validate_catches_bad_arity;
+        Alcotest.test_case "touch in while" `Quick
+          test_validate_catches_touch_in_while;
+      ] );
+    ( "compiler.alias",
+      [
+        Alcotest.test_case "propagation" `Quick
+          test_alias_propagates_through_load_ptr;
+        Alcotest.test_case "numeric deref rejected" `Quick
+          test_alias_rejects_numeric_deref;
+      ] );
+    ( "compiler.partition",
+      [
+        Alcotest.test_case "list_sum" `Quick test_partition_list_sum;
+        Alcotest.test_case "pair_sum hoists" `Quick
+          test_partition_pair_sum_hoists;
+        Alcotest.test_case "tree_sum" `Quick test_partition_tree_sum;
+      ] );
+    ( "compiler.interp",
+      [
+        Alcotest.test_case "list sum (dpa)" `Quick test_interp_list_sum;
+        Alcotest.test_case "list sum single node" `Quick
+          test_interp_list_sum_single_node;
+        Alcotest.test_case "tree sum all runtimes" `Quick
+          test_interp_tree_sum_all_runtimes;
+        Alcotest.test_case "pair hoist batches" `Quick
+          test_interp_pair_sum_hoist_batches;
+        Alcotest.test_case "while loop" `Quick test_interp_while_loop;
+        Alcotest.test_case "pretty smoke" `Quick test_pretty_roundtrip_smoke;
+      ] );
+  ]
+
+(* --- conc blocks -------------------------------------------------------- *)
+
+let gp = Some (Ast.Global 0)
+
+let test_conc_join () =
+  (* A conc block joins before the following statement runs. *)
+  let p =
+    {
+      Ast.funcs =
+        [
+          {
+            Ast.fname = "pair";
+            params = [ { Ast.pname = "a"; pclass = gp }; { Ast.pname = "b"; pclass = gp } ];
+            body =
+              [
+                Ast.Conc
+                  [ Ast.Load_field ("x", "a", 0); Ast.Load_field ("y", "b", 0) ];
+                Ast.Accum ("sum", Ast.Binop (Ast.Add, Ast.Var "x", Ast.Var "y"));
+              ];
+          };
+        ];
+    }
+  in
+  let heaps = Dpa_heap.Heap.cluster ~nnodes:3 in
+  let a = Dpa_heap.Heap.alloc heaps.(1) ~floats:[| 5. |] ~ptrs:[||] in
+  let b = Dpa_heap.Heap.alloc heaps.(2) ~floats:[| 6. |] ~ptrs:[||] in
+  let c = I_dpa.compile p in
+  let engine = Engine.create (machine 3) in
+  let items node =
+    if node = 0 then
+      [| I_dpa.item c ~entry:"pair" ~args:[ Value.Ptr a; Value.Ptr b ] |]
+    else [||]
+  in
+  ignore (Dpa.Runtime.run_phase ~engine ~heaps ~config:(Dpa.Config.dpa ()) ~items);
+  Alcotest.(check (float 1e-9)) "joined before accum" 11.
+    (I_dpa.accumulator c "sum")
+
+let test_conc_tree_spawns_concurrently () =
+  (* With conc recursion the two subtrees are outstanding at once. *)
+  let heaps = Dpa_heap.Heap.cluster ~nnodes:2 in
+  let root =
+    Programs.build_tree heaps ~depth:8
+      ~value:(fun _ -> 1.)
+      ~owner:(fun i -> i mod 2)
+  in
+  let c = I_dpa.compile Programs.tree_sum in
+  let engine = Engine.create (machine 2) in
+  let items node =
+    if node = 0 then [| I_dpa.item c ~entry:"sum_tree" ~args:[ Value.Ptr root ] |]
+    else [||]
+  in
+  let _, stats =
+    Dpa.Runtime.run_phase ~engine ~heaps ~config:(Dpa.Config.dpa ()) ~items
+  in
+  Alcotest.(check (float 1e-9)) "count" 255. (I_dpa.accumulator c "sum");
+  Alcotest.(check bool) "concurrency materialized" true
+    (stats.Dpa.Dpa_stats.max_outstanding > 1)
+
+let test_conc_partition_intersection () =
+  (* Availability after a conc block is the intersection of its branches:
+     a touch in only one arm does not make the pointer available after. *)
+  let p =
+    {
+      Ast.funcs =
+        [
+          {
+            Ast.fname = "f";
+            params = [ { Ast.pname = "a"; pclass = gp } ];
+            body =
+              [
+                Ast.Conc [ Ast.Load_field ("x", "a", 0); Ast.Let ("y", Ast.Num 1.) ];
+                Ast.Load_field ("z", "a", 0);
+              ];
+          };
+        ];
+    }
+  in
+  let info = Partition.analyze p (Ast.func p "f") in
+  (* Two spawn sites: inside the conc arm, and again after the block. *)
+  Alcotest.(check int) "spawn sites" 2
+    (List.length info.Partition.spawn_sites)
+
+let test_pretty_prints_conc () =
+  let s = Format.asprintf "%a" Pretty.pp_program Programs.tree_sum in
+  Alcotest.(check bool) "conc keyword" true (contains s "conc {")
+
+let conc_suites =
+  [
+    ( "compiler.conc",
+      [
+        Alcotest.test_case "join before continuation" `Quick test_conc_join;
+        Alcotest.test_case "tree spawns concurrently" `Quick
+          test_conc_tree_spawns_concurrently;
+        Alcotest.test_case "partition intersection" `Quick
+          test_conc_partition_intersection;
+        Alcotest.test_case "pretty prints conc" `Quick test_pretty_prints_conc;
+      ] );
+  ]
+
+let suites = suites @ conc_suites
+
+(* Hoisting is per alias class: pointers of different classes must get
+   separate alignment points even when both are in scope. *)
+let test_distinct_classes_not_hoisted () =
+  let p =
+    {
+      Ast.funcs =
+        [
+          {
+            Ast.fname = "g";
+            params =
+              [
+                { Ast.pname = "a"; pclass = Some (Ast.Global 0) };
+                { Ast.pname = "b"; pclass = Some (Ast.Global 1) };
+              ];
+            body =
+              [
+                Ast.Load_field ("x", "a", 0);
+                Ast.Load_field ("y", "b", 0);
+                Ast.Accum ("s", Ast.Binop (Ast.Add, Ast.Var "x", Ast.Var "y"));
+              ];
+          };
+        ];
+    }
+  in
+  let info = Partition.analyze p (Ast.func p "g") in
+  Alcotest.(check int) "two spawn sites" 2
+    (List.length info.Partition.spawn_sites);
+  List.iter
+    (fun s ->
+      Alcotest.(check (list string)) "nothing hoisted" [] s.Partition.hoisted)
+    info.Partition.spawn_sites
+
+let suites =
+  suites
+  @ [
+      ( "compiler.classes",
+        [
+          Alcotest.test_case "distinct classes not hoisted" `Quick
+            test_distinct_classes_not_hoisted;
+        ] );
+    ]

@@ -1,0 +1,242 @@
+open Dpa_harness
+
+(* A deliberately tiny configuration so every experiment runner finishes in
+   well under a second. *)
+let tiny =
+  {
+    Runconf.small with
+    Runconf.name = "tiny";
+    bh_bodies = 256;
+    bh_steps = 1;
+    fmm_particles = 256;
+    fmm_p = 6;
+    procs = [ 1; 4 ];
+    breakdown_procs = 4;
+    cache_capacity = 512;
+  }
+
+let test_table_render () =
+  let t = Table.make ~header:[ "A"; "LONG HEADER" ] in
+  Table.add_row t [ "1"; "x" ];
+  Table.add_row t [ "22"; "yy" ];
+  let s = Table.render t in
+  let lines = String.split_on_char '\n' s in
+  (match lines with
+  | header :: sep :: _ ->
+    Alcotest.(check bool) "aligned" true
+      (String.length header = String.length sep)
+  | _ -> Alcotest.fail "too few lines");
+  Alcotest.(check bool) "contains row" true
+    (List.exists (fun l -> l = "22  yy         ") lines)
+
+let test_table_bad_row () =
+  let t = Table.make ~header:[ "A" ] in
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Table.add_row: wrong number of columns") (fun () ->
+      Table.add_row t [ "1"; "2" ])
+
+let test_table_formats () =
+  Alcotest.(check string) "sec" "118.02" (Table.sec 118.019);
+  Alcotest.(check string) "speedup" "42.4" (Table.speedup 42.42);
+  Alcotest.(check string) "opt none" "-" (Table.opt Table.sec None)
+
+let test_barchart_render () =
+  let machine = Dpa_sim.Machine.t3d ~nodes:1 in
+  let n = Dpa_sim.Node.create ~machine ~id:0 in
+  Dpa_sim.Node.charge_local n 600;
+  Dpa_sim.Node.charge_comm n 200;
+  Dpa_sim.Node.wait_until n 1000;
+  let b = Dpa_sim.Breakdown.of_nodes ~elapsed_ns:1000 [| n |] in
+  let s =
+    Barchart.render ~width:10
+      [ Barchart.of_breakdown ~label:"x" ~speedup:2.0 b ]
+  in
+  Alcotest.(check bool) "has local" true (String.contains s '#');
+  Alcotest.(check bool) "has comm" true (String.contains s '+');
+  Alcotest.(check bool) "has idle" true (String.contains s '.')
+
+let test_runconf_names () =
+  Alcotest.(check string) "small" "small" Runconf.small.Runconf.name;
+  Alcotest.(check string) "full" "full" Runconf.full.Runconf.name;
+  Alcotest.(check bool) "full is paper input" true
+    (Runconf.full.Runconf.bh_bodies = fst Paper.bh_input
+    && Runconf.full.Runconf.fmm_p = snd Paper.fmm_input);
+  (match Runconf.of_name "nope" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument")
+
+let test_paper_numbers () =
+  Alcotest.(check (option (float 1e-9))) "bh dpa 64" (Some 2.63)
+    (Paper.bh_dpa50_s 64);
+  Alcotest.(check (option (float 1e-9))) "bh caching 1" (Some 115.15)
+    (Paper.bh_caching_s 1);
+  Alcotest.(check (option (float 1e-9))) "unknown" None (Paper.fmm_caching_s 16)
+
+let test_bh_times_monotone () =
+  let rows = Experiment.bh_times tiny in
+  Alcotest.(check int) "rows" 2 (List.length rows);
+  let t1 = List.nth rows 0 and t4 = List.nth rows 1 in
+  Alcotest.(check bool) "more procs is faster (dpa)" true
+    (t4.Experiment.dpa_s < t1.Experiment.dpa_s);
+  Alcotest.(check bool) "seq consistent" true
+    (Float.abs (t1.Experiment.seq_s -. t4.Experiment.seq_s) < 1e-9)
+
+let test_fmm_times_monotone () =
+  let rows = Experiment.fmm_times tiny in
+  let t1 = List.nth rows 0 and t4 = List.nth rows 1 in
+  Alcotest.(check bool) "more procs is faster (dpa)" true
+    (t4.Experiment.dpa_s < t1.Experiment.dpa_s)
+
+let test_breakdown_ordering () =
+  let bars = Experiment.bh_breakdown tiny in
+  Alcotest.(check int) "five variants" 5 (List.length bars);
+  let time name =
+    let b = List.find (fun b -> b.Experiment.variant = name) bars in
+    Dpa_sim.Breakdown.elapsed_s b.Experiment.breakdown
+  in
+  (* The paper's headline ordering. *)
+  Alcotest.(check bool) "dpa beats blocking" true
+    (time "DPA(50)" < time "Blocking (base)");
+  Alcotest.(check bool) "aggregation helps pipelining" true
+    (time "Pipeline+agg" <= time "Pipeline")
+
+let test_strip_sweep_bounds () =
+  let points = Experiment.strip_sweep ~strips:[ 4; 64 ] tiny in
+  let p4 = List.nth points 0 and p64 = List.nth points 1 in
+  Alcotest.(check bool) "outstanding grows with strip" true
+    (p4.Experiment.bh_outstanding <= p64.Experiment.bh_outstanding)
+
+let test_speedups_match_times () =
+  let bh = Experiment.bh_times tiny and fmm = Experiment.fmm_times tiny in
+  let rows = Experiment.speedups ~bh ~fmm in
+  List.iter2
+    (fun (r : Experiment.speedup_row) (t : Experiment.timing) ->
+      Alcotest.(check (float 1e-9)) "bh speedup" (t.Experiment.seq_s /. t.Experiment.dpa_s)
+        r.Experiment.bh_speedup)
+    rows bh
+
+let test_thread_stats_rows () =
+  let rows = Experiment.thread_stats tiny in
+  Alcotest.(check int) "five programs" 5 (List.length rows);
+  let bh = List.hd rows in
+  Alcotest.(check string) "first is BH" "Barnes-Hut" bh.Experiment.name;
+  Alcotest.(check bool) "dynamic threads counted" true
+    (bh.Experiment.dynamic_threads > 0);
+  let ir =
+    List.find (fun r -> r.Experiment.name = "pair_sum (IR)") rows
+  in
+  Alcotest.(check int) "pair_sum static sites" 1 ir.Experiment.static_sites
+
+let test_agg_sweep_msgs_decrease () =
+  let points = Experiment.agg_sweep ~aggs:[ 1; 64 ] tiny in
+  let p1 = List.nth points 0 and p64 = List.nth points 1 in
+  Alcotest.(check bool) "fewer messages with aggregation" true
+    (p64.Experiment.msgs < p1.Experiment.msgs)
+
+let test_cache_sweep_hits_increase () =
+  let points = Experiment.cache_sweep ~capacities:[ 4; 4096 ] tiny in
+  let small = List.nth points 0 and big = List.nth points 1 in
+  Alcotest.(check bool) "bigger cache, more hits" true
+    (big.Experiment.hits >= small.Experiment.hits);
+  Alcotest.(check bool) "bigger cache, fewer misses" true
+    (big.Experiment.misses <= small.Experiment.misses);
+  Alcotest.(check bool) "bigger cache not slower" true
+    (big.Experiment.time_s <= small.Experiment.time_s +. 1e-9)
+
+let test_distribution_sweep () =
+  let points = Experiment.distribution_sweep tiny in
+  Alcotest.(check int) "two distributions" 2 (List.length points);
+  let uniform = List.nth points 0 and clustered = List.nth points 1 in
+  Alcotest.(check string) "uniform first" "uniform" uniform.Experiment.dist_name;
+  Alcotest.(check bool) "clustered idles more (imbalance)" true
+    (clustered.Experiment.dist_idle_frac >= uniform.Experiment.dist_idle_frac)
+
+let test_partition_sweep () =
+  let points = Experiment.partition_sweep tiny in
+  Alcotest.(check int) "two partitions" 2 (List.length points);
+  let block = List.nth points 0 and cz = List.nth points 1 in
+  Alcotest.(check string) "block first" "equal-count blocks"
+    block.Experiment.part_name;
+  (* Costzones balances work: it must not be meaningfully slower. *)
+  Alcotest.(check bool) "costzones competitive" true
+    (cz.Experiment.part_time_s <= block.Experiment.part_time_s *. 1.05)
+
+let test_em3d_sweep () =
+  let points = Experiment.em3d_sweep tiny in
+  Alcotest.(check int) "three runtimes" 3 (List.length points);
+  let sums = List.map (fun p -> p.Experiment.em3d_checksum) points in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "checksums agree" true
+        (Float.abs (s -. List.hd sums) < 1e-9))
+    sums
+
+let test_latency_sweep_dpa_robust () =
+  let points = Experiment.latency_sweep ~scales:[ 1.; 8. ] tiny in
+  let low = List.nth points 0 and high = List.nth points 1 in
+  let gap p = p.Experiment.lat_blocking_s /. p.Experiment.lat_dpa_s in
+  Alcotest.(check bool) "dpa advantage grows with latency" true
+    (gap high > gap low)
+
+let test_upward_sweep () =
+  let points = Experiment.upward_sweep tiny in
+  Alcotest.(check int) "four runtimes" 4 (List.length points);
+  let dpa = List.hd points in
+  let blocking = List.nth points 3 in
+  Alcotest.(check bool) "combining uses fewer messages" true
+    (dpa.Experiment.up_msgs <= blocking.Experiment.up_msgs)
+
+let test_afmm_sweep () =
+  let points = Experiment.afmm_sweep tiny in
+  Alcotest.(check int) "four rows" 4 (List.length points);
+  let t name =
+    (List.find (fun p -> p.Experiment.af_variant = name) points)
+      .Experiment.af_time_s
+  in
+  Alcotest.(check bool) "adaptive dpa beats adaptive blocking" true
+    (t "adaptive + DPA" <= t "adaptive + Blocking")
+
+let test_hotspot () =
+  let points = Experiment.hotspot tiny in
+  Alcotest.(check int) "four configs" 4 (List.length points);
+  let t name =
+    (List.find (fun p -> p.Experiment.hs_config = name) points)
+      .Experiment.hs_time_s
+  in
+  Alcotest.(check bool) "serialization hurts pipeline more than dpa" true
+    (t "DPA, serialized ingress" <= t "Pipeline, serialized ingress" +. 1e-9)
+
+let suites =
+  [
+    ( "harness.table",
+      [
+        Alcotest.test_case "render" `Quick test_table_render;
+        Alcotest.test_case "bad row" `Quick test_table_bad_row;
+        Alcotest.test_case "formats" `Quick test_table_formats;
+      ] );
+    ( "harness.barchart",
+      [ Alcotest.test_case "render" `Quick test_barchart_render ] );
+    ( "harness.runconf",
+      [ Alcotest.test_case "presets" `Quick test_runconf_names ] );
+    ( "harness.paper",
+      [ Alcotest.test_case "recorded numbers" `Quick test_paper_numbers ] );
+    ( "harness.experiment",
+      [
+        Alcotest.test_case "bh times monotone" `Quick test_bh_times_monotone;
+        Alcotest.test_case "fmm times monotone" `Quick test_fmm_times_monotone;
+        Alcotest.test_case "breakdown ordering" `Quick test_breakdown_ordering;
+        Alcotest.test_case "strip sweep bounds" `Quick test_strip_sweep_bounds;
+        Alcotest.test_case "speedups match times" `Quick
+          test_speedups_match_times;
+        Alcotest.test_case "thread stats rows" `Quick test_thread_stats_rows;
+        Alcotest.test_case "agg sweep" `Quick test_agg_sweep_msgs_decrease;
+        Alcotest.test_case "cache sweep" `Quick test_cache_sweep_hits_increase;
+        Alcotest.test_case "distribution sweep" `Quick test_distribution_sweep;
+        Alcotest.test_case "partition sweep" `Quick test_partition_sweep;
+        Alcotest.test_case "em3d sweep" `Quick test_em3d_sweep;
+        Alcotest.test_case "latency sweep" `Quick test_latency_sweep_dpa_robust;
+        Alcotest.test_case "upward sweep" `Quick test_upward_sweep;
+        Alcotest.test_case "afmm sweep" `Quick test_afmm_sweep;
+        Alcotest.test_case "hotspot" `Quick test_hotspot;
+      ] );
+  ]

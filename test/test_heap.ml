@@ -1,0 +1,152 @@
+open Dpa_heap
+
+let test_gptr_nil () =
+  Alcotest.(check bool) "nil is nil" true (Gptr.is_nil Gptr.nil);
+  Alcotest.(check bool) "made is not nil" false
+    (Gptr.is_nil (Gptr.make ~node:0 ~slot:0))
+
+let test_gptr_equal_hash () =
+  let a = Gptr.make ~node:1 ~slot:2 and b = Gptr.make ~node:1 ~slot:2 in
+  Alcotest.(check bool) "equal" true (Gptr.equal a b);
+  Alcotest.(check int) "hash equal" (Gptr.hash a) (Gptr.hash b)
+
+let test_obj_bytes () =
+  let o = Obj_repr.make ~floats:[| 1.; 2.; 3. |] ~ptrs:[| Gptr.nil |] in
+  Alcotest.(check int) "bytes" (8 + 24 + 8) (Obj_repr.bytes o)
+
+let test_obj_copy_independent () =
+  let o = Obj_repr.make ~floats:[| 1. |] ~ptrs:[||] in
+  let c = Obj_repr.copy o in
+  c.Obj_repr.floats.(0) <- 9.;
+  Alcotest.(check (float 0.)) "original unchanged" 1. o.Obj_repr.floats.(0)
+
+let test_heap_alloc_get () =
+  let cluster = Heap.cluster ~nnodes:3 in
+  let p = Heap.alloc cluster.(1) ~floats:[| 4.2 |] ~ptrs:[||] in
+  Alcotest.(check int) "owner" 1 p.Gptr.node;
+  let o = Heap.get cluster.(1) p in
+  Alcotest.(check (float 0.)) "payload" 4.2 o.Obj_repr.floats.(0);
+  let o' = Heap.deref cluster p in
+  Alcotest.(check (float 0.)) "deref" 4.2 o'.Obj_repr.floats.(0)
+
+let test_heap_wrong_node () =
+  let cluster = Heap.cluster ~nnodes:2 in
+  let p = Heap.alloc cluster.(0) ~floats:[||] ~ptrs:[||] in
+  Alcotest.check_raises "wrong owner"
+    (Invalid_argument "Heap.get: pointer owned by another node") (fun () ->
+      ignore (Heap.get cluster.(1) p))
+
+let test_heap_nil_deref () =
+  let cluster = Heap.cluster ~nnodes:1 in
+  Alcotest.check_raises "nil" (Invalid_argument "Heap.deref: nil pointer")
+    (fun () -> ignore (Heap.deref cluster Gptr.nil))
+
+let qcheck_heap_roundtrip =
+  QCheck.Test.make ~name:"heap alloc/deref round trip" ~count:100
+    QCheck.(small_list (small_list float))
+    (fun payloads ->
+      let cluster = Heap.cluster ~nnodes:4 in
+      let ptrs =
+        List.mapi
+          (fun i fs ->
+            let node = i mod 4 in
+            (Heap.alloc cluster.(node) ~floats:(Array.of_list fs) ~ptrs:[||], fs))
+          payloads
+      in
+      List.for_all
+        (fun (p, fs) ->
+          Array.to_list (Heap.deref cluster p).Obj_repr.floats = fs)
+        ptrs)
+
+let test_block_distribution_partition () =
+  let nitems = 17 and nnodes = 5 in
+  (* Ranges partition the items and owners are consistent. *)
+  let seen = Array.make nitems 0 in
+  for node = 0 to nnodes - 1 do
+    let first, count = Distribution.block_range ~nitems ~nnodes node in
+    for i = first to first + count - 1 do
+      seen.(i) <- seen.(i) + 1;
+      Alcotest.(check int) "owner matches range" node
+        (Distribution.block_owner ~nitems ~nnodes i)
+    done
+  done;
+  Array.iter (fun c -> Alcotest.(check int) "covered once" 1 c) seen
+
+let qcheck_block_distribution =
+  QCheck.Test.make ~name:"block distribution partitions items" ~count:200
+    QCheck.(pair (int_range 0 200) (int_range 1 17))
+    (fun (nitems, nnodes) ->
+      let total = ref 0 in
+      for node = 0 to nnodes - 1 do
+        let _, count = Distribution.block_range ~nitems ~nnodes node in
+        total := !total + count
+      done;
+      !total = nitems)
+
+let test_weighted_ranges_balance () =
+  let weights = Array.init 100 (fun i -> if i < 10 then 91 else 1) in
+  (* Total = 910 + 90 = 1000; 4 nodes want ~250 each. *)
+  let ranges = Dpa_heap.Distribution.weighted_ranges ~weights ~nnodes:4 in
+  let covered = Array.make 100 0 in
+  Array.iter
+    (fun (first, count) ->
+      for i = first to first + count - 1 do
+        covered.(i) <- covered.(i) + 1
+      done)
+    ranges;
+  Array.iter (fun c -> Alcotest.(check int) "partition" 1 c) covered;
+  let node_weight (first, count) =
+    let s = ref 0 in
+    for i = first to first + count - 1 do
+      s := !s + weights.(i)
+    done;
+    !s
+  in
+  let w0 = node_weight ranges.(0) in
+  (* The heavy prefix must not all land on node 0. *)
+  Alcotest.(check bool) "node 0 near fair share" true (w0 <= 400)
+
+let qcheck_weighted_ranges_partition =
+  QCheck.Test.make ~name:"weighted ranges always partition the items"
+    ~count:300
+    QCheck.(pair (int_range 1 9) (list_of_size (Gen.int_range 0 40) (int_range 0 20)))
+    (fun (nnodes, ws) ->
+      let weights = Array.of_list ws in
+      let ranges = Dpa_heap.Distribution.weighted_ranges ~weights ~nnodes in
+      let owner = Dpa_heap.Distribution.owner_of_ranges ranges in
+      Array.length owner = Array.length weights
+      && Array.length ranges = nnodes
+      && fst (Array.fold_left
+                (fun (ok, expected) (first, count) ->
+                  (ok && first = expected && count >= 0, expected + count))
+                (true, 0) ranges)
+      && Array.fold_left (fun acc (_, c) -> acc + c) 0 ranges
+         = Array.length weights)
+
+let suites =
+  [
+    ( "heap.gptr",
+      [
+        Alcotest.test_case "nil" `Quick test_gptr_nil;
+        Alcotest.test_case "equal/hash" `Quick test_gptr_equal_hash;
+      ] );
+    ( "heap.obj",
+      [
+        Alcotest.test_case "bytes" `Quick test_obj_bytes;
+        Alcotest.test_case "copy independent" `Quick test_obj_copy_independent;
+      ] );
+    ( "heap.heap",
+      [
+        Alcotest.test_case "alloc/get" `Quick test_heap_alloc_get;
+        Alcotest.test_case "wrong node" `Quick test_heap_wrong_node;
+        Alcotest.test_case "nil deref" `Quick test_heap_nil_deref;
+        QCheck_alcotest.to_alcotest qcheck_heap_roundtrip;
+      ] );
+    ( "heap.distribution",
+      [
+        Alcotest.test_case "partition" `Quick test_block_distribution_partition;
+        Alcotest.test_case "weighted balance" `Quick test_weighted_ranges_balance;
+        QCheck_alcotest.to_alcotest qcheck_block_distribution;
+        QCheck_alcotest.to_alcotest qcheck_weighted_ranges_partition;
+      ] );
+  ]

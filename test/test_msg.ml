@@ -1,0 +1,135 @@
+open Dpa_sim
+
+let machine =
+  Machine.make ~send_overhead_ns:1000 ~recv_overhead_ns:1000
+    ~wire_latency_ns:1000 ~ns_per_byte:10. ~nodes:4 ()
+
+let test_am_delivery_time () =
+  let engine = Engine.create machine in
+  let src = Engine.node engine 0 in
+  let arrived = ref (-1) in
+  Dpa_msg.Am.send engine ~src ~dst:1 ~bytes:100 (fun d ->
+      arrived := d.Node.clock);
+  Engine.run engine;
+  (* send overhead 1000 -> injection at 1000; transfer = 1000 + 100*10 = 2000;
+     arrival 3000; recv overhead 1000 -> handler sees clock 4000. *)
+  Alcotest.(check int) "handler clock" 4000 !arrived;
+  Alcotest.(check int) "src comm" 1000 src.Node.comm_ns;
+  Alcotest.(check int) "src msgs" 1 src.Node.msgs_sent;
+  Alcotest.(check int) "dst msgs" 1 (Engine.node engine 1).Node.msgs_recv
+
+let test_am_rejects_small () =
+  let engine = Engine.create machine in
+  Alcotest.check_raises "too small"
+    (Invalid_argument "Am.send: message smaller than header") (fun () ->
+      Dpa_msg.Am.send engine ~src:(Engine.node engine 0) ~dst:1 ~bytes:2
+        (fun _ -> ()))
+
+let test_message_sizes () =
+  Alcotest.(check int) "request"
+    (machine.Machine.msg_header_bytes + (3 * machine.Machine.req_entry_bytes))
+    (Dpa_msg.Am.request_bytes machine ~nreqs:3);
+  Alcotest.(check bool) "reply bigger than payload" true
+    (Dpa_msg.Am.reply_bytes machine ~payload:100 ~nreqs:2 > 100)
+
+let test_aggregator_batches () =
+  let flushed = ref [] in
+  let agg =
+    Dpa_msg.Aggregator.create ~ndest:3 ~max_batch:2 ~flush:(fun ~dst reqs ->
+        flushed := (dst, reqs) :: !flushed)
+  in
+  Dpa_msg.Aggregator.add agg ~dst:1 "a";
+  Alcotest.(check int) "buffered" 1 (Dpa_msg.Aggregator.pending agg);
+  Dpa_msg.Aggregator.add agg ~dst:1 "b" (* hits max_batch -> eager flush *);
+  Alcotest.(check int) "drained" 0 (Dpa_msg.Aggregator.pending agg);
+  Dpa_msg.Aggregator.add agg ~dst:2 "c";
+  Dpa_msg.Aggregator.flush_all agg;
+  Alcotest.(check (list (pair int (list string))))
+    "batches in order"
+    [ (1, [ "a"; "b" ]); (2, [ "c" ]) ]
+    (List.rev !flushed);
+  Alcotest.(check int) "flushes" 2 (Dpa_msg.Aggregator.flushes agg);
+  Alcotest.(check int) "max batch" 2 (Dpa_msg.Aggregator.max_batch_seen agg)
+
+let qcheck_aggregator_no_loss =
+  QCheck.Test.make
+    ~name:"aggregator neither drops nor duplicates nor reorders" ~count:300
+    QCheck.(pair (int_range 1 10) (small_list (pair (int_range 0 4) small_nat)))
+    (fun (max_batch, adds) ->
+      let out = Array.make 5 [] in
+      let agg =
+        Dpa_msg.Aggregator.create ~ndest:5 ~max_batch ~flush:(fun ~dst reqs ->
+            out.(dst) <- out.(dst) @ reqs)
+      in
+      List.iter (fun (dst, x) -> Dpa_msg.Aggregator.add agg ~dst x) adds;
+      Dpa_msg.Aggregator.flush_all agg;
+      Dpa_msg.Aggregator.pending agg = 0
+      && List.for_all
+           (fun dst ->
+             out.(dst)
+             = List.filter_map
+                 (fun (d, x) -> if d = dst then Some x else None)
+                 adds)
+           [ 0; 1; 2; 3; 4 ])
+
+let qcheck_aggregator_batch_bound =
+  QCheck.Test.make ~name:"aggregator batches never exceed max_batch" ~count:200
+    QCheck.(pair (int_range 1 7) (small_list (int_range 0 2)))
+    (fun (max_batch, dsts) ->
+      let ok = ref true in
+      let agg =
+        Dpa_msg.Aggregator.create ~ndest:3 ~max_batch ~flush:(fun ~dst:_ reqs ->
+            if List.length reqs > max_batch then ok := false)
+      in
+      List.iter (fun dst -> Dpa_msg.Aggregator.add agg ~dst ()) dsts;
+      Dpa_msg.Aggregator.flush_all agg;
+      !ok)
+
+let test_am_ingress_serialization () =
+  (* Two 1000-byte messages sent back-to-back to the same destination: with
+     serialized links the second arrives a full serialization time after
+     the first; contention-free they overlap. *)
+  let arrivals serialized =
+    let m =
+      Machine.make ~send_overhead_ns:0 ~recv_overhead_ns:0
+        ~wire_latency_ns:1000 ~ns_per_byte:10. ~ingress_serialized:serialized
+        ~nodes:3 ()
+    in
+    let engine = Engine.create m in
+    let out = ref [] in
+    (* Distinct senders so sender-side egress doesn't serialize them. *)
+    Dpa_msg.Am.send engine ~src:(Engine.node engine 0) ~dst:2 ~bytes:1000
+      (fun d -> out := d.Node.clock :: !out);
+    Dpa_msg.Am.send engine ~src:(Engine.node engine 1) ~dst:2 ~bytes:1000
+      (fun d -> out := d.Node.clock :: !out);
+    Engine.run engine;
+    List.sort compare !out
+  in
+  (match arrivals false with
+  | [ a; b ] ->
+    Alcotest.(check int) "contention-free: together" a b;
+    Alcotest.(check int) "at latency+transfer" 11000 a
+  | _ -> Alcotest.fail "expected two arrivals");
+  match arrivals true with
+  | [ a; b ] ->
+    Alcotest.(check int) "first at egress+wire+ingress" 21000 a;
+    Alcotest.(check int) "second queued behind first" 31000 b
+  | _ -> Alcotest.fail "expected two arrivals"
+
+let suites =
+  [
+    ( "msg.am",
+      [
+        Alcotest.test_case "delivery time" `Quick test_am_delivery_time;
+        Alcotest.test_case "rejects small" `Quick test_am_rejects_small;
+        Alcotest.test_case "message sizes" `Quick test_message_sizes;
+        Alcotest.test_case "ingress serialization" `Quick
+          test_am_ingress_serialization;
+      ] );
+    ( "msg.aggregator",
+      [
+        Alcotest.test_case "batches" `Quick test_aggregator_batches;
+        QCheck_alcotest.to_alcotest qcheck_aggregator_no_loss;
+        QCheck_alcotest.to_alcotest qcheck_aggregator_batch_bound;
+      ] );
+  ]

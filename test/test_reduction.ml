@@ -1,0 +1,323 @@
+(* Tests of the remote-reduction extension: the update buffer, the
+   [accumulate] operation under every runtime, and the parallel FMM upward
+   pass built on it. *)
+
+open Dpa_sim
+open Dpa_heap
+
+let machine nodes = Machine.t3d ~nodes
+
+(* --- update buffer ------------------------------------------------------ *)
+
+let p ~node ~slot = Gptr.make ~node ~slot
+
+let test_update_buffer_combines () =
+  let out = ref [] in
+  let b =
+    Dpa.Update_buffer.create ~ndest:2 ~combine:true ~max_batch:100
+      ~flush:(fun ~dst batch -> out := (dst, batch) :: !out)
+  in
+  Dpa.Update_buffer.add b ~dst:1 (p ~node:1 ~slot:0) ~idx:3 1.0;
+  Dpa.Update_buffer.add b ~dst:1 (p ~node:1 ~slot:0) ~idx:3 2.0;
+  Dpa.Update_buffer.add b ~dst:1 (p ~node:1 ~slot:0) ~idx:4 5.0;
+  Alcotest.(check int) "two distinct slots" 2 (Dpa.Update_buffer.pending b);
+  Alcotest.(check int) "one combined" 1 (Dpa.Update_buffer.combined b);
+  Dpa.Update_buffer.flush_all b;
+  (match !out with
+  | [ (1, batch) ] ->
+    let find idx =
+      (List.find (fun e -> e.Dpa.Update_buffer.idx = idx) batch)
+        .Dpa.Update_buffer.value
+    in
+    Alcotest.(check (float 1e-12)) "combined sum" 3.0 (find 3);
+    Alcotest.(check (float 1e-12)) "other slot" 5.0 (find 4)
+  | _ -> Alcotest.fail "expected one flush to dst 1");
+  Alcotest.(check int) "entries counted" 2 (Dpa.Update_buffer.sent_entries b)
+
+let test_update_buffer_no_combine () =
+  let batches = ref 0 and entries = ref 0 in
+  let b =
+    Dpa.Update_buffer.create ~ndest:1 ~combine:false ~max_batch:100
+      ~flush:(fun ~dst:_ batch ->
+        incr batches;
+        entries := !entries + List.length batch)
+  in
+  (* Same slot twice: without combining both updates must survive (the
+     buffer flushes eagerly on the collision). *)
+  Dpa.Update_buffer.add b ~dst:0 (p ~node:0 ~slot:0) ~idx:0 1.0;
+  Dpa.Update_buffer.add b ~dst:0 (p ~node:0 ~slot:0) ~idx:0 2.0;
+  Dpa.Update_buffer.flush_all b;
+  Alcotest.(check int) "no loss" 2 !entries;
+  Alcotest.(check int) "no combining" 0 (Dpa.Update_buffer.combined b)
+
+let test_update_buffer_eager_flush () =
+  let batches = ref [] in
+  let b =
+    Dpa.Update_buffer.create ~ndest:1 ~combine:true ~max_batch:3
+      ~flush:(fun ~dst:_ batch -> batches := List.length batch :: !batches)
+  in
+  for slot = 0 to 6 do
+    Dpa.Update_buffer.add b ~dst:0 (p ~node:0 ~slot) ~idx:0 1.0
+  done;
+  Dpa.Update_buffer.flush_all b;
+  Alcotest.(check (list int)) "batch sizes" [ 1; 3; 3 ] !batches
+
+let qcheck_update_buffer_sum_preserved =
+  QCheck.Test.make ~name:"update buffer preserves per-slot totals" ~count:200
+    QCheck.(
+      small_list (triple (int_range 0 3) (int_range 0 2) (float_range (-5.) 5.)))
+    (fun adds ->
+      let applied = Hashtbl.create 16 in
+      let b =
+        Dpa.Update_buffer.create ~ndest:4 ~combine:true ~max_batch:4
+          ~flush:(fun ~dst batch ->
+            List.iter
+              (fun e ->
+                let key = (dst, e.Dpa.Update_buffer.ptr, e.Dpa.Update_buffer.idx) in
+                let cur = Option.value ~default:0. (Hashtbl.find_opt applied key) in
+                Hashtbl.replace applied key (cur +. e.Dpa.Update_buffer.value))
+              batch)
+      in
+      List.iter
+        (fun (slot, idx, v) ->
+          Dpa.Update_buffer.add b ~dst:(slot mod 4) (p ~node:0 ~slot) ~idx v)
+        adds;
+      Dpa.Update_buffer.flush_all b;
+      let want = Hashtbl.create 16 in
+      List.iter
+        (fun (slot, idx, v) ->
+          let key = (slot mod 4, p ~node:0 ~slot, idx) in
+          let cur = Option.value ~default:0. (Hashtbl.find_opt want key) in
+          Hashtbl.replace want key (cur +. v))
+        adds;
+      Hashtbl.fold
+        (fun key v ok ->
+          ok
+          && Float.abs (v -. Option.value ~default:nan (Hashtbl.find_opt applied key))
+             < 1e-9)
+        want true)
+
+(* --- accumulate through the runtimes ------------------------------------ *)
+
+let accumulate_phase (type c) (module A : Dpa.Access.S with type ctx = c)
+    run_phase =
+  let nnodes = 3 in
+  let heaps = Heap.cluster ~nnodes in
+  (* One counter object per node; every node bumps every counter 5 times. *)
+  let counters =
+    Array.init nnodes (fun node ->
+        Heap.alloc heaps.(node) ~floats:[| 0.; 0. |] ~ptrs:[||])
+  in
+  let items node =
+    Array.init 5 (fun i ->
+        fun (ctx : c) ->
+          Array.iter
+            (fun c ->
+              A.accumulate ctx c ~idx:0 1.0;
+              A.accumulate ctx c ~idx:1 (float_of_int (node + i)))
+            counters)
+  in
+  run_phase heaps items;
+  (heaps, counters)
+
+let check_counters name (heaps, counters) =
+  Array.iter
+    (fun c ->
+      let v = Heap.deref heaps c in
+      Alcotest.(check (float 1e-9))
+        (name ^ " count") 15.0 v.Obj_repr.floats.(0);
+      (* sum over node in 0..2, i in 0..4 of (node+i) = 3*10 + 5*3 = 45 *)
+      Alcotest.(check (float 1e-9)) (name ^ " sum") 45.0 v.Obj_repr.floats.(1))
+    counters
+
+let test_accumulate_dpa () =
+  check_counters "dpa"
+    (accumulate_phase
+       (module Dpa.Runtime)
+       (fun heaps items ->
+         let engine = Engine.create (machine 3) in
+         ignore
+           (Dpa.Runtime.run_phase ~engine ~heaps ~config:(Dpa.Config.dpa ())
+              ~items)))
+
+let test_accumulate_dpa_no_combine () =
+  check_counters "pipeline"
+    (accumulate_phase
+       (module Dpa.Runtime)
+       (fun heaps items ->
+         let engine = Engine.create (machine 3) in
+         ignore
+           (Dpa.Runtime.run_phase ~engine ~heaps
+              ~config:(Dpa.Config.pipeline_only ())
+              ~items)))
+
+let test_accumulate_caching () =
+  check_counters "caching"
+    (accumulate_phase
+       (module Dpa_baselines.Caching)
+       (fun heaps items ->
+         let engine = Engine.create (machine 3) in
+         ignore
+           (Dpa_baselines.Caching.run_phase ~engine ~heaps ~capacity:16 ~items
+              ())))
+
+let test_accumulate_blocking () =
+  check_counters "blocking"
+    (accumulate_phase
+       (module Dpa_baselines.Blocking)
+       (fun heaps items ->
+         let engine = Engine.create (machine 3) in
+         ignore (Dpa_baselines.Blocking.run_phase ~engine ~heaps ~items)))
+
+let test_dpa_combining_reduces_messages () =
+  let run config =
+    let nnodes = 2 in
+    let heaps = Heap.cluster ~nnodes in
+    let counter = Heap.alloc heaps.(1) ~floats:[| 0. |] ~ptrs:[||] in
+    let engine = Engine.create (machine nnodes) in
+    let items node =
+      if node <> 0 then [||]
+      else
+        Array.init 32 (fun _ ->
+            fun ctx -> Dpa.Runtime.accumulate ctx counter ~idx:0 1.0)
+    in
+    let _, stats = Dpa.Runtime.run_phase ~engine ~heaps ~config ~items in
+    Alcotest.(check (float 1e-9)) "applied" 32.
+      (Heap.deref heaps counter).Obj_repr.floats.(0);
+    stats
+  in
+  let combined = run (Dpa.Config.dpa ~strip_size:32 ()) in
+  let plain = run (Dpa.Config.pipeline_only ~strip_size:32 ()) in
+  Alcotest.(check bool) "combining collapses updates" true
+    (combined.Dpa.Dpa_stats.update_msgs < plain.Dpa.Dpa_stats.update_msgs);
+  Alcotest.(check bool) "combines counted" true
+    (combined.Dpa.Dpa_stats.updates_combined > 0)
+
+(* --- parallel FMM upward pass ------------------------------------------- *)
+
+let upward_setup ~nparticles =
+  let parts = Dpa_fmm.Particle2d.uniform ~n:nparticles ~seed:31 in
+  let tree = Dpa_fmm.Quadtree.build ~target_occupancy:6 parts in
+  let params =
+    { Dpa_fmm.Fmm_force.default_params with Dpa_fmm.Fmm_force.p = 8 }
+  in
+  (tree, params)
+
+let expansions_match tree global reference =
+  let ok = ref true in
+  for ci = 0 to Dpa_fmm.Quadtree.ncells tree - 1 do
+    if Dpa_fmm.Quadtree.level_of tree ci >= 2 then begin
+      let got =
+        Dpa_fmm.Fmm_global.View.expansion
+          (Heap.deref global.Dpa_fmm.Fmm_global.heaps
+             global.Dpa_fmm.Fmm_global.mp_ptrs.(ci))
+      in
+      Array.iteri
+        (fun k c ->
+          if Complex.norm (Complex.sub c reference.(ci).(k)) > 1e-9 then
+            ok := false)
+        got
+    end
+  done;
+  !ok
+
+let run_upward variant =
+  (* 3 nodes: block cuts fall inside Morton sibling groups, so some
+     parents are remote from their children and updates cross the wire. *)
+  let nnodes = 3 in
+  let tree, params = upward_setup ~nparticles:500 in
+  let global =
+    Dpa_fmm.Fmm_global.distribute_empty ~p:params.Dpa_fmm.Fmm_force.p tree
+      ~nnodes
+  in
+  let engine = Engine.create (machine nnodes) in
+  let r = Dpa_fmm.Fmm_upward.run ~engine ~global ~params variant in
+  let reference = Dpa_fmm.Fmm_seq.upward ~p:params.Dpa_fmm.Fmm_force.p tree in
+  (tree, global, r, reference)
+
+let test_upward_dpa_matches_seq () =
+  let tree, global, _, reference = run_upward (Dpa_baselines.Variant.dpa ()) in
+  Alcotest.(check bool) "multipoles equal sequential" true
+    (expansions_match tree global reference)
+
+let test_upward_caching_matches_seq () =
+  let tree, global, _, reference =
+    run_upward (Dpa_baselines.Variant.Caching { capacity = 64 })
+  in
+  Alcotest.(check bool) "multipoles equal sequential" true
+    (expansions_match tree global reference)
+
+let test_upward_then_force_pipeline () =
+  (* Full pipeline: empty distribution, parallel upward, then the force
+     phase — results must match the all-sequential-upward path. *)
+  let nnodes = 4 in
+  let tree, params = upward_setup ~nparticles:300 in
+  let global =
+    Dpa_fmm.Fmm_global.distribute_empty ~p:params.Dpa_fmm.Fmm_force.p tree
+      ~nnodes
+  in
+  let engine = Engine.create (machine nnodes) in
+  ignore
+    (Dpa_fmm.Fmm_upward.run ~engine ~global ~params
+       (Dpa_baselines.Variant.dpa ()));
+  let phase =
+    Dpa_fmm.Fmm_run.force_phase ~engine ~global ~params
+      (Dpa_baselines.Variant.dpa ())
+  in
+  let seq, _ = Dpa_fmm.Fmm_seq.compute ~p:params.Dpa_fmm.Fmm_force.p tree in
+  Array.iteri
+    (fun i want ->
+      if
+        Float.abs
+          (want -. phase.Dpa_fmm.Fmm_run.result.Dpa_fmm.Fmm_seq.potential.(i))
+        > 1e-8
+      then Alcotest.failf "potential %d differs" i)
+    seq.Dpa_fmm.Fmm_seq.potential
+
+let test_upward_combining_saves_messages () =
+  let run variant =
+    let _, _, (r : Dpa_fmm.Fmm_upward.result), _ = run_upward variant in
+    r
+  in
+  let dpa = run (Dpa_baselines.Variant.dpa ()) in
+  let caching = run (Dpa_baselines.Variant.Caching { capacity = 64 }) in
+  (match dpa.Dpa_fmm.Fmm_upward.dpa_stats with
+  | Some s ->
+    Alcotest.(check bool) "remote updates exist" true
+      (s.Dpa.Dpa_stats.update_msgs > 0)
+  | None -> Alcotest.fail "expected dpa stats");
+  Alcotest.(check bool) "combining+aggregation beats singles" true
+    (dpa.Dpa_fmm.Fmm_upward.breakdown.Breakdown.msgs
+    < caching.Dpa_fmm.Fmm_upward.breakdown.Breakdown.msgs)
+
+let suites =
+  [
+    ( "core.update_buffer",
+      [
+        Alcotest.test_case "combines" `Quick test_update_buffer_combines;
+        Alcotest.test_case "no-combine keeps all" `Quick
+          test_update_buffer_no_combine;
+        Alcotest.test_case "eager flush" `Quick test_update_buffer_eager_flush;
+        QCheck_alcotest.to_alcotest qcheck_update_buffer_sum_preserved;
+      ] );
+    ( "core.accumulate",
+      [
+        Alcotest.test_case "dpa" `Quick test_accumulate_dpa;
+        Alcotest.test_case "dpa no combine" `Quick test_accumulate_dpa_no_combine;
+        Alcotest.test_case "caching" `Quick test_accumulate_caching;
+        Alcotest.test_case "blocking" `Quick test_accumulate_blocking;
+        Alcotest.test_case "combining reduces messages" `Quick
+          test_dpa_combining_reduces_messages;
+      ] );
+    ( "fmm.upward",
+      [
+        Alcotest.test_case "dpa matches sequential" `Quick
+          test_upward_dpa_matches_seq;
+        Alcotest.test_case "caching matches sequential" `Quick
+          test_upward_caching_matches_seq;
+        Alcotest.test_case "upward then force pipeline" `Quick
+          test_upward_then_force_pipeline;
+        Alcotest.test_case "combining saves messages" `Quick
+          test_upward_combining_saves_messages;
+      ] );
+  ]

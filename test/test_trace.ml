@@ -1,0 +1,95 @@
+open Dpa_sim
+
+let test_totals_match_node_counters () =
+  let engine = Engine.create (Machine.t3d ~nodes:2) in
+  let trace = Trace.attach engine in
+  Engine.post engine ~time:0 ~node:0 (fun () ->
+      let n = Engine.node engine 0 in
+      Node.charge_local n 500;
+      Node.charge_comm n 200);
+  Engine.post engine ~time:1000 ~node:0 (fun () -> ());
+  Engine.run engine;
+  Trace.detach trace;
+  let n = Engine.node engine 0 in
+  let local, comm, idle = Trace.totals trace 0 in
+  Alcotest.(check int) "local" n.Node.local_ns local;
+  Alcotest.(check int) "comm" n.Node.comm_ns comm;
+  Alcotest.(check int) "idle" n.Node.idle_ns idle;
+  Alcotest.(check int) "idle gap recorded" 300 idle
+
+let test_detach_stops_recording () =
+  let engine = Engine.create (Machine.t3d ~nodes:1) in
+  let trace = Trace.attach engine in
+  Node.charge_local (Engine.node engine 0) 100;
+  Trace.detach trace;
+  let before = Trace.nsegments trace in
+  Node.charge_local (Engine.node engine 0) 100;
+  Alcotest.(check int) "no new segments" before (Trace.nsegments trace)
+
+let test_timeline_renders () =
+  let engine = Engine.create (Machine.t3d ~nodes:2) in
+  let trace = Trace.attach engine in
+  Node.charge_local (Engine.node engine 0) 1000;
+  Node.charge_comm (Engine.node engine 1) 400;
+  Node.wait_until (Engine.node engine 1) 1000;
+  Trace.detach trace;
+  let s = Trace.timeline ~width:20 trace in
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check bool) "three lines plus legend" true (List.length lines >= 3);
+  Alcotest.(check bool) "node 0 computes" true
+    (String.contains (List.nth lines 0) '#');
+  Alcotest.(check bool) "node 1 communicates" true
+    (String.contains (List.nth lines 1) '+');
+  Alcotest.(check bool) "node 1 idles" true
+    (String.contains (List.nth lines 1) '.')
+
+let test_csv_format () =
+  let engine = Engine.create (Machine.t3d ~nodes:1) in
+  let trace = Trace.attach engine in
+  Node.charge_local (Engine.node engine 0) 7;
+  Trace.detach trace;
+  let csv = Trace.to_csv trace in
+  Alcotest.(check bool) "header" true
+    (String.length csv > 26 && String.sub csv 0 26 = "node,kind,start_ns,dur_ns\n");
+  Alcotest.(check bool) "row" true
+    (String.split_on_char '\n' csv |> List.exists (fun l -> l = "0,local,0,7"))
+
+let test_trace_full_phase_consistency () =
+  (* Trace a real BH phase: recorded totals must equal the breakdown. *)
+  let bodies = Dpa_bh.Plummer.generate ~n:200 ~seed:17 in
+  let octree = Dpa_bh.Octree.build bodies in
+  let tree = Dpa_bh.Bh_global.distribute octree ~nnodes:3 in
+  let engine = Engine.create (Machine.t3d ~nodes:3) in
+  let trace = Trace.attach engine in
+  let r =
+    Dpa_bh.Bh_run.force_phase ~engine ~tree ~bodies
+      ~params:Dpa_bh.Bh_force.default_params
+      (Dpa_baselines.Variant.dpa ())
+  in
+  Trace.detach trace;
+  let local = ref 0 and comm = ref 0 and idle = ref 0 in
+  for node = 0 to 2 do
+    let l, c, i = Trace.totals trace node in
+    local := !local + l;
+    comm := !comm + c;
+    idle := !idle + i
+  done;
+  let b = r.Dpa_bh.Bh_run.breakdown in
+  Alcotest.(check int) "local" b.Breakdown.local_ns !local;
+  Alcotest.(check int) "comm" b.Breakdown.comm_ns !comm;
+  Alcotest.(check int) "idle" b.Breakdown.idle_ns !idle
+
+let suites =
+  [
+    ( "sim.trace",
+      [
+        Alcotest.test_case "totals match counters" `Quick
+          test_totals_match_node_counters;
+        Alcotest.test_case "detach stops recording" `Quick
+          test_detach_stops_recording;
+        Alcotest.test_case "timeline renders" `Quick test_timeline_renders;
+        Alcotest.test_case "csv format" `Quick test_csv_format;
+        Alcotest.test_case "full phase consistency" `Quick
+          test_trace_full_phase_consistency;
+      ] );
+  ]

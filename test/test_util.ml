@@ -1,0 +1,142 @@
+open Dpa_util
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_distinct_seeds () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  Alcotest.(check bool) "different" true (Rng.int64 a <> Rng.int64 b)
+
+let test_rng_uniform_range () =
+  let r = Rng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let u = Rng.uniform r in
+    if u < 0. || u >= 1. then Alcotest.fail "uniform out of range"
+  done
+
+let test_rng_int_range () =
+  let r = Rng.create ~seed:9 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    if v < 0 || v >= 17 then Alcotest.fail "int out of range"
+  done
+
+let test_rng_gaussian_moments () =
+  let r = Rng.create ~seed:11 in
+  let n = 20_000 in
+  let sum = ref 0. and sumsq = ref 0. in
+  for _ = 1 to n do
+    let g = Rng.gaussian r in
+    sum := !sum +. g;
+    sumsq := !sumsq +. (g *. g)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sumsq /. float_of_int n) -. (mean *. mean) in
+  Alcotest.(check bool) "mean near 0" true (Float.abs mean < 0.05);
+  Alcotest.(check bool) "variance near 1" true (Float.abs (var -. 1.) < 0.05)
+
+let test_rng_split_independent () =
+  let a = Rng.create ~seed:5 in
+  let b = Rng.split a in
+  let x = Rng.int64 a and y = Rng.int64 b in
+  Alcotest.(check bool) "streams differ" true (x <> y)
+
+let test_dynarray_basic () =
+  let d = Dynarray.create () in
+  Alcotest.(check int) "empty" 0 (Dynarray.length d);
+  for i = 0 to 99 do
+    let idx = Dynarray.add d (i * i) in
+    Alcotest.(check int) "index" i idx
+  done;
+  Alcotest.(check int) "length" 100 (Dynarray.length d);
+  Alcotest.(check int) "get" 49 (Dynarray.get d 7);
+  Dynarray.set d 7 (-1);
+  Alcotest.(check int) "set" (-1) (Dynarray.get d 7)
+
+let test_dynarray_bounds () =
+  let d = Dynarray.create () in
+  ignore (Dynarray.add d 1);
+  Alcotest.check_raises "oob" (Invalid_argument "Dynarray: index out of bounds")
+    (fun () -> ignore (Dynarray.get d 1))
+
+let test_dynarray_iter_order () =
+  let d = Dynarray.create () in
+  for i = 0 to 9 do
+    ignore (Dynarray.add d i)
+  done;
+  let acc = ref [] in
+  Dynarray.iter (fun x -> acc := x :: !acc) d;
+  Alcotest.(check (list int)) "order" [ 9; 8; 7; 6; 5; 4; 3; 2; 1; 0 ] !acc
+
+module Itbl = Hashtbl.Make (Int)
+module L = Lru.Make (Itbl)
+
+let test_lru_hit_miss () =
+  let c = L.create ~capacity:2 in
+  L.add c 1 "a";
+  L.add c 2 "b";
+  Alcotest.(check (option string)) "hit 1" (Some "a") (L.find c 1);
+  L.add c 3 "c" (* evicts 2: 1 was just touched *);
+  Alcotest.(check (option string)) "2 evicted" None (L.find c 2);
+  Alcotest.(check (option string)) "1 kept" (Some "a") (L.find c 1);
+  Alcotest.(check (option string)) "3 kept" (Some "c") (L.find c 3);
+  Alcotest.(check int) "one eviction" 1 (L.evictions c)
+
+let test_lru_zero_capacity () =
+  let c = L.create ~capacity:0 in
+  L.add c 1 "a";
+  Alcotest.(check (option string)) "never stores" None (L.find c 1);
+  Alcotest.(check int) "size 0" 0 (L.size c)
+
+let test_lru_replace () =
+  let c = L.create ~capacity:2 in
+  L.add c 1 "a";
+  L.add c 1 "b";
+  Alcotest.(check (option string)) "replaced" (Some "b") (L.find c 1);
+  Alcotest.(check int) "size 1" 1 (L.size c)
+
+let test_lru_eviction_order_qcheck =
+  QCheck.Test.make ~name:"lru keeps the most recent [capacity] distinct keys"
+    ~count:200
+    QCheck.(pair (int_range 1 8) (small_list (int_range 0 20)))
+    (fun (cap, keys) ->
+      let c = L.create ~capacity:cap in
+      List.iter (fun k -> L.add c k k) keys;
+      (* Reference: last [cap] distinct keys by most-recent insertion. *)
+      let expected =
+        List.fold_left
+          (fun acc k -> k :: List.filter (fun x -> x <> k) acc)
+          [] keys
+        |> fun l -> List.filteri (fun i _ -> i < cap) l
+      in
+      List.for_all (fun k -> L.mem c k) expected
+      && L.size c = List.length expected)
+
+let suites =
+  [
+    ( "util.rng",
+      [
+        Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+        Alcotest.test_case "distinct seeds" `Quick test_rng_distinct_seeds;
+        Alcotest.test_case "uniform in range" `Quick test_rng_uniform_range;
+        Alcotest.test_case "int in range" `Quick test_rng_int_range;
+        Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
+        Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+      ] );
+    ( "util.dynarray",
+      [
+        Alcotest.test_case "basic" `Quick test_dynarray_basic;
+        Alcotest.test_case "bounds" `Quick test_dynarray_bounds;
+        Alcotest.test_case "iter order" `Quick test_dynarray_iter_order;
+      ] );
+    ( "util.lru",
+      [
+        Alcotest.test_case "hit/miss/evict" `Quick test_lru_hit_miss;
+        Alcotest.test_case "zero capacity" `Quick test_lru_zero_capacity;
+        Alcotest.test_case "replace" `Quick test_lru_replace;
+        QCheck_alcotest.to_alcotest test_lru_eviction_order_qcheck;
+      ] );
+  ]

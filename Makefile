@@ -1,0 +1,33 @@
+# Convenience targets; the project itself is plain dune.
+
+BENCH := bin/dpa_bench.exe
+
+.PHONY: all build test fmt fmt-check smoke clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# ocamlformat is not pinned in this environment, so formatting is enabled
+# for dune files only (see dune-project); these targets keep those clean.
+fmt:
+	dune fmt
+
+fmt-check:
+	dune build @fmt
+
+# End-to-end observability smoke test: run a small experiment with the
+# trace/metrics exporters on and make sure the artifacts appear and are
+# non-trivial. The test suite validates the JSON itself (test/test_obs.ml).
+smoke: build
+	dune exec $(BENCH) -- f1 --scale small \
+	  --trace /tmp/dpa_trace.json --metrics /tmp/dpa_metrics.json --profile
+	@test -s /tmp/dpa_trace.json && test -s /tmp/dpa_metrics.json \
+	  && echo "smoke: trace + metrics written"
+
+clean:
+	dune clean

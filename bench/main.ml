@@ -278,6 +278,58 @@ let run_experiments () =
     (Dpa_harness.Experiment.cache_locality conf);
   Dpa_harness.Experiment.print_hotspot (Dpa_harness.Experiment.hotspot conf)
 
+(* --- entry point ------------------------------------------------------- *)
+
+(* Optional observability: `--trace FILE`, `--metrics FILE` and `--profile`
+   install a global sink around the experiment pass (micro-benchmarks are
+   excluded so the exports only cover one run of each experiment). *)
 let () =
-  run_bechamel ();
-  run_experiments ()
+  let trace = ref None and metrics = ref None and profile = ref false in
+  Arg.parse
+    [
+      ( "--trace",
+        Arg.String (fun p -> trace := Some p),
+        "FILE Write a Chrome trace_event JSON of the experiment pass" );
+      ( "--metrics",
+        Arg.String (fun p -> metrics := Some p),
+        "FILE Write a JSON metrics dump of the experiment pass" );
+      ( "--profile",
+        Arg.Set profile,
+        " Print a per-phase profile after the experiment pass" );
+    ]
+    (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
+    "bench/main.exe [--trace FILE] [--metrics FILE] [--profile]";
+  let observing = !trace <> None || !metrics <> None || !profile in
+  if not observing then begin
+    run_bechamel ();
+    run_experiments ()
+  end
+  else begin
+    (* Open output files before the long run so a bad path fails fast. *)
+    let open_or_die path =
+      try (path, open_out path)
+      with Sys_error e ->
+        prerr_endline ("bench: " ^ e);
+        exit 1
+    in
+    let trace_out = Option.map open_or_die !trace in
+    let metrics_out = Option.map open_or_die !metrics in
+    run_bechamel ();
+    let sink = Dpa_obs.Sink.create () in
+    Dpa_obs.Sink.set_global (Some sink);
+    Fun.protect
+      ~finally:(fun () -> Dpa_obs.Sink.set_global None)
+      run_experiments;
+    let finish what render = function
+      | None -> ()
+      | Some (path, oc) ->
+        output_string oc (render ());
+        close_out oc;
+        Printf.printf "wrote %s to %s\n" what path
+    in
+    finish "Chrome trace" (fun () -> Dpa_obs.Export.chrome_trace sink) trace_out;
+    finish "metrics"
+      (fun () -> Dpa_obs.Json.to_string (Dpa_obs.Export.metrics_json sink))
+      metrics_out;
+    if !profile then print_string (Dpa_obs.Export.profile sink)
+  end

@@ -4,6 +4,89 @@
 open Cmdliner
 open Dpa_harness
 
+(* Observability flags shared by every subcommand.  When any is given, a
+   global sink is installed for the duration of the run (picked up by
+   [Dpa_sim.Engine.create]) and the requested exports are written
+   afterwards. *)
+type obs_opts = {
+  trace : string option;
+  metrics : string option;
+  events : string option;
+  profile : bool;
+}
+
+let obs_term =
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace_event JSON file (open with Perfetto or \
+             chrome://tracing; one track per simulated node).")
+  in
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Write a JSON metrics dump (counters, gauges, per-phase \
+             histograms with p50/p90/p99, Dpa_stats).")
+  in
+  let events =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "events" ] ~docv:"FILE"
+          ~doc:"Write the raw event stream as JSON lines (one event per line).")
+  in
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:"Print a human-readable per-phase profile after the run.")
+  in
+  let combine trace metrics events profile = { trace; metrics; events; profile } in
+  Term.(const combine $ trace $ metrics $ events $ profile)
+
+let with_obs obs f conf =
+  if
+    obs.trace = None && obs.metrics = None && obs.events = None
+    && not obs.profile
+  then f conf
+  else begin
+    (* Open every output file before the (possibly long) run so a bad path
+       fails immediately rather than after the experiment finishes. *)
+    let open_or_die path =
+      try (path, open_out path)
+      with Sys_error e ->
+        prerr_endline ("dpa_bench: " ^ e);
+        exit 1
+    in
+    let trace_out = Option.map open_or_die obs.trace in
+    let metrics_out = Option.map open_or_die obs.metrics in
+    let events_out = Option.map open_or_die obs.events in
+    let sink = Dpa_obs.Sink.create () in
+    Dpa_obs.Sink.set_global (Some sink);
+    Fun.protect
+      ~finally:(fun () -> Dpa_obs.Sink.set_global None)
+      (fun () -> f conf);
+    let finish what render = function
+      | None -> ()
+      | Some (path, oc) ->
+        output_string oc (render ());
+        close_out oc;
+        Printf.printf "wrote %s to %s\n" what path
+    in
+    finish "Chrome trace" (fun () -> Dpa_obs.Export.chrome_trace sink) trace_out;
+    finish "metrics"
+      (fun () -> Dpa_obs.Json.to_string (Dpa_obs.Export.metrics_json sink))
+      metrics_out;
+    finish "event log" (fun () -> Dpa_obs.Export.jsonl sink) events_out;
+    if obs.profile then print_string (Dpa_obs.Export.profile sink)
+  end
+
 let conf_term =
   let scale =
     Arg.(
@@ -196,10 +279,14 @@ let run_all conf =
   run_a10 conf
 
 let cmd name doc f =
-  Cmd.v (Cmd.info name ~doc) Term.(const f $ conf_term)
+  Cmd.v (Cmd.info name ~doc)
+    Term.(const (fun obs conf -> with_obs obs f conf) $ obs_term $ conf_term)
 
 let () =
-  let default = Term.(const run_all $ conf_term) in
+  let default =
+    Term.(
+      const (fun obs conf -> with_obs obs run_all conf) $ obs_term $ conf_term)
+  in
   let info =
     Cmd.info "dpa_bench" ~version:"1.0"
       ~doc:
@@ -238,7 +325,9 @@ let () =
                (Cmd.info "timeline"
                   ~doc:"Per-node utilization timelines (Barnes-Hut)")
                Term.(
-                 const (fun csv conf -> run_timeline ~csv conf) $ csv $ conf_term));
+                 const (fun csv obs conf ->
+                     with_obs obs (run_timeline ~csv) conf)
+                 $ csv $ obs_term $ conf_term));
             cmd "calibrate" "Compare modelled sequential times to the paper"
               run_calibrate;
             cmd "all" "Run every experiment" run_all;

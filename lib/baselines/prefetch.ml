@@ -6,6 +6,6 @@ let read = Dpa.Runtime.read
 let accumulate = Dpa.Runtime.accumulate
 
 let run_phase ~engine ~heaps ?(strip_size = 50) ~items () =
-  Dpa.Runtime.run_phase ~engine ~heaps
+  Dpa.Runtime.run_phase_labeled ~label:"prefetch" ~engine ~heaps
     ~config:(Dpa.Config.pipeline_only ~strip_size ())
     ~items

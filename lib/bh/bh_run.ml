@@ -17,12 +17,15 @@ let force_phase ~engine ~tree ~bodies ~params variant =
   match variant with
   | Dpa_baselines.Variant.Dpa config ->
     let items = Force_dpa.items ~params ~tree ~bodies ~accs in
-    let breakdown, stats = Dpa.Runtime.run_phase ~engine ~heaps ~config ~items in
+    let breakdown, stats =
+      Dpa.Runtime.run_phase_labeled ~label:"bh-force" ~engine ~heaps ~config
+        ~items
+    in
     { breakdown; accs; dpa_stats = Some stats; cache_stats = None }
   | Dpa_baselines.Variant.Prefetch { strip_size } ->
     let items = Force_dpa.items ~params ~tree ~bodies ~accs in
     let breakdown, stats =
-      Dpa.Runtime.run_phase ~engine ~heaps
+      Dpa.Runtime.run_phase_labeled ~label:"bh-force-prefetch" ~engine ~heaps
         ~config:(Dpa.Config.pipeline_only ~strip_size ())
         ~items
     in

@@ -53,6 +53,27 @@ let merge ts =
 
 let total_reads t = t.spawns + t.inline_local + t.align_hits + t.merge_hits
 
+let to_json t =
+  Dpa_obs.Json.Obj
+    (List.map
+       (fun (k, v) -> (k, Dpa_obs.Json.Int v))
+       [
+         ("spawns", t.spawns);
+         ("inline_local", t.inline_local);
+         ("align_hits", t.align_hits);
+         ("merge_hits", t.merge_hits);
+         ("requests", t.requests);
+         ("request_msgs", t.request_msgs);
+         ("max_outstanding", t.max_outstanding);
+         ("max_batch", t.max_batch);
+         ("strips", t.strips);
+         ("align_peak", t.align_peak);
+         ("updates", t.updates);
+         ("updates_combined", t.updates_combined);
+         ("update_msgs", t.update_msgs);
+         ("total_reads", total_reads t);
+       ])
+
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>reads: %d (local %d, D hits %d, M merges %d, fetched %d)@ request \

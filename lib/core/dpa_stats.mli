@@ -22,4 +22,9 @@ val merge : t list -> t
 (** Componentwise sum; the [max_*] fields take the maximum. *)
 
 val total_reads : t -> int
+
+val to_json : t -> Dpa_obs.Json.t
+(** Flat object of every counter plus the derived [total_reads]; attached
+    to the metrics export of an observed phase. *)
+
 val pp : Format.formatter -> t -> unit

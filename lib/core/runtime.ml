@@ -3,6 +3,26 @@ open Dpa_heap
 
 type request = { token : int; ptr : Gptr.t }
 
+(* Observability state, allocated once per node per phase and only when the
+   engine carries a sink. Every hot-path hook below is a match on
+   [ctx.obs]: with no sink attached nothing is allocated, no time is
+   charged, and the phase is bit-identical to an unobserved run. *)
+type obs = {
+  sink : Dpa_obs.Sink.t;
+  label : string;  (* phase label; also the metric-name suffix *)
+  h_batch : Dpa_obs.Metrics.histogram;  (* request batch sizes *)
+  h_wait : Dpa_obs.Metrics.histogram;  (* thread wait latency, sim-ns *)
+  h_out : Dpa_obs.Metrics.histogram;  (* outstanding threads at spawn *)
+  h_dbuf : Dpa_obs.Metrics.histogram;  (* D-buffer occupancy at delivery *)
+  c_vol : Dpa_obs.Metrics.counter array;  (* request bytes per destination *)
+  c_reply : Dpa_obs.Metrics.counter;  (* bulk-reply bytes *)
+  issued : (int, int) Hashtbl.t;  (* token -> issue timestamp *)
+  mutable strip_open : bool;
+  mutable strip_start : int;
+  mutable strip_id : int;
+  mutable strip_items : int;
+}
+
 type ctx = {
   engine : Engine.t;
   machine : Machine.t;
@@ -21,6 +41,7 @@ type ctx = {
   mutable items : (ctx -> unit) array;
   mutable next_item : int;
   mutable finished : bool;
+  obs : obs option;
 }
 
 and k = ctx -> Obj_repr.t -> unit
@@ -28,6 +49,48 @@ and k = ctx -> Obj_repr.t -> unit
 let node_id ctx = ctx.node.Node.id
 let heaps ctx = ctx.heaps
 let charge ctx ns = Node.charge_local ctx.node ns
+
+(* --- observability emission helpers ------------------------------------ *)
+
+let obs_instant ?args o (n : Node.t) ~name =
+  Dpa_obs.Sink.instant ?args o.sink ~cat:"runtime" ~name ~node:n.Node.id
+    ~ts:n.Node.clock
+
+let obs_outstanding o (n : Node.t) pending =
+  Dpa_obs.Sink.counter o.sink ~name:"outstanding" ~node:n.Node.id
+    ~ts:n.Node.clock pending
+
+let obs_strip_end o (n : Node.t) =
+  if o.strip_open then begin
+    o.strip_open <- false;
+    Dpa_obs.Sink.span
+      ~args:
+        [
+          ("strip", Dpa_obs.Sink.Int o.strip_id);
+          ("items", Dpa_obs.Sink.Int o.strip_items);
+          ("phase", Dpa_obs.Sink.Str o.label);
+        ]
+      o.sink ~cat:"strip" ~name:"strip" ~node:n.Node.id ~ts:o.strip_start
+      ~dur:(n.Node.clock - o.strip_start)
+  end
+
+let obs_strip_begin o ~start ~items =
+  o.strip_open <- true;
+  o.strip_id <- o.strip_id + 1;
+  o.strip_start <- start;
+  o.strip_items <- items
+
+let obs_align_clear o (n : Node.t) ~size =
+  if size > 0 then
+    obs_instant ~args:[ ("evicted", Dpa_obs.Sink.Int size) ] o n
+      ~name:"align_clear"
+
+let obs_wait o (n : Node.t) token =
+  match Hashtbl.find_opt o.issued token with
+  | None -> ()
+  | Some t0 ->
+    Hashtbl.remove o.issued token;
+    Dpa_obs.Metrics.observe o.h_wait (n.Node.clock - t0)
 
 (* --- scheduler -------------------------------------------------------- *)
 
@@ -75,10 +138,16 @@ and run_quantum ctx =
 (* Strip boundary: discard the alignment buffer (renamed copies die with
    the strip) and inject the next strip of work items. *)
 and next_strip ctx =
+  (match ctx.obs with None -> () | Some o -> obs_strip_end o ctx.node);
   if ctx.next_item >= Array.length ctx.items then ctx.finished <- true
   else begin
     ctx.stats.Dpa_stats.strips <- ctx.stats.Dpa_stats.strips + 1;
+    (match ctx.obs with
+    | None -> ()
+    | Some o -> obs_align_clear o ctx.node ~size:(Align_buffer.size ctx.buffer));
     Align_buffer.clear ctx.buffer;
+    let start_item = ctx.next_item in
+    let start_clock = ctx.node.Node.clock in
     let limit =
       min (Array.length ctx.items) (ctx.next_item + ctx.cfg.Config.strip_size)
     in
@@ -87,6 +156,9 @@ and next_strip ctx =
       ctx.next_item <- ctx.next_item + 1;
       item ctx
     done;
+    (match ctx.obs with
+    | None -> ()
+    | Some o -> obs_strip_begin o ~start:start_clock ~items:(limit - start_item));
     ensure_scheduled ctx
   end
 
@@ -96,6 +168,9 @@ and next_strip ctx =
 and deliver ctx pairs =
   List.iter
     (fun (req, view) ->
+      (match ctx.obs with
+      | None -> ()
+      | Some o -> obs_wait o ctx.node req.token);
       let ptr, ks = Pointer_map.take ctx.map req.token in
       if ctx.cfg.Config.reuse then Align_buffer.add ctx.buffer ptr view;
       List.iter (fun k -> Queue.push (view, k) ctx.ready) ks)
@@ -103,6 +178,14 @@ and deliver ctx pairs =
   let peak = Align_buffer.peak ctx.buffer in
   if peak > ctx.stats.Dpa_stats.align_peak then
     ctx.stats.Dpa_stats.align_peak <- peak;
+  (match ctx.obs with
+  | None -> ()
+  | Some o ->
+    Dpa_obs.Metrics.observe o.h_dbuf (Align_buffer.size ctx.buffer);
+    obs_instant
+      ~args:[ ("replies", Dpa_obs.Sink.Int (List.length pairs)) ]
+      o ctx.node ~name:"wake";
+    obs_outstanding o ctx.node ctx.pending);
   ensure_scheduled ctx
 
 and flush_requests ctx ~dst batch =
@@ -112,6 +195,18 @@ and flush_requests ctx ~dst batch =
   stats.Dpa_stats.requests <- stats.Dpa_stats.requests + nreqs;
   if nreqs > stats.Dpa_stats.max_batch then stats.Dpa_stats.max_batch <- nreqs;
   let bytes = Dpa_msg.Am.request_bytes ctx.machine ~nreqs in
+  (match ctx.obs with
+  | None -> ()
+  | Some o ->
+    Dpa_obs.Metrics.add o.c_vol.(dst) bytes;
+    obs_instant
+      ~args:
+        [
+          ("dst", Dpa_obs.Sink.Int dst);
+          ("nreqs", Dpa_obs.Sink.Int nreqs);
+          ("bytes", Dpa_obs.Sink.Int bytes);
+        ]
+      o ctx.node ~name:"req_send");
   Dpa_msg.Am.send ctx.engine ~src:ctx.node ~dst ~bytes (fun owner ->
       (* Owner-side service handler: look the objects up and ship them back
          in one bulk reply. This steals owner CPU, as an FM handler does. *)
@@ -130,6 +225,19 @@ and flush_requests ctx ~dst batch =
           batch
       in
       let reply = Dpa_msg.Am.reply_bytes m ~payload:!payload ~nreqs in
+      (match ctx.obs with
+      | None -> ()
+      | Some o ->
+        Dpa_obs.Metrics.add o.c_reply reply;
+        Dpa_obs.Sink.instant
+          ~args:
+            [
+              ("to", Dpa_obs.Sink.Int ctx.node.Node.id);
+              ("nreqs", Dpa_obs.Sink.Int nreqs);
+              ("bytes", Dpa_obs.Sink.Int reply);
+            ]
+          o.sink ~cat:"msg" ~name:"bulk_reply" ~node:owner.Node.id
+          ~ts:owner.Node.clock);
       Dpa_msg.Am.send ctx.engine ~src:owner ~dst:ctx.node.Node.id ~bytes:reply
         (fun _self -> deliver ctx pairs))
 
@@ -137,6 +245,18 @@ and flush_updates ctx ~dst batch =
   let n = List.length batch in
   ctx.stats.Dpa_stats.update_msgs <- ctx.stats.Dpa_stats.update_msgs + 1;
   let bytes = Dpa_msg.Am.update_bytes ctx.machine ~nupdates:n in
+  (match ctx.obs with
+  | None -> ()
+  | Some o ->
+    Dpa_obs.Metrics.add o.c_vol.(dst) bytes;
+    obs_instant
+      ~args:
+        [
+          ("dst", Dpa_obs.Sink.Int dst);
+          ("nupdates", Dpa_obs.Sink.Int n);
+          ("bytes", Dpa_obs.Sink.Int bytes);
+        ]
+      o ctx.node ~name:"upd_send");
   Dpa_msg.Am.send ctx.engine ~src:ctx.node ~dst ~bytes (fun owner ->
       let m = ctx.machine in
       Node.charge_comm owner (n * m.Machine.update_apply_ns);
@@ -171,6 +291,9 @@ let read ctx ptr k =
     match reused with
     | Some view ->
       ctx.stats.Dpa_stats.align_hits <- ctx.stats.Dpa_stats.align_hits + 1;
+      (match ctx.obs with
+      | None -> ()
+      | Some o -> obs_instant o ctx.node ~name:"align_hit");
       ctx.pending <- ctx.pending + 1;
       Queue.push (view, k) ctx.ready;
       ensure_scheduled ctx
@@ -180,9 +303,21 @@ let read ctx ptr k =
         ctx.stats.Dpa_stats.max_outstanding <- ctx.pending;
       (match Pointer_map.register ctx.map ~reuse:ctx.cfg.Config.reuse ptr k with
       | `Merged ->
-        ctx.stats.Dpa_stats.merge_hits <- ctx.stats.Dpa_stats.merge_hits + 1
+        ctx.stats.Dpa_stats.merge_hits <- ctx.stats.Dpa_stats.merge_hits + 1;
+        (match ctx.obs with
+        | None -> ()
+        | Some o -> obs_instant o ctx.node ~name:"merge_hit")
       | `New_request token ->
         ctx.stats.Dpa_stats.spawns <- ctx.stats.Dpa_stats.spawns + 1;
+        (match ctx.obs with
+        | None -> ()
+        | Some o ->
+          Hashtbl.replace o.issued token ctx.node.Node.clock;
+          Dpa_obs.Metrics.observe o.h_out ctx.pending;
+          obs_instant
+            ~args:[ ("dst", Dpa_obs.Sink.Int ptr.Gptr.node) ]
+            o ctx.node ~name:"spawn";
+          obs_outstanding o ctx.node ctx.pending);
         Dpa_msg.Aggregator.add ctx.agg ~dst:ptr.Gptr.node { token; ptr })
   end
 
@@ -204,7 +339,33 @@ let accumulate ctx ptr ~idx value =
 
 (* --- phase driver ------------------------------------------------------ *)
 
-let make_ctx ~engine ~heaps ~config ~items node =
+let make_obs ~engine ~heaps ~label =
+  match Engine.sink engine with
+  | None -> None
+  | Some sink ->
+    let reg = Dpa_obs.Sink.metrics sink in
+    let h name = Dpa_obs.Metrics.histogram reg (name ^ "." ^ label) in
+    Some
+      {
+        sink;
+        label;
+        h_batch = h "agg_batch";
+        h_wait = h "wait_ns";
+        h_out = h "outstanding";
+        h_dbuf = h "dbuf";
+        c_vol =
+          Array.init (Array.length heaps) (fun d ->
+              Dpa_obs.Metrics.counter reg
+                (Printf.sprintf "msg_bytes_dst%d.%s" d label));
+        c_reply = Dpa_obs.Metrics.counter reg ("reply_bytes." ^ label);
+        issued = Hashtbl.create 64;
+        strip_open = false;
+        strip_start = 0;
+        strip_id = 0;
+        strip_items = 0;
+      }
+
+let make_ctx ~engine ~heaps ~config ~items ~label node =
   let dummy =
     Dpa_msg.Aggregator.create ~ndest:1 ~max_batch:1 ~flush:(fun ~dst:_ _ ->
         assert false)
@@ -232,6 +393,7 @@ let make_ctx ~engine ~heaps ~config ~items node =
       items;
       next_item = 0;
       finished = false;
+      obs = make_obs ~engine ~heaps ~label;
     }
   in
   ctx.agg <-
@@ -239,6 +401,11 @@ let make_ctx ~engine ~heaps ~config ~items node =
       ~ndest:(Array.length heaps)
       ~max_batch:config.Config.agg_max
       ~flush:(fun ~dst batch -> flush_requests ctx ~dst batch);
+  (match ctx.obs with
+  | None -> ()
+  | Some o ->
+    Dpa_msg.Aggregator.set_observer ctx.agg
+      (Some (fun ~dst:_ n -> Dpa_obs.Metrics.observe o.h_batch n)));
   ctx.updates <-
     Update_buffer.create
       ~ndest:(Array.length heaps)
@@ -246,14 +413,15 @@ let make_ctx ~engine ~heaps ~config ~items node =
       ~flush:(fun ~dst batch -> flush_updates ctx ~dst batch);
   ctx
 
-let run_phase ~engine ~heaps ~config ~items =
+let run_phase_labeled ~label ~engine ~heaps ~config ~items =
   let nodes = Engine.nodes engine in
   Engine.barrier engine;
   Array.iter Node.reset_breakdown nodes;
   let start = Engine.elapsed engine in
   let ctxs =
     Array.map
-      (fun node -> make_ctx ~engine ~heaps ~config ~items:(items node.Node.id) node)
+      (fun node ->
+        make_ctx ~engine ~heaps ~config ~items:(items node.Node.id) ~label node)
       nodes
   in
   Array.iter ensure_scheduled ctxs;
@@ -273,4 +441,18 @@ let run_phase ~engine ~heaps ~config ~items =
   let stats =
     Dpa_stats.merge (Array.to_list (Array.map (fun c -> c.stats) ctxs))
   in
+  (match Engine.sink engine with
+  | None -> ()
+  | Some sink ->
+    Array.iter
+      (fun (n : Node.t) ->
+        Dpa_obs.Sink.span
+          ~args:[ ("elapsed_ns", Dpa_obs.Sink.Int elapsed_ns) ]
+          sink ~cat:"phase" ~name:label ~node:n.Node.id ~ts:start
+          ~dur:elapsed_ns)
+      nodes;
+    Dpa_obs.Sink.set_meta sink ("dpa_stats." ^ label) (Dpa_stats.to_json stats));
   (breakdown, stats)
+
+let run_phase ~engine ~heaps ~config ~items =
+  run_phase_labeled ~label:"phase" ~engine ~heaps ~config ~items

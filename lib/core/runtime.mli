@@ -37,4 +37,27 @@ val run_phase :
     may issue {!read}s and {!charge}s. Returns the phase breakdown (elapsed
     time, local/comm/idle split) and merged runtime statistics.
 
-    The engine's queue must be empty. The phase ends with a barrier. *)
+    The engine's queue must be empty. The phase ends with a barrier.
+
+    Equivalent to {!run_phase_labeled} with label ["phase"]. *)
+
+val run_phase_labeled :
+  label:string ->
+  engine:Dpa_sim.Engine.t ->
+  heaps:Dpa_heap.Heap.cluster ->
+  config:Config.t ->
+  items:(int -> (ctx -> unit) array) ->
+  Dpa_sim.Breakdown.t * Dpa_stats.t
+(** Like {!run_phase}, with a phase label for the observability layer.
+
+    When the engine carries a {!Dpa_sim.Engine.sink}, the runtime emits
+    structured events into it — per-node phase and strip spans; spawn,
+    wake, alignment-buffer hit/evict, request/update send and bulk-reply
+    instants — and feeds per-phase metrics (request batch sizes, thread
+    wait latency in sim-ns, outstanding threads, D-buffer occupancy,
+    per-destination message volume) into the sink's registry under names
+    suffixed [".label"]. The phase's merged {!Dpa_stats} are attached as a
+    meta document ["dpa_stats.label"] (last run wins per label).
+
+    With no sink attached every hook is a cheap [None] match: no closure
+    is allocated on the hot path and results are bit-identical. *)

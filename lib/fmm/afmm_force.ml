@@ -75,13 +75,15 @@ let force_phase ~engine ~global ~params variant =
     match variant with
     | Dpa_baselines.Variant.Dpa config ->
       let b, s =
-        Dpa.Runtime.run_phase ~engine ~heaps ~config
+        Dpa.Runtime.run_phase_labeled ~label:"afmm-force" ~engine ~heaps
+          ~config
           ~items:(F_dpa.items ~params ~global ~potential ~field)
       in
       (b, Some s)
     | Dpa_baselines.Variant.Prefetch { strip_size } ->
       let b, s =
-        Dpa.Runtime.run_phase ~engine ~heaps
+        Dpa.Runtime.run_phase_labeled ~label:"afmm-force-prefetch" ~engine
+          ~heaps
           ~config:(Dpa.Config.pipeline_only ~strip_size ())
           ~items:(F_dpa.items ~params ~global ~potential ~field)
       in

@@ -18,12 +18,16 @@ let force_phase ~engine ~global ~params variant =
     match variant with
     | Dpa_baselines.Variant.Dpa config ->
       let items = Force_dpa.items ~params ~global ~potential ~field in
-      let b, s = Dpa.Runtime.run_phase ~engine ~heaps ~config ~items in
+      let b, s =
+        Dpa.Runtime.run_phase_labeled ~label:"fmm-force" ~engine ~heaps ~config
+          ~items
+      in
       (b, Some s, None)
     | Dpa_baselines.Variant.Prefetch { strip_size } ->
       let items = Force_dpa.items ~params ~global ~potential ~field in
       let b, s =
-        Dpa.Runtime.run_phase ~engine ~heaps
+        Dpa.Runtime.run_phase_labeled ~label:"fmm-force-prefetch" ~engine
+          ~heaps
           ~config:(Dpa.Config.pipeline_only ~strip_size ())
           ~items
       in

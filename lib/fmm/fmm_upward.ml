@@ -99,13 +99,14 @@ let run ~engine ~global ~params variant =
     match variant with
     | Dpa_baselines.Variant.Dpa config ->
       let b, s =
-        Dpa.Runtime.run_phase ~engine ~heaps:global.Fmm_global.heaps ~config
-          ~items:items_dpa
+        Dpa.Runtime.run_phase_labeled ~label:"fmm-upward" ~engine
+          ~heaps:global.Fmm_global.heaps ~config ~items:items_dpa
       in
       add_phase (b, Some s)
     | Dpa_baselines.Variant.Prefetch { strip_size } ->
       let b, s =
-        Dpa.Runtime.run_phase ~engine ~heaps:global.Fmm_global.heaps
+        Dpa.Runtime.run_phase_labeled ~label:"fmm-upward-prefetch" ~engine
+          ~heaps:global.Fmm_global.heaps
           ~config:(Dpa.Config.pipeline_only ~strip_size ())
           ~items:items_dpa
       in

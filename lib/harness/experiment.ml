@@ -553,7 +553,8 @@ let em3d_sweep (conf : Runconf.t) =
     run "DPA(50)" (fun g accum ->
         let engine = Engine.create (Machine.t3d ~nodes:procs) in
         fst
-          (Dpa.Runtime.run_phase ~engine ~heaps:g.Dpa_compiler.Em3d.heaps
+          (Dpa.Runtime.run_phase_labeled ~label:"em3d" ~engine
+             ~heaps:g.Dpa_compiler.Em3d.heaps
              ~config:(Dpa.Config.dpa ~strip_size:conf.Runconf.bh_strip ())
              ~items:(Dpa_compiler.Em3d.items (module Dpa.Runtime) g ~accum)));
     run "Caching" (fun g accum ->
@@ -855,7 +856,10 @@ let hotspot (conf : Runconf.t) =
                     Dpa.Runtime.charge ctx 2_000)
               done)
     in
-    let b, _ = Dpa.Runtime.run_phase ~engine ~heaps ~config ~items:items_of in
+    let b, _ =
+      Dpa.Runtime.run_phase_labeled ~label:"hotspot" ~engine ~heaps ~config
+        ~items:items_of
+    in
     {
       hs_config = name;
       hs_time_s = Breakdown.elapsed_s b;

@@ -6,6 +6,7 @@ type 'a t = {
   mutable pending : int;
   mutable flushes : int;
   mutable max_batch_seen : int;
+  mutable observer : (dst:int -> int -> unit) option;
 }
 
 let create ~ndest ~max_batch ~flush =
@@ -19,6 +20,7 @@ let create ~ndest ~max_batch ~flush =
     pending = 0;
     flushes = 0;
     max_batch_seen = 0;
+    observer = None;
   }
 
 (* `buffers` is mutated *before* calling the user's flush callback so that a
@@ -33,6 +35,7 @@ let flush_dst t dst =
     t.pending <- t.pending - n;
     t.flushes <- t.flushes + 1;
     if n > t.max_batch_seen then t.max_batch_seen <- n;
+    (match t.observer with Some f -> f ~dst n | None -> ());
     t.flush ~dst batch
   end
 
@@ -48,5 +51,12 @@ let flush_all t =
   done
 
 let pending t = t.pending
+
+let pending_for t ~dst =
+  if dst < 0 || dst >= Array.length t.counts then
+    invalid_arg "Aggregator.pending_for: bad destination";
+  t.counts.(dst)
+
 let flushes t = t.flushes
 let max_batch_seen t = t.max_batch_seen
+let set_observer t f = t.observer <- f

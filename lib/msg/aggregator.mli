@@ -17,8 +17,18 @@ val flush_all : 'a t -> unit
 val pending : 'a t -> int
 (** Total buffered requests across destinations. *)
 
+val pending_for : 'a t -> dst:int -> int
+(** Requests currently buffered for one destination. Raises
+    [Invalid_argument] on an out-of-range destination. *)
+
 val flushes : 'a t -> int
 (** Number of flush callbacks issued so far. *)
 
 val max_batch_seen : 'a t -> int
 (** Largest batch handed to [flush] so far. *)
+
+val set_observer : 'a t -> (dst:int -> int -> unit) option -> unit
+(** [set_observer t (Some f)] has every flush report its destination and
+    batch size through [f ~dst n] just before the flush callback runs —
+    the observability layer's batch-size accounting hook. [None] (the
+    default) removes it; no per-add or per-flush cost remains. *)

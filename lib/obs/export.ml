@@ -1,0 +1,201 @@
+let arg_json = function
+  | Sink.Int i -> Json.Int i
+  | Sink.Float f -> Json.Float f
+  | Sink.Str s -> Json.Str s
+
+let args_json args = Json.Obj (List.map (fun (k, v) -> (k, arg_json v)) args)
+
+(* Chrome's trace viewer expects microseconds; sim time is integral ns. *)
+let ts_us ns = Json.Float (float_of_int ns /. 1000.)
+
+let chrome_event (ev : Sink.event) =
+  let common =
+    [
+      ("name", Json.Str ev.Sink.name);
+      ("cat", Json.Str ev.Sink.cat);
+      ("ts", ts_us ev.Sink.ts);
+      ("pid", Json.Int 0);
+      ("tid", Json.Int ev.Sink.node);
+    ]
+  in
+  match ev.Sink.kind with
+  | Sink.Span ->
+    Json.Obj
+      (common
+      @ [
+          ("ph", Json.Str "X");
+          ("dur", ts_us ev.Sink.dur);
+          ("args", args_json ev.Sink.args);
+        ])
+  | Sink.Instant ->
+    Json.Obj
+      (common
+      @ [
+          ("ph", Json.Str "i");
+          ("s", Json.Str "t");
+          ("args", args_json ev.Sink.args);
+        ])
+  | Sink.Counter ->
+    Json.Obj
+      (common @ [ ("ph", Json.Str "C"); ("args", args_json ev.Sink.args) ])
+
+let node_ids events =
+  List.sort_uniq compare (List.map (fun e -> e.Sink.node) events)
+
+let chrome_trace sink =
+  let events = Sink.events sink in
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  let emit j =
+    if !first then first := false else Buffer.add_char buf ',';
+    Json.to_buffer buf j
+  in
+  List.iter
+    (fun node ->
+      emit
+        (Json.Obj
+           [
+             ("name", Json.Str "thread_name");
+             ("ph", Json.Str "M");
+             ("pid", Json.Int 0);
+             ("tid", Json.Int node);
+             ( "args",
+               Json.Obj [ ("name", Json.Str (Printf.sprintf "node %d" node)) ]
+             );
+           ]))
+    (node_ids events);
+  List.iter (fun ev -> emit (chrome_event ev)) events;
+  Buffer.add_string buf "],\"displayTimeUnit\":\"ns\",\"otherData\":";
+  Json.to_buffer buf
+    (Json.Obj
+       [
+         ("events_emitted", Json.Int (Sink.emitted sink));
+         ("events_dropped", Json.Int (Sink.dropped sink));
+       ]);
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let jsonl_event (ev : Sink.event) =
+  let kind =
+    match ev.Sink.kind with
+    | Sink.Span -> "span"
+    | Sink.Instant -> "instant"
+    | Sink.Counter -> "counter"
+  in
+  Json.Obj
+    [
+      ("kind", Json.Str kind);
+      ("name", Json.Str ev.Sink.name);
+      ("cat", Json.Str ev.Sink.cat);
+      ("node", Json.Int ev.Sink.node);
+      ("ts", Json.Int ev.Sink.ts);
+      ("dur", Json.Int ev.Sink.dur);
+      ("args", args_json ev.Sink.args);
+    ]
+
+let jsonl sink =
+  let buf = Buffer.create 65536 in
+  List.iter
+    (fun ev ->
+      Json.to_buffer buf (jsonl_event ev);
+      Buffer.add_char buf '\n')
+    (Sink.events sink);
+  Buffer.contents buf
+
+let metrics_json sink =
+  Json.Obj
+    [
+      ("metrics", Metrics.to_json (Sink.metrics sink));
+      ("stats", Json.Obj (Sink.meta sink));
+      ("events_emitted", Json.Int (Sink.emitted sink));
+      ("events_dropped", Json.Int (Sink.dropped sink));
+    ]
+
+(* --- per-phase profile ------------------------------------------------- *)
+
+type phase_acc = {
+  mutable spans : int;
+  mutable total_dur : int;
+  mutable nodes : int list;
+  mutable strips : int;
+}
+
+let strip_phase_label (ev : Sink.event) =
+  match List.assoc_opt "phase" ev.Sink.args with
+  | Some (Sink.Str label) -> Some label
+  | _ -> None
+
+let profile sink =
+  let events = Sink.events sink in
+  let phases : (string, phase_acc) Hashtbl.t = Hashtbl.create 8 in
+  let phase_order = ref [] in
+  let phase name =
+    match Hashtbl.find_opt phases name with
+    | Some acc -> acc
+    | None ->
+      let acc = { spans = 0; total_dur = 0; nodes = []; strips = 0 } in
+      Hashtbl.add phases name acc;
+      phase_order := name :: !phase_order;
+      acc
+  in
+  let instants : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (ev : Sink.event) ->
+      match ev.Sink.kind with
+      | Sink.Span when ev.Sink.cat = "phase" ->
+        let acc = phase ev.Sink.name in
+        acc.spans <- acc.spans + 1;
+        acc.total_dur <- acc.total_dur + ev.Sink.dur;
+        if not (List.mem ev.Sink.node acc.nodes) then
+          acc.nodes <- ev.Sink.node :: acc.nodes
+      | Sink.Span when ev.Sink.cat = "strip" -> (
+        match strip_phase_label ev with
+        | Some label -> (phase label).strips <- (phase label).strips + 1
+        | None -> ())
+      | Sink.Span -> ()
+      | Sink.Instant ->
+        let key = ev.Sink.cat ^ "/" ^ ev.Sink.name in
+        Hashtbl.replace instants key
+          (1 + Option.value ~default:0 (Hashtbl.find_opt instants key))
+      | Sink.Counter -> ())
+    events;
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "Per-phase profile (sim time)\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  %-24s %6s %6s %12s %8s\n" "phase" "runs" "nodes"
+       "mean wall ms" "strips");
+  List.iter
+    (fun name ->
+      let acc = Hashtbl.find phases name in
+      let nnodes = List.length acc.nodes in
+      let runs = if nnodes = 0 then 0 else acc.spans / nnodes in
+      let mean_ms =
+        if acc.spans = 0 then 0.
+        else
+          float_of_int acc.total_dur
+          /. float_of_int (max 1 runs * max 1 nnodes)
+          *. 1e-6
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %-24s %6d %6d %12.3f %8d\n" name runs nnodes
+           mean_ms acc.strips))
+    (List.rev !phase_order);
+  let tallies =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) instants []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  if tallies <> [] then begin
+    Buffer.add_string buf "Event tallies\n";
+    List.iter
+      (fun (k, v) ->
+        Buffer.add_string buf (Printf.sprintf "  %-40s %d\n" k v))
+      tallies
+  end;
+  if Sink.dropped sink > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  (%d instant/counter events overwritten in the ring)\n"
+         (Sink.dropped sink));
+  Buffer.add_string buf (Metrics.report (Sink.metrics sink));
+  Buffer.contents buf

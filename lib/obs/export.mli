@@ -1,0 +1,19 @@
+(** Exporters for recorded events and metrics.
+
+    - {!chrome_trace}: Chrome [trace_event] JSON, loadable in
+      [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}. One track
+      (tid) per simulated node, timestamps in microseconds of sim-time.
+    - {!jsonl}: one JSON object per event per line, for ad-hoc analysis.
+    - {!metrics_json}: the metrics registry plus attached meta documents
+      (per-phase [Dpa_stats]) as one JSON document.
+    - {!profile}: human-readable per-phase profile (phase wall times, strip
+      counts, event tallies, histogram summaries). *)
+
+val chrome_trace : Sink.t -> string
+(** [{"traceEvents": [...], "displayTimeUnit": "ns", ...}]. *)
+
+val jsonl : Sink.t -> string
+
+val metrics_json : Sink.t -> Json.t
+
+val profile : Sink.t -> string

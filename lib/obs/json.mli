@@ -1,0 +1,24 @@
+(** Minimal JSON values: enough to serialize traces and metrics and to
+    validate emitted artifacts in tests without external dependencies. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering. Strings are escaped per RFC 8259; non-finite floats
+    render as [null]. *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+val parse : string -> (t, string) result
+(** Strict recursive-descent parser for the values {!to_string} produces
+    (and general RFC 8259 input). Errors carry a byte offset. *)
+
+val member : string -> t -> t option
+(** [member key (Obj _)] looks a field up; [None] on other constructors. *)

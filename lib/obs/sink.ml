@@ -1,0 +1,91 @@
+type arg = Int of int | Float of float | Str of string
+
+type kind = Span | Instant | Counter
+
+type event = {
+  kind : kind;
+  name : string;
+  cat : string;
+  node : int;
+  ts : int;
+  dur : int;
+  args : (string * arg) list;
+}
+
+type t = {
+  spans : event Dpa_util.Dynarray.t;
+  ring : event option array;
+  capacity : int;
+  mutable written : int;  (* total ring events ever stored *)
+  mutable span_count : int;
+  metrics : Metrics.t;
+  mutable meta_docs : (string * Json.t) list;
+}
+
+let default_capacity = 1 lsl 18
+
+let create ?(capacity = default_capacity) () =
+  if capacity <= 0 then invalid_arg "Sink.create: capacity must be positive";
+  {
+    spans = Dpa_util.Dynarray.create ();
+    ring = Array.make capacity None;
+    capacity;
+    written = 0;
+    span_count = 0;
+    metrics = Metrics.create ();
+    meta_docs = [];
+  }
+
+let metrics t = t.metrics
+
+let span ?(args = []) t ~cat ~name ~node ~ts ~dur =
+  ignore
+    (Dpa_util.Dynarray.add t.spans
+       { kind = Span; name; cat; node; ts; dur; args });
+  t.span_count <- t.span_count + 1
+
+let push_ring t ev =
+  t.ring.(t.written mod t.capacity) <- Some ev;
+  t.written <- t.written + 1
+
+let instant ?(args = []) t ~cat ~name ~node ~ts =
+  push_ring t { kind = Instant; name; cat; node; ts; dur = 0; args }
+
+let counter t ~name ~node ~ts value =
+  push_ring t
+    {
+      kind = Counter;
+      name;
+      cat = "counter";
+      node;
+      ts;
+      dur = 0;
+      args = [ ("value", Int value) ];
+    }
+
+let set_meta t key doc =
+  t.meta_docs <- (key, doc) :: List.remove_assoc key t.meta_docs
+
+let meta t = List.sort (fun (a, _) (b, _) -> compare a b) t.meta_docs
+
+let ring_events t =
+  (* Oldest first: once the ring has wrapped, the slot after the newest
+     entry holds the oldest survivor. *)
+  let live = min t.written t.capacity in
+  let first = t.written - live in
+  List.init live (fun i ->
+      match t.ring.((first + i) mod t.capacity) with
+      | Some ev -> ev
+      | None -> assert false)
+
+let events t =
+  let all = Dpa_util.Dynarray.to_list t.spans @ ring_events t in
+  List.stable_sort (fun a b -> compare a.ts b.ts) all
+
+let nspans t = t.span_count
+let emitted t = t.span_count + t.written
+let dropped t = if t.written > t.capacity then t.written - t.capacity else 0
+
+let global_sink : t option ref = ref None
+let set_global s = global_sink := s
+let global () = !global_sink

@@ -1,0 +1,81 @@
+(** Structured event sink: the collection point of the observability layer.
+
+    Producers ({!Dpa_sim.Engine}, the DPA runtime, the message layer) emit
+    spans (named intervals in sim-time on one node), instants and counter
+    samples. Spans are kept unbounded — there are O(strips x nodes) of them
+    and the exporters' phase structure depends on every one — while instants
+    and counter samples go through a fixed-capacity ring that overwrites the
+    oldest entry when full (flight-recorder behaviour; the overwrite count
+    is reported by {!dropped} and in the exported artifacts).
+
+    A sink also owns a {!Metrics.t} registry, so a single object carries
+    everything one experiment run produces, and an optional process-global
+    default that {!Dpa_sim.Engine.create} picks up, letting drivers enable
+    observability without threading a value through every layer. When no
+    sink is attached anywhere, every producer hook is a [None] match on a
+    mutable field — no closure is allocated and no timing or statistic
+    changes. *)
+
+type arg = Int of int | Float of float | Str of string
+
+type kind = Span | Instant | Counter
+
+type event = {
+  kind : kind;
+  name : string;
+  cat : string;  (** coarse grouping: "phase", "strip", "runtime", "msg", "sim" *)
+  node : int;
+  ts : int;  (** sim-ns *)
+  dur : int;  (** sim-ns; 0 for instants and counters *)
+  args : (string * arg) list;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] bounds the instant/counter ring (default [1 lsl 18]). *)
+
+val metrics : t -> Metrics.t
+
+val span :
+  ?args:(string * arg) list ->
+  t ->
+  cat:string ->
+  name:string ->
+  node:int ->
+  ts:int ->
+  dur:int ->
+  unit
+
+val instant :
+  ?args:(string * arg) list ->
+  t ->
+  cat:string ->
+  name:string ->
+  node:int ->
+  ts:int ->
+  unit
+
+val counter : t -> name:string -> node:int -> ts:int -> int -> unit
+(** A sampled value, rendered as a counter track by the Chrome exporter. *)
+
+val set_meta : t -> string -> Json.t -> unit
+(** Attach a named JSON document (e.g. the phase's merged [Dpa_stats]);
+    re-using a key overwrites. Exported with the metrics. *)
+
+val meta : t -> (string * Json.t) list
+(** Sorted by key. *)
+
+val events : t -> event list
+(** All live events (spans plus surviving ring entries) sorted by [ts]. *)
+
+val nspans : t -> int
+
+val emitted : t -> int
+(** Total events ever emitted, including overwritten ring entries. *)
+
+val dropped : t -> int
+(** Ring entries lost to overwriting. *)
+
+val set_global : t option -> unit
+val global : unit -> t option

@@ -5,6 +5,7 @@ type t = {
   nodes : Node.t array;
   queue : event Event_queue.t;
   mutable events_processed : int;
+  mutable sink : Dpa_obs.Sink.t option;
 }
 
 let create machine =
@@ -13,7 +14,14 @@ let create machine =
     nodes = Array.init machine.Machine.nodes (fun id -> Node.create ~machine ~id);
     queue = Event_queue.create ();
     events_processed = 0;
+    (* Observability is opt-in: engines observe the process-global sink at
+       creation time, so drivers can enable it without plumbing. *)
+    sink = Dpa_obs.Sink.global ();
   }
+
+let sink t = t.sink
+
+let set_sink t s = t.sink <- s
 
 let machine t = t.machine
 
@@ -51,4 +59,12 @@ let barrier t =
   if not (Event_queue.is_empty t.queue) then
     invalid_arg "Engine.barrier: events still pending";
   let m = elapsed t in
-  Array.iter (fun n -> Node.wait_until n m) t.nodes
+  Array.iter (fun n -> Node.wait_until n m) t.nodes;
+  match t.sink with
+  | None -> ()
+  | Some sink ->
+    Array.iter
+      (fun n ->
+        Dpa_obs.Sink.instant sink ~cat:"sim" ~name:"barrier" ~node:n.Node.id
+          ~ts:m)
+      t.nodes

@@ -14,9 +14,18 @@
 type t
 
 val create : Machine.t -> t
+(** The engine adopts {!Dpa_obs.Sink.global} (if any) as its event sink. *)
+
 val machine : t -> Machine.t
 val nodes : t -> Node.t array
 val node : t -> int -> Node.t
+
+val sink : t -> Dpa_obs.Sink.t option
+(** The structured-event sink runtimes on this engine emit into. [None]
+    (the default when no global sink is set) disables all emission at zero
+    cost — producers guard every hook on this option. *)
+
+val set_sink : t -> Dpa_obs.Sink.t option -> unit
 
 val post : t -> time:int -> node:int -> (unit -> unit) -> unit
 (** Schedule an action on [node] no earlier than [time]. *)
@@ -31,7 +40,8 @@ val events_processed : t -> int
 
 val barrier : t -> unit
 (** Synchronize: advance every node's clock to the global maximum,
-    accounting the gaps as idle. The queue must be empty. *)
+    accounting the gaps as idle. The queue must be empty. Emits one
+    "barrier" instant per node when a sink is attached. *)
 
 val elapsed : t -> int
 (** Maximum node clock. *)

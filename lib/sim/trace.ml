@@ -7,6 +7,10 @@ type t = {
 
 let attach engine =
   let nodes = Engine.nodes engine in
+  (* A second trace would silently steal the node tracers from the first,
+     leaving it truncated; make the conflict explicit. *)
+  if Array.exists (fun n -> n.Node.tracer <> None) nodes then
+    invalid_arg "Trace.attach: a trace is already attached (detach it first)";
   let t =
     { engine; per_node = Array.map (fun _ -> Dpa_util.Dynarray.create ()) nodes }
   in

@@ -6,7 +6,9 @@ type t
 
 val attach : Engine.t -> t
 (** Install tracers on every node of the engine. Only one trace can be
-    attached at a time; segments recorded before [attach] are lost. *)
+    attached at a time: attaching while another trace (or any node tracer)
+    is still installed raises [Invalid_argument] — {!detach} the previous
+    one first. Segments recorded before [attach] are lost. *)
 
 val detach : t -> unit
 (** Remove the tracers; recorded segments remain readable. *)

@@ -51,6 +51,83 @@ let test_aggregator_batches () =
   Alcotest.(check int) "flushes" 2 (Dpa_msg.Aggregator.flushes agg);
   Alcotest.(check int) "max batch" 2 (Dpa_msg.Aggregator.max_batch_seen agg)
 
+let test_aggregator_pending_for () =
+  let agg =
+    Dpa_msg.Aggregator.create ~ndest:3 ~max_batch:10 ~flush:(fun ~dst:_ _ -> ())
+  in
+  Dpa_msg.Aggregator.add agg ~dst:1 "a";
+  Dpa_msg.Aggregator.add agg ~dst:1 "b";
+  Dpa_msg.Aggregator.add agg ~dst:2 "c";
+  Alcotest.(check int) "dst 0" 0 (Dpa_msg.Aggregator.pending_for agg ~dst:0);
+  Alcotest.(check int) "dst 1" 2 (Dpa_msg.Aggregator.pending_for agg ~dst:1);
+  Alcotest.(check int) "dst 2" 1 (Dpa_msg.Aggregator.pending_for agg ~dst:2);
+  Alcotest.(check int) "sums to pending"
+    (Dpa_msg.Aggregator.pending agg)
+    (Dpa_msg.Aggregator.pending_for agg ~dst:0
+    + Dpa_msg.Aggregator.pending_for agg ~dst:1
+    + Dpa_msg.Aggregator.pending_for agg ~dst:2);
+  Dpa_msg.Aggregator.flush_all agg;
+  Alcotest.(check int) "drained" 0 (Dpa_msg.Aggregator.pending_for agg ~dst:1);
+  Alcotest.check_raises "bad destination"
+    (Invalid_argument "Aggregator.pending_for: bad destination") (fun () ->
+      ignore (Dpa_msg.Aggregator.pending_for agg ~dst:3))
+
+(* Model-based property: drive the aggregator with a random interleaving of
+   [add] and [flush_all] and mirror it with an obviously-correct model.
+   Flush count, largest batch, per-destination pending counts and the FIFO
+   order of everything flushed must all agree with the model. *)
+let qcheck_aggregator_model =
+  let ndest = 3 in
+  let op =
+    QCheck.(
+      map
+        (fun (flush, dst, x) -> if flush then `Flush_all else `Add (dst, x))
+        (triple (map (fun n -> n mod 5 = 0) small_nat) (int_range 0 (ndest - 1))
+           small_nat))
+  in
+  QCheck.Test.make
+    ~name:"aggregator flushes/max_batch_seen/pending_for match a model"
+    ~count:300
+    QCheck.(pair (int_range 1 6) (small_list op))
+    (fun (max_batch, ops) ->
+      let out = ref [] in
+      let agg =
+        Dpa_msg.Aggregator.create ~ndest ~max_batch ~flush:(fun ~dst reqs ->
+            out := (dst, reqs) :: !out)
+      in
+      (* The model: per-destination FIFOs plus the expected flush log. *)
+      let model = Array.make ndest [] in
+      let model_out = ref [] and model_flushes = ref 0 and model_maxb = ref 0 in
+      let model_flush dst =
+        if model.(dst) <> [] then begin
+          let batch = List.rev model.(dst) in
+          model_out := (dst, batch) :: !model_out;
+          incr model_flushes;
+          model_maxb := max !model_maxb (List.length batch);
+          model.(dst) <- []
+        end
+      in
+      List.iter
+        (function
+          | `Add (dst, x) ->
+            Dpa_msg.Aggregator.add agg ~dst x;
+            model.(dst) <- x :: model.(dst);
+            if List.length model.(dst) = max_batch then model_flush dst
+          | `Flush_all ->
+            Dpa_msg.Aggregator.flush_all agg;
+            for dst = 0 to ndest - 1 do
+              model_flush dst
+            done)
+        ops;
+      List.rev !out = List.rev !model_out
+      && Dpa_msg.Aggregator.flushes agg = !model_flushes
+      && Dpa_msg.Aggregator.max_batch_seen agg = !model_maxb
+      && List.for_all
+           (fun dst ->
+             Dpa_msg.Aggregator.pending_for agg ~dst
+             = List.length model.(dst))
+           [ 0; 1; 2 ])
+
 let qcheck_aggregator_no_loss =
   QCheck.Test.make
     ~name:"aggregator neither drops nor duplicates nor reorders" ~count:300
@@ -129,6 +206,8 @@ let suites =
     ( "msg.aggregator",
       [
         Alcotest.test_case "batches" `Quick test_aggregator_batches;
+        Alcotest.test_case "pending_for" `Quick test_aggregator_pending_for;
+        QCheck_alcotest.to_alcotest qcheck_aggregator_model;
         QCheck_alcotest.to_alcotest qcheck_aggregator_no_loss;
         QCheck_alcotest.to_alcotest qcheck_aggregator_batch_bound;
       ] );

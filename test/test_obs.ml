@@ -1,0 +1,347 @@
+(* Tests of the observability layer (lib/obs): JSON round-tripping, the
+   metrics registry, the event sink's flight-recorder ring, the exporters,
+   and the end-to-end wiring through a real DPA phase — including that an
+   observed run produces exactly the same simulated times and statistics as
+   an unobserved one. *)
+
+module Json = Dpa_obs.Json
+module Metrics = Dpa_obs.Metrics
+module Sink = Dpa_obs.Sink
+module Export = Dpa_obs.Export
+
+(* --- Json ------------------------------------------------------------- *)
+
+let parse_ok s =
+  match Json.parse s with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "parse %S: %s" s e
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("null", Json.Null);
+        ("bools", Json.List [ Json.Bool true; Json.Bool false ]);
+        ("int", Json.Int (-42));
+        ("float", Json.Float 2.5);
+        ("str", Json.Str "a\"b\\c\nd\te\r\x01f");
+        ("nested", Json.Obj [ ("empty_list", Json.List []); ("e", Json.Obj []) ]);
+      ]
+  in
+  Alcotest.(check bool) "roundtrip" true (parse_ok (Json.to_string v) = v)
+
+let test_json_numbers_and_unicode () =
+  Alcotest.(check bool) "int" true (parse_ok "-12" = Json.Int (-12));
+  Alcotest.(check bool) "float" true (parse_ok "3.5" = Json.Float 3.5);
+  Alcotest.(check bool) "exponent" true (parse_ok "1e3" = Json.Float 1000.);
+  Alcotest.(check bool) "escape" true (parse_ok {|"é"|} = Json.Str "\xc3\xa9");
+  Alcotest.(check bool) "surrogate pair" true
+    (parse_ok {|"😀"|} = Json.Str "\xf0\x9f\x98\x80");
+  (* Non-finite floats must not produce invalid JSON. *)
+  Alcotest.(check string) "nan renders null" "null" (Json.to_string (Json.Float nan))
+
+let test_json_rejects () =
+  let bad s =
+    match Json.parse s with
+    | Ok _ -> Alcotest.failf "parse %S unexpectedly succeeded" s
+    | Error _ -> ()
+  in
+  bad "";
+  bad "tru";
+  bad "{}x";
+  bad "[1,]";
+  bad "{\"a\":}";
+  bad "\"unterminated";
+  bad "01"
+
+let test_json_member () =
+  let v = Json.Obj [ ("a", Json.Int 1) ] in
+  Alcotest.(check bool) "hit" true (Json.member "a" v = Some (Json.Int 1));
+  Alcotest.(check bool) "miss" true (Json.member "b" v = None);
+  Alcotest.(check bool) "non-object" true (Json.member "a" (Json.Int 3) = None)
+
+(* --- Metrics ----------------------------------------------------------- *)
+
+let test_metrics_counter_gauge () =
+  let r = Metrics.create () in
+  let c = Metrics.counter r "c" in
+  Metrics.incr c;
+  Metrics.add (Metrics.counter r "c") 9 (* same name -> same instrument *);
+  Alcotest.(check int) "counter" 10 (Metrics.counter_value c);
+  let g = Metrics.gauge r "g" in
+  Metrics.set_gauge g 7;
+  Metrics.set_gauge g 3;
+  Alcotest.(check int) "gauge last" 3 (Metrics.gauge_value g);
+  Alcotest.(check int) "gauge max" 7 (Metrics.gauge_max g);
+  Alcotest.check_raises "kind clash"
+    (Invalid_argument "Metrics.gauge: \"c\" is registered as another kind")
+    (fun () -> ignore (Metrics.gauge r "c"))
+
+let test_metrics_histogram () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram r "h" in
+  for v = 1 to 100 do
+    Metrics.observe h v
+  done;
+  let s = Metrics.summary h in
+  Alcotest.(check int) "count" 100 s.Metrics.count;
+  Alcotest.(check int) "sum" 5050 s.Metrics.sum;
+  Alcotest.(check int) "min" 1 s.Metrics.min;
+  Alcotest.(check int) "max" 100 s.Metrics.max;
+  (* Uniform 1..100: the p50 rank falls in the [32,64) bucket, p99 in
+     [64,128) clamped to the observed max. *)
+  Alcotest.(check bool) "p50 bracket" true (s.Metrics.p50 >= 32. && s.Metrics.p50 <= 64.);
+  Alcotest.(check bool) "p90 bracket" true (s.Metrics.p90 >= 64. && s.Metrics.p90 <= 100.);
+  Alcotest.(check bool) "p99 bracket" true (s.Metrics.p99 >= 64. && s.Metrics.p99 <= 100.);
+  Alcotest.(check bool) "monotone" true
+    (s.Metrics.p50 <= s.Metrics.p90 && s.Metrics.p90 <= s.Metrics.p99)
+
+let test_metrics_histogram_edges () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram r "h" in
+  let s = Metrics.summary h in
+  Alcotest.(check int) "empty count" 0 s.Metrics.count;
+  Alcotest.(check (float 0.)) "empty p99" 0. s.Metrics.p99;
+  Metrics.observe h 7;
+  Alcotest.(check (float 0.)) "single value p50 exact" 7. (Metrics.percentile h 0.5);
+  Alcotest.(check (float 0.)) "single value p99 exact" 7. (Metrics.percentile h 0.99);
+  Metrics.observe h (-5) (* clamped to 0 *);
+  Alcotest.(check int) "negative clamped" 0 (Metrics.summary h).Metrics.min
+
+let test_metrics_json_shape () =
+  let r = Metrics.create () in
+  Metrics.add (Metrics.counter r "c") 4;
+  Metrics.observe (Metrics.histogram r "h") 10;
+  let j = Metrics.to_json r in
+  (* The export must survive its own parser. *)
+  Alcotest.(check bool) "self-parse" true (parse_ok (Json.to_string j) = j);
+  let h =
+    match Json.member "histograms" j with
+    | Some hs -> Option.get (Json.member "h" hs)
+    | None -> Alcotest.fail "no histograms"
+  in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) (k ^ " present") true (Json.member k h <> None))
+    [ "count"; "sum"; "min"; "max"; "p50"; "p90"; "p99"; "buckets" ]
+
+(* --- Sink -------------------------------------------------------------- *)
+
+let test_sink_ring_overwrites () =
+  let s = Sink.create ~capacity:4 () in
+  for i = 1 to 10 do
+    Sink.instant s ~cat:"t" ~name:"i" ~node:0 ~ts:i
+  done;
+  for i = 1 to 3 do
+    Sink.span s ~cat:"t" ~name:"s" ~node:0 ~ts:i ~dur:1
+  done;
+  Alcotest.(check int) "dropped" 6 (Sink.dropped s);
+  Alcotest.(check int) "emitted" 13 (Sink.emitted s);
+  Alcotest.(check int) "spans unbounded" 3 (Sink.nspans s);
+  let evs = Sink.events s in
+  Alcotest.(check int) "live events" 7 (List.length evs);
+  (* The ring keeps the newest instants and the listing is time-sorted. *)
+  let ts = List.map (fun (e : Sink.event) -> e.Sink.ts) evs in
+  Alcotest.(check bool) "sorted" true (List.sort compare ts = ts);
+  Alcotest.(check bool) "oldest instants gone" true
+    (List.for_all
+       (fun (e : Sink.event) -> e.Sink.kind = Sink.Span || e.Sink.ts > 6)
+       evs)
+
+let test_sink_meta () =
+  let s = Sink.create () in
+  Sink.set_meta s "b" (Json.Int 1);
+  Sink.set_meta s "a" (Json.Int 2);
+  Sink.set_meta s "b" (Json.Int 3);
+  Alcotest.(check bool) "sorted + overwritten" true
+    (Sink.meta s = [ ("a", Json.Int 2); ("b", Json.Int 3) ])
+
+let test_global_sink_pickup () =
+  let s = Sink.create () in
+  Sink.set_global (Some s);
+  Fun.protect
+    ~finally:(fun () -> Sink.set_global None)
+    (fun () ->
+      let engine = Dpa_sim.Engine.create (Dpa_sim.Machine.t3d ~nodes:2) in
+      Alcotest.(check bool) "adopted" true
+        (match Dpa_sim.Engine.sink engine with Some s' -> s' == s | None -> false));
+  let engine = Dpa_sim.Engine.create (Dpa_sim.Machine.t3d ~nodes:2) in
+  Alcotest.(check bool) "cleared" true (Dpa_sim.Engine.sink engine = None)
+
+(* --- end to end through a real phase ----------------------------------- *)
+
+let run_bh ~sink () =
+  let bodies = Dpa_bh.Plummer.generate ~n:200 ~seed:17 in
+  let octree = Dpa_bh.Octree.build bodies in
+  let tree = Dpa_bh.Bh_global.distribute octree ~nnodes:3 in
+  let engine = Dpa_sim.Engine.create (Dpa_sim.Machine.t3d ~nodes:3) in
+  Dpa_sim.Engine.set_sink engine sink;
+  Dpa_bh.Bh_run.force_phase ~engine ~tree ~bodies
+    ~params:Dpa_bh.Bh_force.default_params
+    (Dpa_baselines.Variant.dpa ~strip_size:16 ())
+
+let observed_bh =
+  (* One observed run shared by the export tests below. *)
+  lazy
+    (let sink = Sink.create () in
+     let r = run_bh ~sink:(Some sink) () in
+     (sink, r))
+
+let test_chrome_trace_valid () =
+  let sink, _ = Lazy.force observed_bh in
+  let j = parse_ok (Export.chrome_trace sink) in
+  let events =
+    match Json.member "traceEvents" j with
+    | Some (Json.List l) -> l
+    | _ -> Alcotest.fail "no traceEvents list"
+  in
+  Alcotest.(check bool) "nonempty" true (events <> []);
+  (* At least one complete phase span per node. *)
+  List.iter
+    (fun node ->
+      Alcotest.(check bool)
+        (Printf.sprintf "phase span on node %d" node)
+        true
+        (List.exists
+           (fun e ->
+             Json.member "ph" e = Some (Json.Str "X")
+             && Json.member "cat" e = Some (Json.Str "phase")
+             && Json.member "name" e = Some (Json.Str "bh-force")
+             && Json.member "tid" e = Some (Json.Int node))
+           events))
+    [ 0; 1; 2 ]
+
+let test_metrics_export_valid () =
+  let sink, r = Lazy.force observed_bh in
+  let j = parse_ok (Json.to_string (Export.metrics_json sink)) in
+  let histos =
+    match Json.member "metrics" j with
+    | Some m -> Option.get (Json.member "histograms" m)
+    | None -> Alcotest.fail "no metrics"
+  in
+  List.iter
+    (fun name ->
+      match Json.member name histos with
+      | Some h ->
+        List.iter
+          (fun k ->
+            Alcotest.(check bool)
+              (name ^ "." ^ k ^ " present")
+              true
+              (Json.member k h <> None))
+          [ "p50"; "p90"; "p99" ]
+      | None -> Alcotest.failf "histogram %s missing" name)
+    [ "agg_batch.bh-force"; "wait_ns.bh-force"; "outstanding.bh-force" ];
+  (* The attached Dpa_stats document matches the run's own statistics. *)
+  let stats = Option.get r.Dpa_bh.Bh_run.dpa_stats in
+  match Json.member "stats" j with
+  | Some s ->
+    Alcotest.(check bool) "dpa_stats attached" true
+      (Json.member "dpa_stats.bh-force" s = Some (Dpa.Dpa_stats.to_json stats))
+  | None -> Alcotest.fail "no stats"
+
+let test_jsonl_and_profile () =
+  let sink, _ = Lazy.force observed_bh in
+  let lines =
+    Export.jsonl sink |> String.split_on_char '\n'
+    |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check bool) "has lines" true (lines <> []);
+  List.iter (fun l -> ignore (parse_ok l)) lines;
+  let profile = Export.profile sink in
+  let contains haystack needle =
+    let nh = String.length haystack and nn = String.length needle in
+    let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
+    at 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " in profile") true
+        (contains profile needle))
+    [ "bh-force"; "wait_ns" ]
+
+let test_observing_is_transparent () =
+  let off = run_bh ~sink:None () in
+  let _, on_ = Lazy.force observed_bh in
+  Alcotest.(check bool) "breakdown identical" true
+    (off.Dpa_bh.Bh_run.breakdown = on_.Dpa_bh.Bh_run.breakdown);
+  Alcotest.(check bool) "stats identical" true
+    (off.Dpa_bh.Bh_run.dpa_stats = on_.Dpa_bh.Bh_run.dpa_stats);
+  Alcotest.(check bool) "forces identical" true
+    (off.Dpa_bh.Bh_run.accs = on_.Dpa_bh.Bh_run.accs)
+
+(* --- Dpa_stats --------------------------------------------------------- *)
+
+let test_stats_merge_edges () =
+  let z = Dpa.Dpa_stats.merge [] in
+  Alcotest.(check bool) "empty merge is zero" true (z = Dpa.Dpa_stats.create ());
+  let a = Dpa.Dpa_stats.create () and b = Dpa.Dpa_stats.create () in
+  a.Dpa.Dpa_stats.spawns <- 3;
+  a.Dpa.Dpa_stats.max_outstanding <- 10;
+  a.Dpa.Dpa_stats.max_batch <- 2;
+  a.Dpa.Dpa_stats.align_peak <- 5;
+  b.Dpa.Dpa_stats.spawns <- 4;
+  b.Dpa.Dpa_stats.max_outstanding <- 7;
+  b.Dpa.Dpa_stats.max_batch <- 9;
+  b.Dpa.Dpa_stats.align_peak <- 1;
+  let m = Dpa.Dpa_stats.merge [ a; b ] in
+  Alcotest.(check int) "sums add" 7 m.Dpa.Dpa_stats.spawns;
+  Alcotest.(check int) "max_outstanding takes max" 10
+    m.Dpa.Dpa_stats.max_outstanding;
+  Alcotest.(check int) "max_batch takes max" 9 m.Dpa.Dpa_stats.max_batch;
+  Alcotest.(check int) "align_peak takes max" 5 m.Dpa.Dpa_stats.align_peak;
+  (* Merging one element is the identity. *)
+  Alcotest.(check bool) "singleton identity" true (Dpa.Dpa_stats.merge [ a ] = a)
+
+let test_stats_to_json () =
+  let a = Dpa.Dpa_stats.create () in
+  a.Dpa.Dpa_stats.spawns <- 2;
+  a.Dpa.Dpa_stats.inline_local <- 5;
+  a.Dpa.Dpa_stats.align_hits <- 1;
+  a.Dpa.Dpa_stats.merge_hits <- 3;
+  let j = Dpa.Dpa_stats.to_json a in
+  Alcotest.(check bool) "spawns" true (Json.member "spawns" j = Some (Json.Int 2));
+  Alcotest.(check bool) "derived total" true
+    (Json.member "total_reads" j = Some (Json.Int 11));
+  Alcotest.(check bool) "self-parse" true (parse_ok (Json.to_string j) = j)
+
+let suites =
+  [
+    ( "obs.json",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+        Alcotest.test_case "numbers and unicode" `Quick
+          test_json_numbers_and_unicode;
+        Alcotest.test_case "rejects malformed" `Quick test_json_rejects;
+        Alcotest.test_case "member" `Quick test_json_member;
+      ] );
+    ( "obs.metrics",
+      [
+        Alcotest.test_case "counter and gauge" `Quick test_metrics_counter_gauge;
+        Alcotest.test_case "histogram percentiles" `Quick test_metrics_histogram;
+        Alcotest.test_case "histogram edges" `Quick test_metrics_histogram_edges;
+        Alcotest.test_case "json shape" `Quick test_metrics_json_shape;
+      ] );
+    ( "obs.sink",
+      [
+        Alcotest.test_case "ring overwrites oldest" `Quick
+          test_sink_ring_overwrites;
+        Alcotest.test_case "meta" `Quick test_sink_meta;
+        Alcotest.test_case "global pickup by Engine.create" `Quick
+          test_global_sink_pickup;
+      ] );
+    ( "obs.export",
+      [
+        Alcotest.test_case "chrome trace valid" `Quick test_chrome_trace_valid;
+        Alcotest.test_case "metrics export valid" `Quick
+          test_metrics_export_valid;
+        Alcotest.test_case "jsonl and profile" `Quick test_jsonl_and_profile;
+        Alcotest.test_case "observing is transparent" `Quick
+          test_observing_is_transparent;
+      ] );
+    ( "core.stats",
+      [
+        Alcotest.test_case "merge edge cases" `Quick test_stats_merge_edges;
+        Alcotest.test_case "to_json" `Quick test_stats_to_json;
+      ] );
+  ]

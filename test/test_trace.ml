@@ -26,6 +26,21 @@ let test_detach_stops_recording () =
   Node.charge_local (Engine.node engine 0) 100;
   Alcotest.(check int) "no new segments" before (Trace.nsegments trace)
 
+let test_double_attach_rejected () =
+  let engine = Engine.create (Machine.t3d ~nodes:2) in
+  let trace = Trace.attach engine in
+  Alcotest.check_raises "second attach"
+    (Invalid_argument "Trace.attach: a trace is already attached (detach it first)")
+    (fun () -> ignore (Trace.attach engine));
+  (* The original observer keeps working... *)
+  Node.charge_local (Engine.node engine 0) 100;
+  Alcotest.(check int) "still recording" 1 (Trace.nsegments trace);
+  (* ...and detaching makes attach legal again. *)
+  Trace.detach trace;
+  let trace2 = Trace.attach engine in
+  Node.charge_local (Engine.node engine 0) 100;
+  Alcotest.(check int) "fresh trace records" 1 (Trace.nsegments trace2)
+
 let test_timeline_renders () =
   let engine = Engine.create (Machine.t3d ~nodes:2) in
   let trace = Trace.attach engine in
@@ -87,6 +102,8 @@ let suites =
           test_totals_match_node_counters;
         Alcotest.test_case "detach stops recording" `Quick
           test_detach_stops_recording;
+        Alcotest.test_case "double attach rejected" `Quick
+          test_double_attach_rejected;
         Alcotest.test_case "timeline renders" `Quick test_timeline_renders;
         Alcotest.test_case "csv format" `Quick test_csv_format;
         Alcotest.test_case "full phase consistency" `Quick

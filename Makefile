@@ -2,7 +2,7 @@
 
 BENCH := bin/dpa_bench.exe
 
-.PHONY: all build test fmt fmt-check smoke clean
+.PHONY: all build test fmt fmt-check smoke chaos-smoke clean
 
 all: build
 
@@ -23,11 +23,21 @@ fmt-check:
 # End-to-end observability smoke test: run a small experiment with the
 # trace/metrics exporters on and make sure the artifacts appear and are
 # non-trivial. The test suite validates the JSON itself (test/test_obs.ml).
-smoke: build
+smoke: build chaos-smoke
 	dune exec $(BENCH) -- f1 --scale small \
 	  --trace /tmp/dpa_trace.json --metrics /tmp/dpa_metrics.json --profile
 	@test -s /tmp/dpa_trace.json && test -s /tmp/dpa_metrics.json \
 	  && echo "smoke: trace + metrics written"
+
+# Chaos smoke test: the a11 sweep at reduced scale with a fixed fault seed.
+# Every row (including 10% drop and the heavy preset) must report forces
+# bit-identical to the fault-free reference; any divergence prints DIVERGED
+# and fails the target.
+chaos-smoke: build
+	dune exec $(BENCH) -- a11 --scale small --bodies 512 | tee /tmp/dpa_chaos.txt
+	@! grep -q DIVERGED /tmp/dpa_chaos.txt \
+	  && grep -cq bit-identical /tmp/dpa_chaos.txt \
+	  && echo "chaos-smoke: forces bit-identical under all fault plans"
 
 clean:
 	dune clean

@@ -13,6 +13,9 @@ type obs_opts = {
   metrics : string option;
   events : string option;
   profile : bool;
+  cats : string list option;
+  spans_only : bool;
+  sample_ns : int;
 }
 
 let obs_term =
@@ -47,8 +50,37 @@ let obs_term =
       & info [ "profile" ]
           ~doc:"Print a human-readable per-phase profile after the run.")
   in
-  let combine trace metrics events profile = { trace; metrics; events; profile } in
-  Term.(const combine $ trace $ metrics $ events $ profile)
+  let cats =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "trace-cats" ] ~docv:"CAT,CAT,..."
+          ~doc:
+            "Keep only events of the listed categories (phase, strip, \
+             runtime, msg, sim, fault, counter). Default: all.")
+  in
+  let spans_only =
+    Arg.(
+      value & flag
+      & info [ "spans-only" ]
+          ~doc:
+            "Record spans only: instants and counter samples are dropped at \
+             emission. Keeps chaos-run traces tractable.")
+  in
+  let sample_ns =
+    Arg.(
+      value & opt int 0
+      & info [ "sample-ns" ] ~docv:"NS"
+          ~doc:
+            "Emit fixed-rate per-node counter tracks (outstanding threads, \
+             D-buffer occupancy) every $(docv) of sim-time. 0 disables.")
+  in
+  let combine trace metrics events profile cats spans_only sample_ns =
+    { trace; metrics; events; profile; cats; spans_only; sample_ns }
+  in
+  Term.(
+    const combine $ trace $ metrics $ events $ profile $ cats $ spans_only
+    $ sample_ns)
 
 let with_obs obs f conf =
   if
@@ -68,6 +100,13 @@ let with_obs obs f conf =
     let metrics_out = Option.map open_or_die obs.metrics in
     let events_out = Option.map open_or_die obs.events in
     let sink = Dpa_obs.Sink.create () in
+    Dpa_obs.Sink.set_categories sink obs.cats;
+    Dpa_obs.Sink.set_spans_only sink obs.spans_only;
+    (if obs.sample_ns < 0 then begin
+       prerr_endline "dpa_bench: --sample-ns must be non-negative";
+       exit 1
+     end);
+    Dpa_obs.Sink.set_sample_period sink obs.sample_ns;
     Dpa_obs.Sink.set_global (Some sink);
     Fun.protect
       ~finally:(fun () -> Dpa_obs.Sink.set_global None)
@@ -84,8 +123,54 @@ let with_obs obs f conf =
       (fun () -> Dpa_obs.Json.to_string (Dpa_obs.Export.metrics_json sink))
       metrics_out;
     finish "event log" (fun () -> Dpa_obs.Export.jsonl sink) events_out;
-    if obs.profile then print_string (Dpa_obs.Export.profile sink)
+    if obs.profile then print_string (Dpa_obs.Export.profile sink);
+    let nfiltered = Dpa_obs.Sink.filtered sink in
+    if nfiltered > 0 then
+      Printf.printf "(%d events filtered by --trace-cats/--spans-only)\n"
+        nfiltered
   end
+
+(* Fault-injection flags shared by every subcommand: install a process-wide
+   fault plan (picked up, like the sink, by [Dpa_sim.Engine.create]) for
+   the duration of the run. *)
+type fault_opts = { fault_spec : string option; fault_seed : int }
+
+let fault_term =
+  let spec =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "faults" ] ~docv:"SPEC"
+          ~doc:
+            "Inject deterministic network faults: a preset ($(b,none), \
+             $(b,light), $(b,heavy)) or a comma list of knobs \
+             (drop=P, dup=P, delay=P, jitter=NS, outages=N, outage=NS, \
+             horizon=NS, slow-node=ID, slow-factor=F). Enables the \
+             reliable-delivery protocol (acks, dedup, retransmission).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 0x5EED
+      & info [ "fault-seed" ] ~docv:"N"
+          ~doc:
+            "Seed for the fault plan's RNG streams; the same seed replays \
+             the same drops, duplicates and outages.")
+  in
+  Term.(const (fun fault_spec fault_seed -> { fault_spec; fault_seed }) $ spec $ seed)
+
+let with_faults fo f conf =
+  match fo.fault_spec with
+  | None -> f conf
+  | Some s -> (
+    match Dpa_sim.Fault.spec_of_string s with
+    | Error msg ->
+      prerr_endline ("dpa_bench: --faults: " ^ msg);
+      exit 1
+    | Ok spec ->
+      Dpa_sim.Fault.set_global ~seed:fo.fault_seed (Some spec);
+      Fun.protect
+        ~finally:(fun () -> Dpa_sim.Fault.set_global None)
+        (fun () -> f conf))
 
 let conf_term =
   let scale =
@@ -196,6 +281,10 @@ let run_a9 conf =
 
 let run_a10 conf = Experiment.print_hotspot (Experiment.hotspot conf)
 
+let run_a11 conf =
+  Experiment.print_chaos_sweep ~procs:conf.Runconf.breakdown_procs
+    (Experiment.chaos_sweep conf)
+
 let run_timeline ?(csv = None) conf =
   let nnodes = conf.Runconf.breakdown_procs in
   let show variant =
@@ -276,16 +365,20 @@ let run_all conf =
   run_a7 conf;
   run_a8 conf;
   run_a9 conf;
-  run_a10 conf
+  run_a10 conf;
+  run_a11 conf
 
 let cmd name doc f =
   Cmd.v (Cmd.info name ~doc)
-    Term.(const (fun obs conf -> with_obs obs f conf) $ obs_term $ conf_term)
+    Term.(
+      const (fun fo obs conf -> with_faults fo (with_obs obs f) conf)
+      $ fault_term $ obs_term $ conf_term)
 
 let () =
   let default =
     Term.(
-      const (fun obs conf -> with_obs obs run_all conf) $ obs_term $ conf_term)
+      const (fun fo obs conf -> with_faults fo (with_obs obs run_all) conf)
+      $ fault_term $ obs_term $ conf_term)
   in
   let info =
     Cmd.info "dpa_bench" ~version:"1.0"
@@ -314,6 +407,7 @@ let () =
             cmd "a8" "Adaptive FMM on clustered input" run_a8;
             cmd "a9" "Cache locality of iteration order" run_a9;
             cmd "a10" "Hot-spot with link serialization" run_a10;
+            cmd "a11" "Chaos sweep: faults vs goodput and correctness" run_a11;
             (let csv =
                Arg.(
                  value
@@ -325,9 +419,9 @@ let () =
                (Cmd.info "timeline"
                   ~doc:"Per-node utilization timelines (Barnes-Hut)")
                Term.(
-                 const (fun csv obs conf ->
-                     with_obs obs (run_timeline ~csv) conf)
-                 $ csv $ obs_term $ conf_term));
+                 const (fun csv fo obs conf ->
+                     with_faults fo (with_obs obs (run_timeline ~csv)) conf)
+                 $ csv $ fault_term $ obs_term $ conf_term));
             cmd "calibrate" "Compare modelled sequential times to the paper"
               run_calibrate;
             cmd "all" "Run every experiment" run_all;

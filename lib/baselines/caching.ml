@@ -20,6 +20,7 @@ type ctx = {
   mutable misses : int;
   mutable local : int;
   mutable peak_cached : int;
+  mutable retries : int;  (* end-to-end fetch re-issues under faults *)
 }
 
 and k = ctx -> Obj_repr.t -> unit
@@ -30,12 +31,14 @@ type stats = {
   local : int;
   evictions : int;
   peak_cached : int;
+  retries : int;
 }
 
 let pp_stats ppf s =
   Format.fprintf ppf
-    "@[cache: %d hits, %d misses, %d local, %d evictions, peak %d objects@]"
-    s.hits s.misses s.local s.evictions s.peak_cached
+    "@[cache: %d hits, %d misses, %d local, %d evictions, peak %d objects, \
+     %d retries@]"
+    s.hits s.misses s.local s.evictions s.peak_cached s.retries
 
 let node_id ctx = ctx.node.Node.id
 let charge ctx ns = Node.charge_local ctx.node ns
@@ -115,25 +118,64 @@ and resolve ctx ptr k =
       fetch ctx ptr k
   end
 
+(* The blocking fetch. Under a fault plan it grows the same two defence
+   layers the DPA runtime has: the transport retransmits each message until
+   acked, and an end-to-end timer re-issues the whole fetch with capped
+   exponential backoff in case the owner is wedged. The [completed] latch
+   makes the continuation idempotent — a duplicate reply from a spurious
+   retry must not unblock the node twice or re-run [k]. *)
 and fetch ctx ptr k =
   let m = ctx.machine in
   let bytes = Dpa_msg.Am.request_bytes m ~nreqs:1 in
-  Dpa_msg.Am.send ctx.engine ~src:ctx.node ~dst:ptr.Gptr.node ~bytes
-    (fun owner ->
-      Node.charge_comm owner
-        (m.Machine.request_service_ns + m.Machine.request_service_per_obj_ns);
-      let view = Heap.get ctx.heaps.(ptr.Gptr.node) ptr in
-      let reply =
-        Dpa_msg.Am.reply_bytes m ~payload:(Obj_repr.bytes view) ~nreqs:1
-      in
-      Dpa_msg.Am.send ctx.engine ~src:owner ~dst:ctx.node.Node.id ~bytes:reply
-        (fun _self ->
-          Lru.add ctx.cache ptr view;
-          let n = Lru.size ctx.cache in
-          if n > ctx.peak_cached then ctx.peak_cached <- n;
-          ctx.waiting <- false;
-          k ctx view;
-          ensure_scheduled ctx))
+  let rel = Engine.fault ctx.engine <> None in
+  let completed = ref false in
+  let rto0 =
+    8
+    * ((2 * (m.Machine.send_overhead_ns + m.Machine.recv_overhead_ns))
+      + Machine.transfer_ns m ~bytes
+      + Machine.transfer_ns m ~bytes:m.Machine.msg_header_bytes
+      + (4 * m.Machine.poll_quantum_ns))
+  in
+  let rec attempt ~rto =
+    Dpa_msg.Am.send ctx.engine ~src:ctx.node ~dst:ptr.Gptr.node ~bytes
+      (fun owner ->
+        Node.charge_comm owner
+          (m.Machine.request_service_ns + m.Machine.request_service_per_obj_ns);
+        let view = Heap.get ctx.heaps.(ptr.Gptr.node) ptr in
+        let reply =
+          Dpa_msg.Am.reply_bytes m ~payload:(Obj_repr.bytes view) ~nreqs:1
+        in
+        Dpa_msg.Am.send ctx.engine ~src:owner ~dst:ctx.node.Node.id
+          ~bytes:reply (fun _self ->
+            if not !completed then begin
+              completed := true;
+              Lru.add ctx.cache ptr view;
+              let n = Lru.size ctx.cache in
+              if n > ctx.peak_cached then ctx.peak_cached <- n;
+              ctx.waiting <- false;
+              k ctx view;
+              ensure_scheduled ctx
+            end));
+    if rel then begin
+      let deadline = ctx.node.Node.clock + rto in
+      Engine.post_soft ctx.engine ~time:deadline ~node:(node_id ctx) (fun () ->
+          if not !completed then begin
+            Node.wait_until ctx.node deadline;
+            ctx.retries <- ctx.retries + 1;
+            (match Engine.sink ctx.engine with
+            | None -> ()
+            | Some sink ->
+              Dpa_obs.Metrics.add
+                (Dpa_obs.Metrics.counter (Dpa_obs.Sink.metrics sink)
+                   "retries.cache")
+                1;
+              Dpa_obs.Sink.instant sink ~cat:"runtime" ~name:"retry"
+                ~node:(node_id ctx) ~ts:ctx.node.Node.clock);
+            attempt ~rto:(min (2 * rto) (1024 * rto0))
+          end)
+    end
+  in
+  attempt ~rto:rto0
 
 let make_ctx ~engine ~heaps ~capacity ~hash ~items node =
   {
@@ -154,6 +196,7 @@ let make_ctx ~engine ~heaps ~capacity ~hash ~items node =
     misses = 0;
     local = 0;
     peak_cached = 0;
+    retries = 0;
   }
 
 let run_phase ~engine ~heaps ~capacity ?(hash = true) ~items () =
@@ -186,8 +229,16 @@ let run_phase ~engine ~heaps ~capacity ?(hash = true) ~items () =
           local = acc.local + c.local;
           evictions = acc.evictions + Lru.evictions c.cache;
           peak_cached = max acc.peak_cached c.peak_cached;
+          retries = acc.retries + c.retries;
         })
-      { hits = 0; misses = 0; local = 0; evictions = 0; peak_cached = 0 }
+      {
+        hits = 0;
+        misses = 0;
+        local = 0;
+        evictions = 0;
+        peak_cached = 0;
+        retries = 0;
+      }
       ctxs
   in
   (breakdown, stats)

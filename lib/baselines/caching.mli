@@ -20,6 +20,7 @@ type stats = {
   local : int;
   evictions : int;
   peak_cached : int;
+  retries : int;  (** end-to-end fetch re-issues under an active fault plan *)
 }
 
 val pp_stats : Format.formatter -> stats -> unit

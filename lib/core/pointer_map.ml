@@ -38,16 +38,24 @@ let register t ~reuse ptr k =
       `New_request token
   else `New_request (fresh t ptr k)
 
-let take t token =
+let take_opt t token =
   match Hashtbl.find_opt t.tokens token with
-  | None -> raise Not_found
+  | None -> None
   | Some slot ->
     Hashtbl.remove t.tokens token;
     (match Gptr.Tbl.find_opt t.by_ptr slot.ptr with
     | Some tok when tok = token -> Gptr.Tbl.remove t.by_ptr slot.ptr
     | Some _ | None -> ());
     t.waiters <- t.waiters - slot.count;
-    (slot.ptr, List.rev slot.ks)
+    Some (slot.ptr, List.rev slot.ks)
+
+let take t token =
+  match take_opt t token with None -> raise Not_found | Some r -> r
+
+let find_ptr t token =
+  match Hashtbl.find_opt t.tokens token with
+  | None -> None
+  | Some slot -> Some slot.ptr
 
 let outstanding t = Hashtbl.length t.tokens
 let waiters t = t.waiters

@@ -21,6 +21,16 @@ val take : 'k t -> int -> Dpa_heap.Gptr.t * 'k list
 (** Consume a token on reply arrival: returns the pointer and the waiting
     threads in registration order. Raises [Not_found] for unknown tokens. *)
 
+val take_opt : 'k t -> int -> (Dpa_heap.Gptr.t * 'k list) option
+(** Like {!take} but [None] for unknown tokens — the idempotent form the
+    reliable message path uses: a token consumed by an earlier copy of a
+    re-delivered bulk reply simply yields nothing to wake. *)
+
+val find_ptr : 'k t -> int -> Dpa_heap.Gptr.t option
+(** The pointer a still-outstanding token is fetching, if any; used by the
+    runtime's timeout wheel to re-issue a request without consuming the
+    token. *)
+
 val outstanding : 'k t -> int
 (** Tokens currently in flight. *)
 

@@ -16,6 +16,7 @@ type obs = {
   h_dbuf : Dpa_obs.Metrics.histogram;  (* D-buffer occupancy at delivery *)
   c_vol : Dpa_obs.Metrics.counter array;  (* request bytes per destination *)
   c_reply : Dpa_obs.Metrics.counter;  (* bulk-reply bytes *)
+  c_retry : Dpa_obs.Metrics.counter;  (* timeout-driven request re-issues *)
   issued : (int, int) Hashtbl.t;  (* token -> issue timestamp *)
   mutable strip_open : bool;
   mutable strip_start : int;
@@ -41,6 +42,9 @@ type ctx = {
   mutable items : (ctx -> unit) array;
   mutable next_item : int;
   mutable finished : bool;
+  rel : bool;
+      (* fault plan active: arm end-to-end request timeouts and accept
+         duplicate bulk replies (idempotent wakes) *)
   obs : obs option;
 }
 
@@ -164,16 +168,31 @@ and next_strip ctx =
 
 (* Reply arrival: wake every thread recorded in M for each delivered
    pointer. Threads waiting on the same object are enqueued consecutively,
-   so they execute together — the tiling effect. *)
+   so they execute together — the tiling effect.
+
+   Under a fault plan wakes must be idempotent: an end-to-end retry can
+   produce a second bulk reply for a token the first copy already
+   resolved, and that copy must wake nothing (and must not repopulate the
+   alignment buffer — its strip may be long gone). Fault-free, an unknown
+   token is still the hard protocol error it always was. *)
 and deliver ctx pairs =
   List.iter
     (fun (req, view) ->
-      (match ctx.obs with
-      | None -> ()
-      | Some o -> obs_wait o ctx.node req.token);
-      let ptr, ks = Pointer_map.take ctx.map req.token in
-      if ctx.cfg.Config.reuse then Align_buffer.add ctx.buffer ptr view;
-      List.iter (fun k -> Queue.push (view, k) ctx.ready) ks)
+      let resolved =
+        if ctx.rel then Pointer_map.take_opt ctx.map req.token
+        else Some (Pointer_map.take ctx.map req.token)
+      in
+      match resolved with
+      | None -> (
+        match ctx.obs with
+        | None -> ()
+        | Some o -> obs_instant o ctx.node ~name:"dup_wake")
+      | Some (ptr, ks) ->
+        (match ctx.obs with
+        | None -> ()
+        | Some o -> obs_wait o ctx.node req.token);
+        if ctx.cfg.Config.reuse then Align_buffer.add ctx.buffer ptr view;
+        List.iter (fun k -> Queue.push (view, k) ctx.ready) ks)
     pairs;
   let peak = Align_buffer.peak ctx.buffer in
   if peak > ctx.stats.Dpa_stats.align_peak then
@@ -188,16 +207,52 @@ and deliver ctx pairs =
     obs_outstanding o ctx.node ctx.pending);
   ensure_scheduled ctx
 
+(* End-to-end request timeout wheel, the second defence layer above the
+   transport's per-message retransmission: if a token is still outstanding
+   in M when its deadline passes, re-issue it as a single-entry request and
+   back off. The transport alone already guarantees delivery, so firings
+   are rare (a deeply backlogged owner); a spurious firing only produces a
+   duplicate reply that [deliver] discards. *)
+and rt_rto ctx ~bytes =
+  let m = ctx.machine in
+  8
+  * ((2 * (m.Machine.send_overhead_ns + m.Machine.recv_overhead_ns))
+    + Machine.transfer_ns m ~bytes
+    + Machine.transfer_ns m ~bytes:m.Machine.msg_header_bytes
+    + (4 * m.Machine.poll_quantum_ns))
+
+and arm_request_timer ctx ~dst (req : request) ~rto =
+  let deadline = ctx.node.Node.clock + rto in
+  Engine.post_soft ctx.engine ~time:deadline ~node:(node_id ctx) (fun () ->
+      match Pointer_map.find_ptr ctx.map req.token with
+      | None -> ()  (* answered in time: pure no-op, clock untouched *)
+      | Some _ ->
+        Node.wait_until ctx.node deadline;
+        (match ctx.obs with
+        | None -> ()
+        | Some o ->
+          Dpa_obs.Metrics.add o.c_retry 1;
+          obs_instant
+            ~args:
+              [
+                ("token", Dpa_obs.Sink.Int req.token);
+                ("dst", Dpa_obs.Sink.Int dst);
+              ]
+            o ctx.node ~name:"retry");
+        send_request_batch ctx ~dst [ req ];
+        let cap = 1024 * rt_rto ctx ~bytes:(Dpa_msg.Am.request_bytes ctx.machine ~nreqs:1) in
+        arm_request_timer ctx ~dst req ~rto:(min (2 * rto) cap))
+
 and flush_requests ctx ~dst batch =
   let nreqs = List.length batch in
   let stats = ctx.stats in
   stats.Dpa_stats.request_msgs <- stats.Dpa_stats.request_msgs + 1;
   stats.Dpa_stats.requests <- stats.Dpa_stats.requests + nreqs;
   if nreqs > stats.Dpa_stats.max_batch then stats.Dpa_stats.max_batch <- nreqs;
-  let bytes = Dpa_msg.Am.request_bytes ctx.machine ~nreqs in
   (match ctx.obs with
   | None -> ()
   | Some o ->
+    let bytes = Dpa_msg.Am.request_bytes ctx.machine ~nreqs in
     Dpa_obs.Metrics.add o.c_vol.(dst) bytes;
     obs_instant
       ~args:
@@ -207,6 +262,16 @@ and flush_requests ctx ~dst batch =
           ("bytes", Dpa_obs.Sink.Int bytes);
         ]
       o ctx.node ~name:"req_send");
+  send_request_batch ctx ~dst batch;
+  if ctx.rel then
+    let rto =
+      rt_rto ctx ~bytes:(Dpa_msg.Am.request_bytes ctx.machine ~nreqs)
+    in
+    List.iter (fun req -> arm_request_timer ctx ~dst req ~rto) batch
+
+and send_request_batch ctx ~dst batch =
+  let nreqs = List.length batch in
+  let bytes = Dpa_msg.Am.request_bytes ctx.machine ~nreqs in
   Dpa_msg.Am.send ctx.engine ~src:ctx.node ~dst ~bytes (fun owner ->
       (* Owner-side service handler: look the objects up and ship them back
          in one bulk reply. This steals owner CPU, as an FM handler does. *)
@@ -358,6 +423,7 @@ let make_obs ~engine ~heaps ~label =
               Dpa_obs.Metrics.counter reg
                 (Printf.sprintf "msg_bytes_dst%d.%s" d label));
         c_reply = Dpa_obs.Metrics.counter reg ("reply_bytes." ^ label);
+        c_retry = Dpa_obs.Metrics.counter reg ("retries." ^ label);
         issued = Hashtbl.create 64;
         strip_open = false;
         strip_start = 0;
@@ -393,6 +459,7 @@ let make_ctx ~engine ~heaps ~config ~items ~label node =
       items;
       next_item = 0;
       finished = false;
+      rel = Engine.fault engine <> None;
       obs = make_obs ~engine ~heaps ~label;
     }
   in
@@ -425,7 +492,26 @@ let run_phase_labeled ~label ~engine ~heaps ~config ~items =
       nodes
   in
   Array.iter ensure_scheduled ctxs;
+  (* Fixed-rate counter tracks, opt-in via the sink's sample period. *)
+  (match Engine.sink engine with
+  | Some sink when Dpa_obs.Sink.sample_period_ns sink > 0 ->
+    let period_ns = Dpa_obs.Sink.sample_period_ns sink in
+    Engine.start_sampler engine ~period_ns ~name:"outstanding" (fun n ->
+        ctxs.(n.Node.id).pending);
+    Engine.start_sampler engine ~period_ns ~name:"dbuf" (fun n ->
+        Align_buffer.size ctxs.(n.Node.id).buffer)
+  | _ -> ());
   Engine.run engine;
+  (* Quiescence certificate before the barrier clears D and M: with a
+     fault plan active, no envelope may still await its ack — the event
+     queue draining with in-flight envelopes would mean a retransmit timer
+     was lost, i.e. a protocol bug, not bad luck. *)
+  (if Engine.fault engine <> None then
+     let infl = Dpa_msg.Am.in_flight engine in
+     if infl > 0 then
+       failwith
+         (Printf.sprintf
+            "Runtime.run_phase: %d unacknowledged messages at barrier" infl));
   Array.iter
     (fun ctx ->
       if

@@ -888,3 +888,124 @@ let print_hotspot points =
     points;
   Table.print t;
   print_newline ()
+
+(* -------------------------------------------------------------------- A11 *)
+
+type chaos_point = {
+  ch_spec : string;
+  ch_time_s : float;
+  ch_goodput : float;
+  ch_retransmits : int;
+  ch_rt_retries : int;
+  ch_drops : int;
+  ch_dups_suppressed : int;
+  ch_forces_ok : bool;
+}
+
+let default_chaos_specs =
+  [ "off"; "drop=0.01"; "drop=0.05"; "drop=0.10"; "heavy" ]
+
+(* Drive one BH force phase by hand (as the timeline command does) so the
+   engine — and with it the transport counters and the fault plan — stays
+   in reach after the phase completes. The headline check rides in the last
+   column: every faulted run must produce bit-identical accelerations to
+   the fault-free reference. *)
+let chaos_sweep ?(specs = default_chaos_specs) ?(fault_seed = 0x5EED)
+    (conf : Runconf.t) =
+  let procs = conf.Runconf.breakdown_procs in
+  let params = Dpa_bh.Bh_force.default_params in
+  let run faults =
+    let bodies = Dpa_bh.Plummer.generate ~n:conf.Runconf.bh_bodies ~seed:17 in
+    let octree = Dpa_bh.Octree.build bodies in
+    let tree = Dpa_bh.Bh_global.distribute octree ~nnodes:procs in
+    let machine = Machine.make ~nodes:procs ?faults ~fault_seed () in
+    let saved = Dpa_obs.Sink.global () in
+    let sink = Dpa_obs.Sink.create () in
+    Dpa_obs.Sink.set_global (Some sink);
+    let engine = Engine.create machine in
+    Dpa_obs.Sink.set_global saved;
+    (* The sweep owns its fault plans: a process-global [--faults] default
+       must not leak into the reference (or the "off" row) via
+       [Engine.create]'s fallback. *)
+    if faults = None then Engine.set_fault engine None;
+    let r =
+      Dpa_bh.Bh_run.force_phase ~engine ~tree ~bodies ~params
+        (Dpa_baselines.Variant.dpa ~strip_size:conf.Runconf.bh_strip ())
+    in
+    (r, engine, sink)
+  in
+  let reference, _, _ = run None in
+  List.map
+    (fun spec_str ->
+      let faults =
+        if spec_str = "off" then None
+        else
+          match Fault.spec_of_string spec_str with
+          | Ok s -> Some s
+          | Error msg -> invalid_arg ("chaos_sweep: " ^ msg)
+      in
+      let r, engine, sink = run faults in
+      let m = Engine.machine engine in
+      let bytes_sent =
+        Array.fold_left
+          (fun acc (n : Node.t) -> acc + n.Node.bytes_sent)
+          0 (Engine.nodes engine)
+      in
+      let retransmit_bytes, retransmits, acks, dups =
+        match Dpa_msg.Am.stats engine with
+        | None -> (0, 0, 0, 0)
+        | Some s ->
+          ( s.Dpa_msg.Am.retransmit_bytes,
+            s.Dpa_msg.Am.retransmits,
+            s.Dpa_msg.Am.acks,
+            s.Dpa_msg.Am.dups_suppressed )
+      in
+      let reg = Dpa_obs.Sink.metrics sink in
+      let counter name =
+        Dpa_obs.Metrics.counter_value (Dpa_obs.Metrics.counter reg name)
+      in
+      let overhead =
+        retransmit_bytes + (acks * m.Machine.msg_header_bytes)
+      in
+      {
+        ch_spec = spec_str;
+        ch_time_s = Breakdown.elapsed_s r.Dpa_bh.Bh_run.breakdown;
+        ch_goodput =
+          (if bytes_sent = 0 then 1.
+           else float_of_int (bytes_sent - overhead) /. float_of_int bytes_sent);
+        ch_retransmits = retransmits;
+        ch_rt_retries = counter "retries.bh-force";
+        ch_drops = counter "fault.drops" + counter "fault.outage_drops";
+        ch_dups_suppressed = dups;
+        ch_forces_ok = r.Dpa_bh.Bh_run.accs = reference.Dpa_bh.Bh_run.accs;
+      })
+    specs
+
+let print_chaos_sweep ~procs points =
+  Printf.printf
+    "A11: chaos sweep — BH force phase under injected faults (%d nodes)\n"
+    procs;
+  let t =
+    Table.make
+      ~header:
+        [
+          "FAULTS"; "TIME(s)"; "GOODPUT%"; "RETRANS"; "RT RETRIES"; "DROPS";
+          "DUPS SUPPR"; "FORCES";
+        ]
+  in
+  List.iter
+    (fun p ->
+      Table.add_row t
+        [
+          p.ch_spec;
+          Table.sec p.ch_time_s;
+          Printf.sprintf "%.1f" (100. *. p.ch_goodput);
+          string_of_int p.ch_retransmits;
+          string_of_int p.ch_rt_retries;
+          string_of_int p.ch_drops;
+          string_of_int p.ch_dups_suppressed;
+          (if p.ch_forces_ok then "bit-identical" else "DIVERGED");
+        ])
+    points;
+  Table.print t;
+  print_newline ()

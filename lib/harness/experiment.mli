@@ -201,3 +201,29 @@ val hotspot : Runconf.t -> hotspot_point list
     serializes messages. *)
 
 val print_hotspot : hotspot_point list -> unit
+
+type chaos_point = {
+  ch_spec : string;
+  ch_time_s : float;
+  ch_goodput : float;
+      (** fraction of sent bytes that were not protocol overhead
+          (retransmissions and acks) *)
+  ch_retransmits : int;  (** transport-level timeout re-sends *)
+  ch_rt_retries : int;  (** runtime-level end-to-end request re-issues *)
+  ch_drops : int;  (** messages eaten by the plan (drops + outage drops) *)
+  ch_dups_suppressed : int;  (** duplicate copies discarded by dedup *)
+  ch_forces_ok : bool;
+      (** accelerations bit-identical to the fault-free reference run *)
+}
+
+val default_chaos_specs : string list
+
+val chaos_sweep :
+  ?specs:string list -> ?fault_seed:int -> Runconf.t -> chaos_point list
+(** A11: the BH force phase under a sweep of fault plans (specs in
+    {!Dpa_sim.Fault.spec_of_string} syntax, or ["off"]), on the breakdown
+    node count. Tables goodput and time-to-completion against fault rate
+    and certifies that every faulted run computes bit-identical forces —
+    the reliable-delivery protocol's headline correctness claim. *)
+
+val print_chaos_sweep : procs:int -> chaos_point list -> unit

@@ -11,33 +11,307 @@ let update_bytes (m : Machine.t) ~nupdates =
 let reply_bytes (m : Machine.t) ~payload ~nreqs =
   m.msg_header_bytes + (nreqs * m.req_entry_bytes) + payload
 
-let send engine ~src ~dst ~bytes handler =
-  let m = Engine.machine engine in
-  if bytes < m.Machine.msg_header_bytes then
-    invalid_arg "Am.send: message smaller than header";
+(* --- the perfect-network path ------------------------------------------- *)
+
+(* Compute the fault-free arrival time of one transmission, charging the
+   sender and (under [ingress_serialized]) occupying the links. Shared by
+   both paths so link contention behaves identically with and without
+   faults. *)
+let injected_arrival engine (m : Machine.t) ~(src : Node.t) ~dst ~bytes =
   Node.charge_comm src m.Machine.send_overhead_ns;
   src.Node.msgs_sent <- src.Node.msgs_sent + 1;
   src.Node.bytes_sent <- src.Node.bytes_sent + bytes;
-  let arrival =
-    if m.Machine.ingress_serialized then begin
-      (* Each NIC moves one message at a time: the message first drains
-         through the sender's egress link, crosses the wire, then drains
-         through the destination's ingress link. *)
-      let ser = int_of_float (ceil (float_of_int bytes *. m.Machine.ns_per_byte)) in
-      let out_start = max src.Node.clock src.Node.out_link_free_at in
-      let out_done = out_start + ser in
-      src.Node.out_link_free_at <- out_done;
-      let d = Engine.node engine dst in
-      let in_start = max (out_done + m.Machine.wire_latency_ns) d.Node.link_free_at in
-      let finish = in_start + ser in
-      d.Node.link_free_at <- finish;
-      finish
-    end
-    else src.Node.clock + Machine.transfer_ns m ~bytes
-  in
+  if m.Machine.ingress_serialized then begin
+    (* Each NIC moves one message at a time: the message first drains
+       through the sender's egress link, crosses the wire, then drains
+       through the destination's ingress link. *)
+    let ser = int_of_float (ceil (float_of_int bytes *. m.Machine.ns_per_byte)) in
+    let out_start = max src.Node.clock src.Node.out_link_free_at in
+    let out_done = out_start + ser in
+    src.Node.out_link_free_at <- out_done;
+    let d = Engine.node engine dst in
+    let in_start = max (out_done + m.Machine.wire_latency_ns) d.Node.link_free_at in
+    let finish = in_start + ser in
+    d.Node.link_free_at <- finish;
+    finish
+  end
+  else src.Node.clock + Machine.transfer_ns m ~bytes
+
+let plain_send engine ~src ~dst ~bytes handler =
+  let m = Engine.machine engine in
+  let arrival = injected_arrival engine m ~src ~dst ~bytes in
   Engine.post engine ~time:arrival ~node:dst (fun () ->
       let d = Engine.node engine dst in
       Node.charge_comm d m.Machine.recv_overhead_ns;
       d.Node.msgs_recv <- d.Node.msgs_recv + 1;
       d.Node.bytes_recv <- d.Node.bytes_recv + bytes;
       handler d)
+
+(* --- reliable delivery over a faulty network ----------------------------- *)
+
+(* When a fault plan is installed, every [send] becomes a sequence-numbered
+   envelope: the receiver acknowledges each copy it extracts and runs the
+   handler only for the first (per-sequence dedup), while the sender keeps
+   the envelope in a retransmit buffer armed with a timeout that backs off
+   exponentially (capped) until the ack lands. Acks themselves cross the
+   faulty network unprotected — a lost ack just costs one spurious
+   retransmission, which the dedup absorbs. The result is exactly-once
+   handler execution on any network the plan can express (drop < 1). *)
+
+type pending = {
+  p_first_sent : int;  (* for the recovery-latency histogram *)
+  mutable p_attempts : int;
+  mutable p_rto_ns : int;
+}
+
+type state = {
+  mutable next_seq : int;
+  pending : (int, pending) Hashtbl.t;  (* unacked envelopes, by seq *)
+  seen : (int, unit) Hashtbl.t array;  (* per receiving node: delivered seqs *)
+  mutable retransmits : int;
+  mutable retransmit_bytes : int;
+  mutable acks : int;
+  mutable dups_suppressed : int;
+}
+
+type stats = {
+  in_flight : int;
+  retransmits : int;
+  retransmit_bytes : int;
+  acks : int;
+  dups_suppressed : int;
+}
+
+type Engine.ext += Reliable of state
+
+let state engine =
+  match Engine.ext engine with
+  | Some (Reliable s) -> s
+  | _ ->
+    let s =
+      {
+        next_seq = 0;
+        pending = Hashtbl.create 256;
+        seen =
+          Array.init
+            (Array.length (Engine.nodes engine))
+            (fun _ -> Hashtbl.create 1024);
+        retransmits = 0;
+        retransmit_bytes = 0;
+        acks = 0;
+        dups_suppressed = 0;
+      }
+    in
+    Engine.set_ext engine (Some (Reliable s));
+    s
+
+let stats engine =
+  match Engine.ext engine with
+  | Some (Reliable s) ->
+    Some
+      {
+        in_flight = Hashtbl.length s.pending;
+        retransmits = s.retransmits;
+        retransmit_bytes = s.retransmit_bytes;
+        acks = s.acks;
+        dups_suppressed = s.dups_suppressed;
+      }
+  | _ -> None
+
+let in_flight engine =
+  match Engine.ext engine with
+  | Some (Reliable s) -> Hashtbl.length s.pending
+  | _ -> 0
+
+(* Retransmission policy. The initial timeout covers a fault-free round
+   trip — injection overheads, the payload out, a header-only NIC ack back
+   — plus several poll quanta of slack for injected delay/jitter and link
+   occupancy under [ingress_serialized]. Each miss doubles the timeout up
+   to [rto_cap]; a premature timeout only costs a duplicate that the dedup
+   table absorbs. The generous cap lets the horizon stretch over an
+   entire NIC outage window without burning through [max_attempts]. *)
+let initial_rto (m : Machine.t) ~bytes =
+  (2 * (m.send_overhead_ns + m.recv_overhead_ns))
+  + Machine.transfer_ns m ~bytes
+  + Machine.transfer_ns m ~bytes:m.msg_header_bytes
+  + (4 * m.poll_quantum_ns)
+
+let rto_cap m ~bytes = 1024 * initial_rto m ~bytes
+
+(* Far beyond anything a drop rate < 1 will produce; a plan that eats this
+   many attempts is a configuration error, not bad luck. *)
+let max_attempts = 64
+
+let obs_instant engine ~cat ~name ~node ~ts args =
+  match Engine.sink engine with
+  | None -> ()
+  | Some sink -> Dpa_obs.Sink.instant ~args sink ~cat ~name ~node ~ts
+
+let obs_count engine name n =
+  match Engine.sink engine with
+  | None -> ()
+  | Some sink ->
+    Dpa_obs.Metrics.add (Dpa_obs.Metrics.counter (Dpa_obs.Sink.metrics sink) name) n
+
+let obs_observe engine name v =
+  match Engine.sink engine with
+  | None -> ()
+  | Some sink ->
+    Dpa_obs.Metrics.observe
+      (Dpa_obs.Metrics.histogram (Dpa_obs.Sink.metrics sink) name)
+      v
+
+(* One physical transmission attempt through the fault plan: charges the
+   sender, occupies the links, then posts zero, one or two delivery events
+   according to the verdict. [deliver] runs after the receiver's extraction
+   overhead has been charged, once per surviving copy; it also receives the
+   copy's wire-arrival time [at], which can lag far behind the receiver's
+   clock on a backlogged node. *)
+let transmit engine f ~(src : Node.t) ~dst ~bytes deliver =
+  let m = Engine.machine engine in
+  let sent_at = src.Node.clock in
+  let src_id = src.Node.id in
+  let arrival = injected_arrival engine m ~src ~dst ~bytes in
+  match
+    Fault.judge f ~now:sent_at ~arrival ~src:src_id ~dst
+      ~transfer_ns:(Machine.transfer_ns m ~bytes)
+  with
+  | Fault.Drop ->
+    obs_count engine "fault.drops" 1;
+    obs_instant engine ~cat:"fault" ~name:"drop" ~node:src_id ~ts:sent_at
+      [ ("dst", Dpa_obs.Sink.Int dst); ("bytes", Dpa_obs.Sink.Int bytes) ]
+  | Fault.Outage ->
+    obs_count engine "fault.outage_drops" 1;
+    obs_instant engine ~cat:"fault" ~name:"outage" ~node:src_id ~ts:sent_at
+      [ ("dst", Dpa_obs.Sink.Int dst); ("bytes", Dpa_obs.Sink.Int bytes) ]
+  | Fault.Deliver delays ->
+    (match delays with
+    | _ :: _ :: _ ->
+      obs_count engine "fault.dups" 1;
+      obs_instant engine ~cat:"fault" ~name:"dup" ~node:src_id ~ts:sent_at
+        [ ("dst", Dpa_obs.Sink.Int dst) ]
+    | _ -> ());
+    List.iter
+      (fun extra ->
+        let at = arrival + extra in
+        Engine.post engine ~time:at ~node:dst (fun () ->
+            let d = Engine.node engine dst in
+            Node.charge_comm d m.Machine.recv_overhead_ns;
+            d.Node.msgs_recv <- d.Node.msgs_recv + 1;
+            d.Node.bytes_recv <- d.Node.bytes_recv + bytes;
+            deliver ~at d))
+      delays
+
+let reliable_send engine f ~(src : Node.t) ~dst ~bytes handler =
+  let st = state engine in
+  let m = Engine.machine engine in
+  let seq = st.next_seq in
+  st.next_seq <- seq + 1;
+  let src_id = src.Node.id in
+  let p =
+    {
+      p_first_sent = src.Node.clock;
+      p_attempts = 0;
+      p_rto_ns = initial_rto m ~bytes;
+    }
+  in
+  Hashtbl.replace st.pending seq p;
+  let rec attempt () =
+    let src = Engine.node engine src_id in
+    p.p_attempts <- p.p_attempts + 1;
+    if p.p_attempts > max_attempts then
+      failwith
+        (Printf.sprintf
+           "Am: message %d -> %d undeliverable after %d attempts (fault plan \
+            too hostile?)"
+           src_id dst max_attempts);
+    if p.p_attempts > 1 then begin
+      st.retransmits <- st.retransmits + 1;
+      st.retransmit_bytes <- st.retransmit_bytes + bytes;
+      obs_count engine "am.retransmits" 1;
+      obs_count engine "am.retransmit_bytes" bytes;
+      obs_instant engine ~cat:"fault" ~name:"retry" ~node:src_id
+        ~ts:src.Node.clock
+        [
+          ("seq", Dpa_obs.Sink.Int seq);
+          ("attempt", Dpa_obs.Sink.Int p.p_attempts);
+          ("dst", Dpa_obs.Sink.Int dst);
+        ]
+    end;
+    transmit engine f ~src ~dst ~bytes on_deliver;
+    (* Arm the timeout. Soft event: if the ack beats the deadline this is
+       a pure no-op that leaves the sender's clock untouched. *)
+    let deadline = src.Node.clock + p.p_rto_ns in
+    p.p_rto_ns <- min (2 * p.p_rto_ns) (rto_cap m ~bytes);
+    Engine.post_soft engine ~time:deadline ~node:src_id (fun () ->
+        if Hashtbl.mem st.pending seq then begin
+          let src = Engine.node engine src_id in
+          Node.wait_until src deadline;
+          obs_instant engine ~cat:"fault" ~name:"timeout" ~node:src_id
+            ~ts:src.Node.clock
+            [ ("seq", Dpa_obs.Sink.Int seq); ("dst", Dpa_obs.Sink.Int dst) ];
+          attempt ()
+        end)
+  and on_deliver ~at d =
+    let dup = Hashtbl.mem st.seen.(dst) seq in
+    if dup then begin
+      st.dups_suppressed <- st.dups_suppressed + 1;
+      obs_count engine "am.dups_suppressed" 1
+    end
+    else Hashtbl.replace st.seen.(dst) seq ();
+    (* Ack every arriving copy — the sender may have missed an earlier
+       ack — then run the handler exactly once. *)
+    send_ack ~at d;
+    if not dup then handler d
+  and send_ack ~at (d : Node.t) =
+    (* NIC-level ack: generated at the wire the moment the copy arrives
+       ([at]), not when the receiver's software gets around to it. A
+       backlogged owner's clock can run whole seconds ahead of message
+       arrivals; timestamping acks off that clock makes every envelope to
+       it look lost and feeds a retransmission storm that only deepens the
+       backlog. The ack still crosses the faulty network (it can be
+       dropped or duplicated, and its bytes count on both NICs), but it
+       charges no node clock — completion bookkeeping is free, like the
+       timers. *)
+    st.acks <- st.acks + 1;
+    let ack_bytes = m.Machine.msg_header_bytes in
+    d.Node.msgs_sent <- d.Node.msgs_sent + 1;
+    d.Node.bytes_sent <- d.Node.bytes_sent + ack_bytes;
+    let arrival = at + Machine.transfer_ns m ~bytes:ack_bytes in
+    match
+      Fault.judge f ~now:at ~arrival ~src:d.Node.id ~dst:src_id
+        ~transfer_ns:(Machine.transfer_ns m ~bytes:ack_bytes)
+    with
+    | Fault.Drop ->
+      obs_count engine "fault.drops" 1;
+      obs_instant engine ~cat:"fault" ~name:"drop" ~node:d.Node.id ~ts:at
+        [ ("dst", Dpa_obs.Sink.Int src_id); ("bytes", Dpa_obs.Sink.Int ack_bytes) ]
+    | Fault.Outage ->
+      obs_count engine "fault.outage_drops" 1;
+      obs_instant engine ~cat:"fault" ~name:"outage" ~node:d.Node.id ~ts:at
+        [ ("dst", Dpa_obs.Sink.Int src_id); ("bytes", Dpa_obs.Sink.Int ack_bytes) ]
+    | Fault.Deliver delays ->
+      List.iter
+        (fun extra ->
+          Engine.post_soft engine ~time:(arrival + extra) ~node:src_id
+            (fun () ->
+              let s = Engine.node engine src_id in
+              s.Node.msgs_recv <- s.Node.msgs_recv + 1;
+              s.Node.bytes_recv <- s.Node.bytes_recv + ack_bytes;
+              if Hashtbl.mem st.pending seq then begin
+                Hashtbl.remove st.pending seq;
+                if p.p_attempts > 1 then
+                  obs_observe engine "am.recovery_ns"
+                    ((arrival + extra) - p.p_first_sent)
+              end))
+        delays
+  in
+  attempt ()
+
+let send engine ~src ~dst ~bytes handler =
+  let m = Engine.machine engine in
+  if bytes < m.Machine.msg_header_bytes then
+    invalid_arg "Am.send: message smaller than header";
+  match Engine.fault engine with
+  | None -> plain_send engine ~src ~dst ~bytes handler
+  | Some f -> reliable_send engine f ~src ~dst ~bytes handler

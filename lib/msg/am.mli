@@ -5,7 +5,21 @@
     the handler on the destination node, where the extraction overhead is
     charged before the handler body runs. Handlers run at
     [max(arrival, destination clock)] — a busy receiver polls the message
-    later, exactly the behaviour FM's poll-based extraction has. *)
+    later, exactly the behaviour FM's poll-based extraction has.
+
+    {2 Reliable delivery}
+
+    When the engine carries a fault plan ({!Dpa_sim.Engine.fault}), every
+    [send] becomes a sequence-numbered envelope: the receiver's NIC
+    acknowledges each copy as it arrives on the wire (header-only ack,
+    itself unprotected and charged to no node clock — a backlogged
+    receiver must not make its acks look lost) and the handler runs only
+    for the first copy of a sequence number, while the sender retransmits
+    on a timeout that backs off exponentially until the ack lands.
+    Handlers therefore run exactly once per [send] on any network the
+    plan can express, and with no fault plan installed the protocol does
+    not exist — no acks, no timers, no state — so fault-free runs are
+    bit-identical to a build without this layer. *)
 
 open Dpa_sim
 
@@ -26,3 +40,20 @@ val reply_bytes : Machine.t -> payload:int -> nreqs:int -> int
 
 val update_bytes : Machine.t -> nupdates:int -> int
 (** Size of an aggregated accumulate-update message. *)
+
+type stats = {
+  in_flight : int;  (** envelopes sent but not yet acknowledged *)
+  retransmits : int;  (** timeout-driven re-sends *)
+  retransmit_bytes : int;  (** payload bytes re-sent *)
+  acks : int;  (** acknowledgements injected by receivers *)
+  dups_suppressed : int;  (** duplicate copies discarded by the dedup table *)
+}
+
+val stats : Engine.t -> stats option
+(** Reliable-transport counters; [None] until the first [send] under a
+    fault plan instantiates the protocol state. *)
+
+val in_flight : Engine.t -> int
+(** Unacknowledged envelopes right now ([0] without protocol state). The
+    runtime's phase barrier certifies [in_flight = 0] before clearing its
+    alignment structures. *)

@@ -20,6 +20,10 @@ type t = {
   mutable span_count : int;
   metrics : Metrics.t;
   mutable meta_docs : (string * Json.t) list;
+  mutable categories : string list option;  (* None = all enabled *)
+  mutable spans_only : bool;
+  mutable filtered : int;  (* events rejected by the knobs above *)
+  mutable sample_period_ns : int;  (* 0 = periodic sampling off *)
 }
 
 let default_capacity = 1 lsl 18
@@ -34,19 +38,43 @@ let create ?(capacity = default_capacity) () =
     span_count = 0;
     metrics = Metrics.create ();
     meta_docs = [];
+    categories = None;
+    spans_only = false;
+    filtered = 0;
+    sample_period_ns = 0;
   }
 
 let metrics t = t.metrics
 
+let set_categories t cats = t.categories <- cats
+let set_spans_only t b = t.spans_only <- b
+let filtered t = t.filtered
+
+let set_sample_period t ns =
+  if ns < 0 then invalid_arg "Sink.set_sample_period: negative period";
+  t.sample_period_ns <- ns
+
+let sample_period_ns t = t.sample_period_ns
+
+let cat_enabled t cat =
+  match t.categories with None -> true | Some cats -> List.mem cat cats
+
 let span ?(args = []) t ~cat ~name ~node ~ts ~dur =
-  ignore
-    (Dpa_util.Dynarray.add t.spans
-       { kind = Span; name; cat; node; ts; dur; args });
-  t.span_count <- t.span_count + 1
+  if cat_enabled t cat then begin
+    ignore
+      (Dpa_util.Dynarray.add t.spans
+         { kind = Span; name; cat; node; ts; dur; args });
+    t.span_count <- t.span_count + 1
+  end
+  else t.filtered <- t.filtered + 1
 
 let push_ring t ev =
-  t.ring.(t.written mod t.capacity) <- Some ev;
-  t.written <- t.written + 1
+  if t.spans_only || not (cat_enabled t ev.cat) then
+    t.filtered <- t.filtered + 1
+  else begin
+    t.ring.(t.written mod t.capacity) <- Some ev;
+    t.written <- t.written + 1
+  end
 
 let instant ?(args = []) t ~cat ~name ~node ~ts =
   push_ring t { kind = Instant; name; cat; node; ts; dur = 0; args }

@@ -59,6 +59,33 @@ val instant :
 val counter : t -> name:string -> node:int -> ts:int -> int -> unit
 (** A sampled value, rendered as a counter track by the Chrome exporter. *)
 
+val set_categories : t -> string list option -> unit
+(** [set_categories t (Some cats)] keeps only events whose [cat] is listed
+    (counter samples carry category ["counter"]); everything else is
+    rejected at emission and counted by {!filtered}. [None] (the default)
+    enables every category. Chaos runs emit dense ["fault"] instants —
+    this is the knob that keeps their Chrome traces tractable. *)
+
+val set_spans_only : t -> bool -> unit
+(** When on, instants and counter samples are rejected at emission (and
+    counted by {!filtered}); spans still obey the category filter. The
+    phase/strip skeleton survives at a fraction of the trace size. *)
+
+val filtered : t -> int
+(** Events rejected by {!set_categories} / {!set_spans_only}. Distinct
+    from {!dropped}: filtered events never reached the ring. *)
+
+val set_sample_period : t -> int -> unit
+(** Period in sim-ns for fixed-rate counter sampling ([0], the default,
+    disables it). Producers that support it ({!Dpa.Runtime} phases via
+    {!Dpa_sim.Engine.start_sampler}) emit per-node counter tracks
+    (outstanding threads, D-buffer occupancy) at this rate — giving
+    uniform time resolution over long phases where event-granularity
+    sampling bunches up, e.g. when charting recovery after an injected
+    NIC outage. *)
+
+val sample_period_ns : t -> int
+
 val set_meta : t -> string -> Json.t -> unit
 (** Attach a named JSON document (e.g. the phase's merged [Dpa_stats]);
     re-using a key overwrites. Exported with the metrics. *)

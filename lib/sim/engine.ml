@@ -1,4 +1,11 @@
-type event = { node : int; action : unit -> unit }
+type event = {
+  node : int;
+  action : unit -> unit;
+  advance : bool;  (* advance the node clock to the event time on pop *)
+  sampler : bool;  (* periodic-sampler tick: excluded from the live count *)
+}
+
+type ext = ..
 
 type t = {
   machine : Machine.t;
@@ -6,6 +13,9 @@ type t = {
   queue : event Event_queue.t;
   mutable events_processed : int;
   mutable sink : Dpa_obs.Sink.t option;
+  mutable fault : Fault.t option;
+  mutable ext : ext option;
+  mutable live : int;  (* pending non-sampler events *)
 }
 
 let create machine =
@@ -17,11 +27,36 @@ let create machine =
     (* Observability is opt-in: engines observe the process-global sink at
        creation time, so drivers can enable it without plumbing. *)
     sink = Dpa_obs.Sink.global ();
+    (* Fault injection follows the same pattern: an explicit per-machine
+       spec wins, otherwise the process-global default (the CLI's
+       [--faults]) applies. Each engine gets its own plan — and hence its
+       own RNG stream — so concurrent experiments stay deterministic. *)
+    fault =
+      (match machine.Machine.faults with
+      | Some spec ->
+        Some
+          (Fault.make ~seed:machine.Machine.fault_seed spec
+             ~nodes:machine.Machine.nodes)
+      | None -> (
+        match Fault.global () with
+        | Some (spec, seed) ->
+          Some (Fault.make ~seed spec ~nodes:machine.Machine.nodes)
+        | None -> None));
+    ext = None;
+    live = 0;
   }
 
 let sink t = t.sink
 
 let set_sink t s = t.sink <- s
+
+let fault t = t.fault
+
+let set_fault t f = t.fault <- f
+
+let ext t = t.ext
+
+let set_ext t e = t.ext <- e
 
 let machine t = t.machine
 
@@ -29,14 +64,23 @@ let nodes t = t.nodes
 
 let node t i = t.nodes.(i)
 
-let post t ~time ~node action =
+let enqueue t ~time ~node ~advance ~sampler action =
   if node < 0 || node >= Array.length t.nodes then
     invalid_arg "Engine.post: bad node id";
-  Event_queue.add t.queue ~time { node; action }
+  if not sampler then t.live <- t.live + 1;
+  Event_queue.add t.queue ~time { node; action; advance; sampler }
+
+let post t ~time ~node action =
+  enqueue t ~time ~node ~advance:true ~sampler:false action
+
+let post_soft t ~time ~node action =
+  enqueue t ~time ~node ~advance:false ~sampler:false action
 
 let post_now t ~node action =
-  Event_queue.add t.queue ~time:node.Node.clock
-    { node = node.Node.id; action }
+  enqueue t ~time:node.Node.clock ~node:node.Node.id ~advance:true
+    ~sampler:false action
+
+let live_events t = t.live
 
 let run t =
   let rec loop () =
@@ -44,7 +88,8 @@ let run t =
     | None -> ()
     | Some (time, ev) ->
       let n = t.nodes.(ev.node) in
-      Node.wait_until n time;
+      if ev.advance then Node.wait_until n time;
+      if not ev.sampler then t.live <- t.live - 1;
       t.events_processed <- t.events_processed + 1;
       ev.action ();
       loop ()
@@ -54,6 +99,25 @@ let run t =
 let events_processed t = t.events_processed
 
 let elapsed t = Array.fold_left (fun acc n -> max acc n.Node.clock) 0 t.nodes
+
+let start_sampler t ~period_ns ~name f =
+  if period_ns <= 0 then
+    invalid_arg "Engine.start_sampler: period must be positive";
+  match t.sink with
+  | None -> ()
+  | Some sink ->
+    (* A self-rescheduling soft tick: it never advances a node clock (so a
+       sampled run stays bit-identical to an unsampled one) and stops as
+       soon as no real event is pending — the phase has drained. *)
+    let rec tick time =
+      enqueue t ~time ~node:0 ~advance:false ~sampler:true (fun () ->
+          Array.iter
+            (fun (n : Node.t) ->
+              Dpa_obs.Sink.counter sink ~name ~node:n.Node.id ~ts:time (f n))
+            t.nodes;
+          if t.live > 0 then tick (time + period_ns))
+    in
+    tick (elapsed t + period_ns)
 
 let barrier t =
   if not (Event_queue.is_empty t.queue) then

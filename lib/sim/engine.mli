@@ -13,8 +13,16 @@
 
 type t
 
+type ext = ..
+(** Extension slot for higher layers: the reliable transport in
+    {!Dpa_msg.Am} keeps its per-engine protocol state (sequence counters,
+    retransmit buffers, dedup tables) here, without the simulator depending
+    on the message layer. *)
+
 val create : Machine.t -> t
-(** The engine adopts {!Dpa_obs.Sink.global} (if any) as its event sink. *)
+(** The engine adopts {!Dpa_obs.Sink.global} (if any) as its event sink,
+    and instantiates a {!Fault.t} plan from the machine's fault spec (or
+    the {!Fault.set_global} default) when one is set. *)
 
 val machine : t -> Machine.t
 val nodes : t -> Node.t array
@@ -27,11 +35,40 @@ val sink : t -> Dpa_obs.Sink.t option
 
 val set_sink : t -> Dpa_obs.Sink.t option -> unit
 
+val fault : t -> Fault.t option
+(** The fault plan every message transmission is judged by; [None] (the
+    default) is the perfect network, with the reliable-delivery protocol
+    disabled and zero cost. *)
+
+val set_fault : t -> Fault.t option -> unit
+
+val ext : t -> ext option
+val set_ext : t -> ext option -> unit
+
 val post : t -> time:int -> node:int -> (unit -> unit) -> unit
 (** Schedule an action on [node] no earlier than [time]. *)
 
+val post_soft : t -> time:int -> node:int -> (unit -> unit) -> unit
+(** Like {!post}, but popping the event does NOT advance the node clock:
+    the action runs with the clock wherever the node left it, and must
+    call {!Node.wait_until} itself if it does real work. This is what
+    timeout wheels are built from — a timer that finds its message already
+    acknowledged is a pure no-op and leaves the simulation untouched. *)
+
 val post_now : t -> node:Node.t -> (unit -> unit) -> unit
 (** Schedule an action on [node] at the node's current clock. *)
+
+val live_events : t -> int
+(** Pending events, excluding periodic-sampler ticks. *)
+
+val start_sampler : t -> period_ns:int -> name:string -> (Node.t -> int) -> unit
+(** Fixed-rate counter track: every [period_ns] of sim-time emit one
+    counter sample per node valued [f node] into the engine's sink (no-op
+    without one). Ticks are soft events that never advance node clocks, so
+    a sampled run is bit-identical to an unsampled one; sampling starts one
+    period after the current {!elapsed} and stops at the first tick that
+    finds no live (non-sampler) event pending — i.e. when the phase has
+    drained. *)
 
 val run : t -> unit
 (** Process events until the queue is empty. *)

@@ -1,0 +1,248 @@
+type spec = {
+  drop : float;
+  dup : float;
+  delay : float;
+  jitter_ns : int;
+  outages : int;
+  outage_ns : int;
+  outage_horizon_ns : int;
+  slow_node : int;
+  slow_factor : float;
+}
+
+let none =
+  {
+    drop = 0.;
+    dup = 0.;
+    delay = 0.;
+    jitter_ns = 10_000;
+    outages = 0;
+    outage_ns = 2_000_000;
+    outage_horizon_ns = 50_000_000;
+    slow_node = -1;
+    slow_factor = 1.;
+  }
+
+let light =
+  { none with drop = 0.01; dup = 0.005; delay = 0.05; jitter_ns = 10_000 }
+
+let heavy =
+  {
+    none with
+    drop = 0.10;
+    dup = 0.02;
+    delay = 0.10;
+    jitter_ns = 50_000;
+    outages = 1;
+  }
+
+let check spec =
+  let prob name p =
+    if p < 0. || p >= 1. then
+      invalid_arg
+        (Printf.sprintf "Fault: %s must be in [0,1), got %g" name p)
+  in
+  prob "drop" spec.drop;
+  prob "dup" spec.dup;
+  prob "delay" spec.delay;
+  if spec.jitter_ns < 0 then invalid_arg "Fault: jitter must be >= 0";
+  if spec.outages < 0 then invalid_arg "Fault: outages must be >= 0";
+  if spec.outage_ns < 0 then invalid_arg "Fault: outage-ns must be >= 0";
+  if spec.outage_horizon_ns < 0 then
+    invalid_arg "Fault: horizon-ns must be >= 0";
+  if spec.slow_factor < 1. then invalid_arg "Fault: slow-factor must be >= 1";
+  spec
+
+let spec_to_string s =
+  String.concat ","
+    (List.filter_map
+       (fun x -> x)
+       [
+         (if s.drop > 0. then Some (Printf.sprintf "drop=%g" s.drop) else None);
+         (if s.dup > 0. then Some (Printf.sprintf "dup=%g" s.dup) else None);
+         (if s.delay > 0. then Some (Printf.sprintf "delay=%g" s.delay)
+          else None);
+         (if s.delay > 0. then Some (Printf.sprintf "jitter=%d" s.jitter_ns)
+          else None);
+         (if s.outages > 0 then
+            Some
+              (Printf.sprintf "outages=%d,outage-ns=%d,horizon-ns=%d" s.outages
+                 s.outage_ns s.outage_horizon_ns)
+          else None);
+         (if s.slow_node >= 0 then
+            Some
+              (Printf.sprintf "slow-node=%d,slow-factor=%g" s.slow_node
+                 s.slow_factor)
+          else None);
+       ])
+
+let spec_of_string str =
+  match str with
+  | "none" -> Ok none
+  | "light" -> Ok light
+  | "heavy" -> Ok heavy
+  | _ -> (
+    let parse_field acc field =
+      match acc with
+      | Error _ as e -> e
+      | Ok spec -> (
+        match String.index_opt field '=' with
+        | None -> Error (Printf.sprintf "Fault: expected key=value, got %S" field)
+        | Some i -> (
+          let key = String.sub field 0 i in
+          let v = String.sub field (i + 1) (String.length field - i - 1) in
+          let f () =
+            match float_of_string_opt v with
+            | Some f -> Ok f
+            | None -> Error (Printf.sprintf "Fault: bad number %S for %s" v key)
+          in
+          let n () =
+            match int_of_string_opt v with
+            | Some n -> Ok n
+            | None -> Error (Printf.sprintf "Fault: bad integer %S for %s" v key)
+          in
+          let ( let* ) = Result.bind in
+          match key with
+          | "drop" ->
+            let* x = f () in
+            Ok { spec with drop = x }
+          | "dup" ->
+            let* x = f () in
+            Ok { spec with dup = x }
+          | "delay" ->
+            let* x = f () in
+            Ok { spec with delay = x }
+          | "jitter" | "jitter-ns" ->
+            let* x = n () in
+            Ok { spec with jitter_ns = x }
+          | "outages" ->
+            let* x = n () in
+            Ok { spec with outages = x }
+          | "outage" | "outage-ns" ->
+            let* x = n () in
+            Ok { spec with outage_ns = x }
+          | "horizon" | "horizon-ns" ->
+            let* x = n () in
+            Ok { spec with outage_horizon_ns = x }
+          | "slow-node" ->
+            let* x = n () in
+            Ok { spec with slow_node = x }
+          | "slow-factor" ->
+            let* x = f () in
+            Ok { spec with slow_factor = x }
+          | _ -> Error (Printf.sprintf "Fault: unknown knob %S" key)))
+    in
+    let fields = String.split_on_char ',' str in
+    match List.fold_left parse_field (Ok none) fields with
+    | Error _ as e -> e
+    | Ok spec -> ( try Ok (check spec) with Invalid_argument m -> Error m))
+
+let pp_spec ppf s =
+  let str = spec_to_string s in
+  Format.pp_print_string ppf (if str = "" then "none" else str)
+
+type t = {
+  spec : spec;
+  seed : int;
+  rng : Dpa_util.Rng.t;
+  windows : (int * int) array array;
+  mutable drops : int;
+  mutable dups : int;
+  mutable delayed : int;
+  mutable outage_drops : int;
+}
+
+let make ?(seed = 0x5EED) spec ~nodes =
+  let spec = check spec in
+  if nodes <= 0 then invalid_arg "Fault.make: nodes must be positive";
+  let rng = Dpa_util.Rng.create ~seed in
+  (* Outage windows are drawn up front (one independent stream per node) so
+     the schedule is a pure function of (spec, seed, nodes) — per-message
+     draws later cannot perturb it. *)
+  let windows =
+    Array.init nodes (fun _ ->
+        let node_rng = Dpa_util.Rng.split rng in
+        Array.init spec.outages (fun _ ->
+            let start =
+              Dpa_util.Rng.int node_rng (max 1 spec.outage_horizon_ns)
+            in
+            (start, start + spec.outage_ns)))
+  in
+  Array.iter (fun w -> Array.sort compare w) windows;
+  {
+    spec;
+    seed;
+    rng;
+    windows;
+    drops = 0;
+    dups = 0;
+    delayed = 0;
+    outage_drops = 0;
+  }
+
+let seed t = t.seed
+let spec t = t.spec
+
+let in_outage t ~node ~time =
+  node >= 0
+  && node < Array.length t.windows
+  && Array.exists (fun (s, e) -> time >= s && time < e) t.windows.(node)
+
+let outage_windows t ~node =
+  if node < 0 || node >= Array.length t.windows then
+    invalid_arg "Fault.outage_windows: bad node";
+  Array.to_list t.windows.(node)
+
+type verdict = Deliver of int list | Drop | Outage
+
+let judge t ~now ~arrival ~src ~dst ~transfer_ns =
+  if in_outage t ~node:src ~time:now || in_outage t ~node:dst ~time:arrival
+  then begin
+    t.outage_drops <- t.outage_drops + 1;
+    Outage
+  end
+  else if t.spec.drop > 0. && Dpa_util.Rng.uniform t.rng < t.spec.drop then begin
+    t.drops <- t.drops + 1;
+    Drop
+  end
+  else begin
+    let slow =
+      t.spec.slow_factor > 1.
+      && (src = t.spec.slow_node || dst = t.spec.slow_node)
+    in
+    let base =
+      if slow then
+        int_of_float ((t.spec.slow_factor -. 1.) *. float_of_int transfer_ns)
+      else 0
+    in
+    let jitter () =
+      if t.spec.delay > 0. && Dpa_util.Rng.uniform t.rng < t.spec.delay
+      then begin
+        t.delayed <- t.delayed + 1;
+        1 + Dpa_util.Rng.int t.rng (max 1 t.spec.jitter_ns)
+      end
+      else 0
+    in
+    let first = base + jitter () in
+    if t.spec.dup > 0. && Dpa_util.Rng.uniform t.rng < t.spec.dup then begin
+      t.dups <- t.dups + 1;
+      (* The duplicate trails the original by its own positive jitter, so
+         the two copies never race on an identical timestamp. *)
+      let trail = 1 + Dpa_util.Rng.int t.rng (max 1 t.spec.jitter_ns) in
+      Deliver [ first; first + trail ]
+    end
+    else Deliver [ first ]
+  end
+
+let drops t = t.drops
+let dups t = t.dups
+let delayed t = t.delayed
+let outage_drops t = t.outage_drops
+
+(* Process-global default, mirroring [Dpa_obs.Sink.set_global]: drivers
+   (e.g. the CLI's [--faults] flag) can perturb every engine created during
+   a run without threading a value through the experiment harness. *)
+let global_spec : (spec * int) option ref = ref None
+let set_global ?(seed = 0x5EED) spec =
+  global_spec := Option.map (fun s -> (check s, seed)) spec
+let global () = !global_spec

@@ -1,0 +1,96 @@
+(** Deterministic fault injection for the simulated network.
+
+    A {!spec} describes a fault regime (per-message drop/duplication/delay
+    probabilities, per-node transient NIC outage windows, an optional slow
+    node); {!make} instantiates it into a plan whose every decision is
+    drawn from a seeded {!Dpa_util.Rng}, so a given (spec, seed, nodes)
+    triple replays the exact same fault schedule — chaos runs are
+    reproducible bit-for-bit, which is what lets the test suite assert that
+    computed results are identical to the fault-free run.
+
+    The message layer ({!Dpa_msg.Am}) consults the plan once per physical
+    transmission; when any plan is installed on an engine the reliable
+    delivery protocol (sequence-numbered envelopes, acks, deduplication,
+    retransmission with capped exponential backoff) switches on with it.
+    With no plan installed neither exists and the simulation is
+    bit-identical to a build without this module. *)
+
+type spec = {
+  drop : float;  (** per-message drop probability, [0, 1) *)
+  dup : float;  (** per-message duplication probability, [0, 1) *)
+  delay : float;  (** probability of extra delivery delay, [0, 1) *)
+  jitter_ns : int;  (** extra delay drawn uniform in [1, jitter_ns] *)
+  outages : int;  (** transient NIC outage windows per node *)
+  outage_ns : int;  (** length of each outage window *)
+  outage_horizon_ns : int;
+      (** window start times drawn uniform in [0, horizon) of sim-time *)
+  slow_node : int;  (** node whose NIC is slow, or -1 for none *)
+  slow_factor : float;
+      (** >= 1; messages to/from the slow node take [slow_factor] times
+          their serialization time extra on the wire *)
+}
+
+val none : spec
+(** All rates zero. Installing it still enables the reliable-delivery
+    protocol (useful for measuring pure protocol overhead); leaving the
+    machine's fault field [None] disables both. *)
+
+val light : spec
+(** 1% drop, 0.5% duplication, 5% delayed. *)
+
+val heavy : spec
+(** 10% drop, 2% duplication, 10% delayed, one outage window per node. *)
+
+val spec_of_string : string -> (spec, string) result
+(** Parse ["none"], ["light"], ["heavy"], or a comma-separated
+    [key=value] list over the knobs [drop], [dup], [delay], [jitter-ns],
+    [outages], [outage-ns], [horizon-ns], [slow-node], [slow-factor]
+    (e.g. ["drop=0.05,dup=0.01,outages=1"]). Unset knobs default to
+    {!none}'s values. *)
+
+val spec_to_string : spec -> string
+(** Inverse of {!spec_of_string} up to defaulted knobs; [""] for {!none}. *)
+
+val pp_spec : Format.formatter -> spec -> unit
+
+type t
+(** An instantiated plan: spec + seeded RNG + injection counters. *)
+
+val make : ?seed:int -> spec -> nodes:int -> t
+(** Validates the spec ([Invalid_argument] on out-of-range knobs) and draws
+    the outage schedule. Equal (spec, seed, nodes) give equal plans. *)
+
+val seed : t -> int
+val spec : t -> spec
+
+type verdict =
+  | Deliver of int list
+      (** one entry per copy to deliver (two when duplicated), each the
+          extra delay in ns beyond the fault-free arrival time *)
+  | Drop  (** lost in the network *)
+  | Outage  (** dropped because an endpoint's NIC was down *)
+
+val judge : t -> now:int -> arrival:int -> src:int -> dst:int ->
+  transfer_ns:int -> verdict
+(** Decide the fate of one physical transmission sent at [now] that would
+    arrive fault-free at [arrival]. [transfer_ns] is its serialization
+    time, the base the slow-node penalty scales. Consumes RNG draws; the
+    engine's deterministic event order makes the draw sequence — and hence
+    the whole fault schedule — reproducible. *)
+
+val in_outage : t -> node:int -> time:int -> bool
+val outage_windows : t -> node:int -> (int * int) list
+(** The [(start, end)] windows drawn for [node] at {!make} time. *)
+
+val drops : t -> int
+val dups : t -> int
+val delayed : t -> int
+val outage_drops : t -> int
+
+val set_global : ?seed:int -> spec option -> unit
+(** Process-global default plan spec, picked up by
+    {!Dpa_sim.Engine.create} when the machine carries no fault spec of its
+    own — the CLI's [--faults] flag uses this, mirroring
+    {!Dpa_obs.Sink.set_global}. *)
+
+val global : unit -> (spec * int) option

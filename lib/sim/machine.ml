@@ -15,6 +15,8 @@ type t = {
   update_entry_bytes : int;
   update_apply_ns : int;
   ingress_serialized : bool;
+  faults : Fault.spec option;
+  fault_seed : int;
 }
 
 let make ?(send_overhead_ns = 2_500) ?(recv_overhead_ns = 2_500)
@@ -24,7 +26,7 @@ let make ?(send_overhead_ns = 2_500) ?(recv_overhead_ns = 2_500)
     ?(dispatch_overhead_ns = 100) ?(poll_quantum_ns = 50_000)
     ?(msg_header_bytes = 16) ?(req_entry_bytes = 12)
     ?(update_entry_bytes = 20) ?(update_apply_ns = 150)
-    ?(ingress_serialized = false) ~nodes () =
+    ?(ingress_serialized = false) ?faults ?(fault_seed = 0x5EED) ~nodes () =
   if nodes <= 0 then invalid_arg "Machine.make: nodes must be positive";
   {
     nodes;
@@ -43,6 +45,8 @@ let make ?(send_overhead_ns = 2_500) ?(recv_overhead_ns = 2_500)
     update_entry_bytes;
     update_apply_ns;
     ingress_serialized;
+    faults;
+    fault_seed;
   }
 
 let t3d ~nodes = make ~nodes ()
@@ -53,6 +57,16 @@ let transfer_ns t ~bytes =
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>machine: %d nodes@ send/recv overhead: %d/%d ns@ wire latency: %d \
-     ns@ bandwidth: %.1f ns/byte@ request service: %d + %d/obj ns@]"
+     ns@ bandwidth: %.1f ns/byte@ request service: %d + %d/obj ns@ hash \
+     probe: %d ns@ spawn/dispatch overhead: %d/%d ns@ poll quantum: %d ns@ \
+     header/request/update entry: %d/%d/%d bytes@ update apply: %d ns@ \
+     ingress serialized: %b@ faults: %a (seed %d)@]"
     t.nodes t.send_overhead_ns t.recv_overhead_ns t.wire_latency_ns
     t.ns_per_byte t.request_service_ns t.request_service_per_obj_ns
+    t.hash_probe_ns t.spawn_overhead_ns t.dispatch_overhead_ns
+    t.poll_quantum_ns t.msg_header_bytes t.req_entry_bytes
+    t.update_entry_bytes t.update_apply_ns t.ingress_serialized
+    (Format.pp_print_option
+       ~none:(fun ppf () -> Format.pp_print_string ppf "off")
+       Fault.pp_spec)
+    t.faults t.fault_seed

@@ -25,6 +25,14 @@ type t = {
       (** when true, messages to the same destination serialize through its
           network interface (one at a time at wire bandwidth) — hot spots
           become visible. Off by default: links are contention-free. *)
+  faults : Fault.spec option;
+      (** when set, every message transmission is judged by a
+          {!Fault.t} plan instantiated per engine, and the message layer
+          switches to its reliable-delivery protocol (envelopes, acks,
+          dedup, retransmission). [None] (the default) is the perfect
+          network the paper assumes — and is bit-identical to builds
+          without the fault subsystem. *)
+  fault_seed : int;  (** seed for the per-engine fault plan *)
 }
 
 val t3d : nodes:int -> t
@@ -46,6 +54,8 @@ val make :
   ?update_entry_bytes:int ->
   ?update_apply_ns:int ->
   ?ingress_serialized:bool ->
+  ?faults:Fault.spec ->
+  ?fault_seed:int ->
   nodes:int ->
   unit ->
   t

@@ -1,0 +1,400 @@
+(* Fault injection and the reliable-delivery protocol: spec parsing, plan
+   determinism, exactly-once semantics of the Am layer under hostile
+   networks, and randomized end-to-end properties — a faulted phase must
+   compute exactly the fault-free results, and a fixed fault seed must
+   replay the exact same chaos run. *)
+
+open Dpa_sim
+
+(* --- spec parsing ------------------------------------------------------- *)
+
+let test_spec_presets () =
+  (match Fault.spec_of_string "none" with
+  | Ok s -> Alcotest.(check bool) "none" true (s = Fault.none)
+  | Error e -> Alcotest.fail e);
+  (match Fault.spec_of_string "light" with
+  | Ok s ->
+    Alcotest.(check (float 0.)) "light drop" 0.01 s.Fault.drop;
+    Alcotest.(check (float 0.)) "light dup" 0.005 s.Fault.dup
+  | Error e -> Alcotest.fail e);
+  match Fault.spec_of_string "heavy" with
+  | Ok s ->
+    Alcotest.(check (float 0.)) "heavy drop" 0.10 s.Fault.drop;
+    Alcotest.(check int) "heavy outages" 1 s.Fault.outages
+  | Error e -> Alcotest.fail e
+
+let test_spec_key_values () =
+  match
+    Fault.spec_of_string
+      "drop=0.05,dup=0.01,delay=0.2,jitter=77,outages=2,outage-ns=123,horizon-ns=456,slow-node=1,slow-factor=2.5"
+  with
+  | Error e -> Alcotest.fail e
+  | Ok s ->
+    Alcotest.(check (float 0.)) "drop" 0.05 s.Fault.drop;
+    Alcotest.(check (float 0.)) "dup" 0.01 s.Fault.dup;
+    Alcotest.(check (float 0.)) "delay" 0.2 s.Fault.delay;
+    Alcotest.(check int) "jitter" 77 s.Fault.jitter_ns;
+    Alcotest.(check int) "outages" 2 s.Fault.outages;
+    Alcotest.(check int) "outage-ns" 123 s.Fault.outage_ns;
+    Alcotest.(check int) "horizon-ns" 456 s.Fault.outage_horizon_ns;
+    Alcotest.(check int) "slow-node" 1 s.Fault.slow_node;
+    Alcotest.(check (float 0.)) "slow-factor" 2.5 s.Fault.slow_factor
+
+let test_spec_errors () =
+  let rejects str =
+    match Fault.spec_of_string str with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted bad spec %S" str
+  in
+  rejects "drop=1.5";
+  rejects "drop=-0.1";
+  rejects "wat=1";
+  rejects "drop";
+  rejects "drop=abc";
+  rejects "jitter=abc";
+  rejects "slow-factor=0.5"
+
+let test_spec_roundtrip () =
+  List.iter
+    (fun spec ->
+      match Fault.spec_of_string (Fault.spec_to_string spec) with
+      | Ok s -> Alcotest.(check bool) "roundtrip" true (s = spec)
+      | Error e -> Alcotest.fail e)
+    [
+      Fault.light;
+      Fault.heavy;
+      { Fault.light with Fault.slow_node = 2; slow_factor = 3. };
+    ];
+  Alcotest.(check string)
+    "pp none" "none"
+    (Format.asprintf "%a" Fault.pp_spec Fault.none)
+
+(* --- plan determinism --------------------------------------------------- *)
+
+let test_plan_determinism () =
+  let spec = { Fault.heavy with Fault.outages = 3 } in
+  let a = Fault.make ~seed:99 spec ~nodes:4 in
+  let b = Fault.make ~seed:99 spec ~nodes:4 in
+  for node = 0 to 3 do
+    Alcotest.(check (list (pair int int)))
+      (Printf.sprintf "windows of node %d equal" node)
+      (Fault.outage_windows a ~node)
+      (Fault.outage_windows b ~node)
+  done;
+  let verdicts t =
+    List.init 200 (fun i ->
+        Fault.judge t ~now:(i * 1000)
+          ~arrival:((i * 1000) + 500)
+          ~src:(i mod 4)
+          ~dst:((i + 1) mod 4)
+          ~transfer_ns:300)
+  in
+  Alcotest.(check bool) "same seed, same verdicts" true (verdicts a = verdicts b);
+  let c = Fault.make ~seed:100 spec ~nodes:4 in
+  Alcotest.(check bool)
+    "different seed, different verdicts" true
+    (verdicts a <> verdicts c)
+
+let test_plan_validation () =
+  Alcotest.check_raises "drop out of range"
+    (Invalid_argument "Fault: drop must be in [0,1), got 1") (fun () ->
+      ignore (Fault.make { Fault.none with Fault.drop = 1.0 } ~nodes:2));
+  Alcotest.check_raises "nodes must be positive"
+    (Invalid_argument "Fault.make: nodes must be positive") (fun () ->
+      ignore (Fault.make Fault.none ~nodes:0))
+
+(* --- reliable delivery over a faulty engine ------------------------------ *)
+
+let test_exactly_once () =
+  let spec =
+    {
+      Fault.none with
+      Fault.drop = 0.35;
+      dup = 0.25;
+      delay = 0.3;
+      jitter_ns = 20_000;
+    }
+  in
+  let engine =
+    Engine.create (Machine.make ~nodes:3 ~faults:spec ~fault_seed:42 ())
+  in
+  let m = Engine.machine engine in
+  let n = 60 in
+  let count = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let src = Engine.node engine (i mod 2) in
+    Dpa_msg.Am.send engine ~src ~dst:2
+      ~bytes:(m.Machine.msg_header_bytes + 32) (fun _ ->
+        count.(i) <- count.(i) + 1)
+  done;
+  Engine.run engine;
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check int) (Printf.sprintf "handler %d runs once" i) 1 c)
+    count;
+  Alcotest.(check int) "no in-flight envelopes" 0
+    (Dpa_msg.Am.in_flight engine);
+  match Dpa_msg.Am.stats engine with
+  | None -> Alcotest.fail "reliable state missing"
+  | Some s ->
+    Alcotest.(check bool) "losses forced retransmits" true
+      (s.Dpa_msg.Am.retransmits > 0);
+    Alcotest.(check bool) "duplicates were suppressed" true
+      (s.Dpa_msg.Am.dups_suppressed > 0);
+    Alcotest.(check bool) "acks flowed" true (s.Dpa_msg.Am.acks >= n)
+
+let test_none_plan_protocol_overhead_only () =
+  (* Installing [Fault.none] turns the protocol on with a perfect network:
+     every envelope is acked on the first attempt and nothing retransmits. *)
+  let engine =
+    Engine.create (Machine.make ~nodes:2 ~faults:Fault.none ~fault_seed:1 ())
+  in
+  let m = Engine.machine engine in
+  let delivered = ref 0 in
+  for _ = 1 to 10 do
+    let src = Engine.node engine 0 in
+    Dpa_msg.Am.send engine ~src ~dst:1
+      ~bytes:(m.Machine.msg_header_bytes + 16) (fun _ -> incr delivered)
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "all delivered" 10 !delivered;
+  match Dpa_msg.Am.stats engine with
+  | None -> Alcotest.fail "reliable state missing"
+  | Some s ->
+    Alcotest.(check int) "no retransmits" 0 s.Dpa_msg.Am.retransmits;
+    Alcotest.(check int) "no dups" 0 s.Dpa_msg.Am.dups_suppressed;
+    Alcotest.(check int) "one ack per message" 10 s.Dpa_msg.Am.acks;
+    Alcotest.(check int) "drained" 0 s.Dpa_msg.Am.in_flight
+
+let test_no_plan_no_protocol () =
+  let engine = Engine.create (Machine.make ~nodes:2 ()) in
+  let m = Engine.machine engine in
+  let delivered = ref 0 in
+  Dpa_msg.Am.send engine
+    ~src:(Engine.node engine 0)
+    ~dst:1
+    ~bytes:(m.Machine.msg_header_bytes + 16)
+    (fun _ -> incr delivered);
+  Engine.run engine;
+  Alcotest.(check int) "delivered" 1 !delivered;
+  Alcotest.(check bool) "no protocol state allocated" true
+    (Dpa_msg.Am.stats engine = None)
+
+let test_outage_recovery () =
+  let spec =
+    {
+      Fault.none with
+      Fault.outages = 1;
+      outage_ns = 50_000;
+      outage_horizon_ns = 200_000;
+    }
+  in
+  let engine =
+    Engine.create (Machine.make ~nodes:2 ~faults:spec ~fault_seed:7 ())
+  in
+  let plan = Option.get (Engine.fault engine) in
+  let start, _ = List.hd (Fault.outage_windows plan ~node:0) in
+  let m = Engine.machine engine in
+  let delivered = ref 0 in
+  (* Fire the send at the very start of node 0's NIC outage: the first
+     transmission is guaranteed lost, so delivery proves the retransmission
+     path outlives the window. *)
+  Engine.post engine ~time:start ~node:0 (fun () ->
+      Dpa_msg.Am.send engine
+        ~src:(Engine.node engine 0)
+        ~dst:1
+        ~bytes:(m.Machine.msg_header_bytes + 64)
+        (fun _ -> incr delivered));
+  Engine.run engine;
+  Alcotest.(check int) "delivered once" 1 !delivered;
+  Alcotest.(check bool) "outage claimed a transmission" true
+    (Fault.outage_drops plan > 0);
+  Alcotest.(check int) "drained" 0 (Dpa_msg.Am.in_flight engine)
+
+(* --- randomized end-to-end properties ------------------------------------ *)
+
+let fault_spec_gen =
+  QCheck.Gen.(
+    let* drop = float_range 0. 0.3 in
+    let* dup = float_range 0. 0.25 in
+    let* delay = float_range 0. 0.3 in
+    let* jitter_ns = int_range 1 30_000 in
+    let* outages = int_range 0 2 in
+    return
+      {
+        Fault.none with
+        Fault.drop;
+        dup;
+        delay;
+        jitter_ns;
+        outages;
+        outage_ns = 100_000;
+        outage_horizon_ns = 2_000_000;
+      })
+
+(* Run one DPA phase (the same random workloads test_properties.ml uses) on
+   a machine with an optional fault plan. The heap values are integer-valued
+   floats, so the per-node sums are exact and order-independent — equality
+   with the fault-free run means no wake was lost, duplicated or misrouted. *)
+let run_dpa ?faults ?(fault_seed = 0x5EED) spec =
+  let nnodes, _, nitems, _ = spec in
+  let heaps, item_reads = Test_properties.build_phase spec in
+  let sums = Array.make nnodes 0. in
+  let items node =
+    Array.init nitems (fun item ->
+        fun ctx ->
+          List.iter
+            (fun p ->
+              Dpa.Runtime.read ctx p (fun ctx view ->
+                  Dpa.Runtime.charge ctx 100;
+                  sums.(Dpa.Runtime.node_id ctx) <-
+                    sums.(Dpa.Runtime.node_id ctx)
+                    +. view.Dpa_heap.Obj_repr.floats.(0)))
+            (item_reads node item))
+  in
+  let engine =
+    Engine.create (Machine.make ~nodes:nnodes ?faults ~fault_seed ())
+  in
+  let _, stats =
+    Dpa.Runtime.run_phase ~engine ~heaps
+      ~config:(Dpa.Config.dpa ~strip_size:3 ~agg_max:4 ())
+      ~items
+  in
+  (sums, stats, Engine.elapsed engine, Dpa_msg.Am.stats engine)
+
+let chaos_phase_gen =
+  QCheck.Gen.(pair Test_properties.phase_gen (pair fault_spec_gen (int_range 0 1000)))
+
+let qcheck_faults_preserve_sums =
+  QCheck.Test.make ~name:"DPA phase under faults computes fault-free sums"
+    ~count:30 (QCheck.make chaos_phase_gen)
+    (fun (phase, (spec, seed)) ->
+      let reference, _, _, _ = run_dpa phase in
+      let sums, stats, _, am = run_dpa ~faults:spec ~fault_seed:seed phase in
+      let nnodes, _, nitems, _ = phase in
+      (* Every read is accounted for exactly once: inline, alignment-buffer
+         hit, merge onto an outstanding fetch, or a fresh thread. Retries
+         re-issue messages, never reads. *)
+      let accounted =
+        stats.Dpa.Dpa_stats.inline_local + stats.Dpa.Dpa_stats.align_hits
+        + stats.Dpa.Dpa_stats.merge_hits + stats.Dpa.Dpa_stats.spawns
+      in
+      reference = sums
+      && accounted = nnodes * nitems * 3
+      (* A phase with no remote reads never sends, so the protocol state
+         may legitimately be absent. *)
+      && match am with Some s -> s.Dpa_msg.Am.in_flight = 0 | None -> true)
+
+let qcheck_chaos_deterministic =
+  QCheck.Test.make ~name:"same fault seed replays the identical chaos run"
+    ~count:20 (QCheck.make chaos_phase_gen)
+    (fun (phase, (spec, seed)) ->
+      let s1, st1, e1, am1 = run_dpa ~faults:spec ~fault_seed:seed phase in
+      let s2, st2, e2, am2 = run_dpa ~faults:spec ~fault_seed:seed phase in
+      s1 = s2 && st1 = st2 && e1 = e2 && am1 = am2)
+
+let qcheck_caching_survives_faults =
+  QCheck.Test.make
+    ~name:"caching baseline under faults computes fault-free sums" ~count:20
+    (QCheck.make chaos_phase_gen)
+    (fun (phase, (spec, seed)) ->
+      let run ?faults ?(fault_seed = 0x5EED) () =
+        Test_properties.run_variant
+          (module Dpa_baselines.Caching)
+          (fun heaps items ->
+            let nnodes, _, _, _ = phase in
+            let engine =
+              Engine.create (Machine.make ~nodes:nnodes ?faults ~fault_seed ())
+            in
+            ignore
+              (Dpa_baselines.Caching.run_phase ~engine ~heaps ~capacity:7
+                 ~items ()))
+          phase
+      in
+      run () = run ~faults:spec ~fault_seed:seed ())
+
+(* --- sink knobs and the periodic sampler --------------------------------- *)
+
+let test_sink_category_filter () =
+  let s = Dpa_obs.Sink.create () in
+  Dpa_obs.Sink.set_categories s (Some [ "phase"; "fault" ]);
+  Dpa_obs.Sink.span s ~cat:"phase" ~name:"p" ~node:0 ~ts:0 ~dur:10;
+  Dpa_obs.Sink.span s ~cat:"strip" ~name:"s" ~node:0 ~ts:0 ~dur:5;
+  Dpa_obs.Sink.instant s ~cat:"fault" ~name:"drop" ~node:0 ~ts:1;
+  Dpa_obs.Sink.instant s ~cat:"msg" ~name:"m" ~node:0 ~ts:2;
+  Alcotest.(check int) "kept" 2 (List.length (Dpa_obs.Sink.events s));
+  Alcotest.(check int) "filtered" 2 (Dpa_obs.Sink.filtered s);
+  Alcotest.(check int) "spans" 1 (Dpa_obs.Sink.nspans s)
+
+let test_sink_spans_only () =
+  let s = Dpa_obs.Sink.create () in
+  Dpa_obs.Sink.set_spans_only s true;
+  Dpa_obs.Sink.span s ~cat:"phase" ~name:"p" ~node:0 ~ts:0 ~dur:10;
+  Dpa_obs.Sink.instant s ~cat:"fault" ~name:"drop" ~node:0 ~ts:1;
+  Dpa_obs.Sink.counter s ~name:"c" ~node:0 ~ts:2 5;
+  Alcotest.(check int) "kept" 1 (List.length (Dpa_obs.Sink.events s));
+  Alcotest.(check int) "filtered" 2 (Dpa_obs.Sink.filtered s)
+
+let sampler_phase =
+  (3, 5, 4, List.init 12 (fun i -> (i mod 3, i * 2 mod 5)))
+
+let test_engine_sampler () =
+  let bare_sums, _, bare_elapsed, _ = run_dpa sampler_phase in
+  let sink = Dpa_obs.Sink.create () in
+  Dpa_obs.Sink.set_sample_period sink 20_000;
+  let saved = Dpa_obs.Sink.global () in
+  Dpa_obs.Sink.set_global (Some sink);
+  let sums, _, elapsed, _ =
+    Fun.protect
+      ~finally:(fun () -> Dpa_obs.Sink.set_global saved)
+      (fun () -> run_dpa sampler_phase)
+  in
+  Alcotest.(check bool) "sums unchanged by sampling" true (bare_sums = sums);
+  Alcotest.(check int) "timing bit-identical with sampler on" bare_elapsed
+    elapsed;
+  let track name =
+    List.length
+      (List.filter
+         (fun (e : Dpa_obs.Sink.event) ->
+           e.Dpa_obs.Sink.kind = Dpa_obs.Sink.Counter
+           && e.Dpa_obs.Sink.name = name)
+         (Dpa_obs.Sink.events sink))
+  in
+  Alcotest.(check bool) "dbuf track sampled" true (track "dbuf" > 0);
+  Alcotest.(check bool) "outstanding track sampled" true
+    (track "outstanding" > 0)
+
+let suites =
+  [
+    ( "fault",
+      [
+        Alcotest.test_case "spec presets" `Quick test_spec_presets;
+        Alcotest.test_case "spec key=value parsing" `Quick test_spec_key_values;
+        Alcotest.test_case "spec rejects bad input" `Quick test_spec_errors;
+        Alcotest.test_case "spec round-trips" `Quick test_spec_roundtrip;
+        Alcotest.test_case "plan is deterministic" `Quick test_plan_determinism;
+        Alcotest.test_case "plan validation" `Quick test_plan_validation;
+      ] );
+    ( "reliable delivery",
+      [
+        Alcotest.test_case "exactly-once under drop+dup+delay" `Quick
+          test_exactly_once;
+        Alcotest.test_case "none plan: protocol overhead only" `Quick
+          test_none_plan_protocol_overhead_only;
+        Alcotest.test_case "no plan: no protocol state" `Quick
+          test_no_plan_no_protocol;
+        Alcotest.test_case "recovers from a NIC outage" `Quick
+          test_outage_recovery;
+        QCheck_alcotest.to_alcotest qcheck_faults_preserve_sums;
+        QCheck_alcotest.to_alcotest qcheck_chaos_deterministic;
+        QCheck_alcotest.to_alcotest qcheck_caching_survives_faults;
+      ] );
+    ( "chaos observability",
+      [
+        Alcotest.test_case "sink category filter" `Quick
+          test_sink_category_filter;
+        Alcotest.test_case "sink spans-only filter" `Quick test_sink_spans_only;
+        Alcotest.test_case "periodic sampler is free" `Quick
+          test_engine_sampler;
+      ] );
+  ]

@@ -2,7 +2,7 @@
 
 BENCH := bin/dpa_bench.exe
 
-.PHONY: all build test fmt fmt-check smoke chaos-smoke clean
+.PHONY: all build test fmt fmt-check smoke chaos-smoke adaptive-smoke clean
 
 all: build
 
@@ -23,7 +23,7 @@ fmt-check:
 # End-to-end observability smoke test: run a small experiment with the
 # trace/metrics exporters on and make sure the artifacts appear and are
 # non-trivial. The test suite validates the JSON itself (test/test_obs.ml).
-smoke: build chaos-smoke
+smoke: build chaos-smoke adaptive-smoke
 	dune exec $(BENCH) -- f1 --scale small \
 	  --trace /tmp/dpa_trace.json --metrics /tmp/dpa_metrics.json --profile
 	@test -s /tmp/dpa_trace.json && test -s /tmp/dpa_metrics.json \
@@ -38,6 +38,16 @@ chaos-smoke: build
 	@! grep -q DIVERGED /tmp/dpa_chaos.txt \
 	  && grep -cq bit-identical /tmp/dpa_chaos.txt \
 	  && echo "chaos-smoke: forces bit-identical under all fault plans"
+
+# Adaptive-control smoke test: the a12 sweep at reduced scale. Both RTO
+# rows must report forces bit-identical to the fault-free reference, and
+# the adaptive strip controller must actually run (the auto row exists).
+adaptive-smoke: build
+	dune exec $(BENCH) -- a12 --scale small --bodies 512 | tee /tmp/dpa_adaptive.txt
+	@! grep -q DIVERGED /tmp/dpa_adaptive.txt \
+	  && grep -cq bit-identical /tmp/dpa_adaptive.txt \
+	  && grep -q "^auto" /tmp/dpa_adaptive.txt \
+	  && echo "adaptive-smoke: auto strip ran; forces bit-identical under both RTO policies"
 
 clean:
 	dune clean

@@ -56,8 +56,10 @@ let obs_term =
       & opt (some (list string)) None
       & info [ "trace-cats" ] ~docv:"CAT,CAT,..."
           ~doc:
-            "Keep only events of the listed categories (phase, strip, \
-             runtime, msg, sim, fault, counter). Default: all.")
+            "Keep only spans and instants of the listed categories (phase, \
+             strip, runtime, ctrl, msg, sim, fault). Sampled counter tracks \
+             are always kept — their $(b,counter) category is synthetic, so \
+             listing it is never necessary. Default: all.")
   in
   let spans_only =
     Arg.(
@@ -199,17 +201,52 @@ let conf_term =
       & opt (some int) None
       & info [ "particles" ] ~docv:"N" ~doc:"Override the FMM particle count.")
   in
-  let combine scale procs bodies particles =
+  let strip =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "strip" ] ~docv:"N|auto"
+          ~doc:
+            "Override the strip size: a static count, or $(b,auto) for the \
+             adaptive controller (each strip boundary doubles or halves the \
+             next strip from alignment-buffer occupancy and idle fraction; \
+             see the $(b,a12) experiment).")
+  in
+  let rto =
+    Arg.(
+      value
+      & opt (enum [ ("const", false); ("adaptive", true) ]) true
+      & info [ "rto" ] ~docv:"POLICY"
+          ~doc:
+            "Retransmission-timeout policy under $(b,--faults): \
+             $(b,adaptive) (the default; Jacobson-Karels round-trip \
+             estimation) or $(b,const) (the constant worst-case formula).")
+  in
+  let combine scale procs bodies particles strip rto =
+    Dpa_sim.Machine.set_default_adaptive_rto rto;
     let c = match scale with `Small -> Runconf.small | `Full -> Runconf.full in
     let c = match procs with Some p -> { c with Runconf.procs = p } | None -> c in
     let c =
       match bodies with Some n -> { c with Runconf.bh_bodies = n } | None -> c
     in
+    let c =
+      match strip with
+      | None -> c
+      | Some "auto" -> { c with Runconf.strip_auto = true }
+      | Some s -> (
+        match int_of_string_opt s with
+        | Some n when n > 0 ->
+          { c with Runconf.bh_strip = n; Runconf.fmm_strip = n }
+        | _ ->
+          prerr_endline
+            "dpa_bench: --strip expects a positive integer or 'auto'";
+          exit 1)
+    in
     match particles with
     | Some n -> { c with Runconf.fmm_particles = n }
     | None -> c
   in
-  Term.(const combine $ scale $ procs $ bodies $ particles)
+  Term.(const combine $ scale $ procs $ bodies $ particles $ strip $ rto)
 
 let run_t1 conf = Experiment.print_thread_stats (Experiment.thread_stats conf)
 
@@ -284,6 +321,13 @@ let run_a10 conf = Experiment.print_hotspot (Experiment.hotspot conf)
 let run_a11 conf =
   Experiment.print_chaos_sweep ~procs:conf.Runconf.breakdown_procs
     (Experiment.chaos_sweep conf)
+
+let run_a12 conf =
+  Experiment.print_adaptive_strip_sweep ~procs:conf.Runconf.breakdown_procs
+    (Experiment.adaptive_strip_sweep conf);
+  Experiment.print_adaptive_rto_sweep ~procs:conf.Runconf.breakdown_procs
+    ~spec:"heavy"
+    (Experiment.adaptive_rto_sweep conf)
 
 let run_timeline ?(csv = None) conf =
   let nnodes = conf.Runconf.breakdown_procs in
@@ -366,7 +410,8 @@ let run_all conf =
   run_a8 conf;
   run_a9 conf;
   run_a10 conf;
-  run_a11 conf
+  run_a11 conf;
+  run_a12 conf
 
 let cmd name doc f =
   Cmd.v (Cmd.info name ~doc)
@@ -408,6 +453,7 @@ let () =
             cmd "a9" "Cache locality of iteration order" run_a9;
             cmd "a10" "Hot-spot with link serialization" run_a10;
             cmd "a11" "Chaos sweep: faults vs goodput and correctness" run_a11;
+            cmd "a12" "Adaptive strip size and adaptive RTO vs static" run_a12;
             (let csv =
                Arg.(
                  value

@@ -217,6 +217,10 @@ let run_phase ~engine ~heaps ~capacity ?(hash = true) ~items () =
       if not (ctx.finished && Stack.is_empty ctx.work && not ctx.waiting) then
         failwith "Caching.run_phase: node did not quiesce")
     ctxs;
+  (* Same phase-barrier hygiene as [Dpa.Runtime]: with the transport
+     quiescent the receiver dedup tables are reclaimable. *)
+  if Engine.fault engine <> None && Dpa_msg.Am.in_flight engine = 0 then
+    ignore (Dpa_msg.Am.prune_seen engine);
   Engine.barrier engine;
   let elapsed_ns = Engine.elapsed engine - start in
   let breakdown = Breakdown.of_nodes ~elapsed_ns nodes in

@@ -1,20 +1,68 @@
-type t = { name : string; strip_size : int; agg_max : int; reuse : bool }
+type auto_strip = { min_strip : int; max_strip : int; d_target : int }
+
+type t = {
+  name : string;
+  strip_size : int;
+  agg_max : int;
+  reuse : bool;
+  auto : auto_strip option;
+}
 
 let check t =
   if t.strip_size <= 0 then invalid_arg "Config: strip_size must be positive";
   if t.agg_max <= 0 then invalid_arg "Config: agg_max must be positive";
+  (match t.auto with
+  | None -> ()
+  | Some a ->
+    if a.min_strip <= 0 then invalid_arg "Config: min_strip must be positive";
+    if a.min_strip > a.max_strip then
+      invalid_arg "Config: min_strip must not exceed max_strip";
+    if t.strip_size < a.min_strip || t.strip_size > a.max_strip then
+      invalid_arg "Config: initial strip_size outside [min_strip, max_strip]";
+    if a.d_target <= 0 then invalid_arg "Config: d_target must be positive");
   t
 
 let dpa ?(strip_size = 50) ?(agg_max = 64) () =
   check
-    { name = Printf.sprintf "DPA(%d)" strip_size; strip_size; agg_max; reuse = true }
+    {
+      name = Printf.sprintf "DPA(%d)" strip_size;
+      strip_size;
+      agg_max;
+      reuse = true;
+      auto = None;
+    }
+
+let dpa_auto ?(strip_size = 50) ?(min_strip = 10) ?(max_strip = 1000)
+    ?(d_target = 2048) ?(agg_max = 64) () =
+  check
+    {
+      name = Printf.sprintf "DPA(auto %d..%d)" min_strip max_strip;
+      strip_size;
+      agg_max;
+      reuse = true;
+      auto = Some { min_strip; max_strip; d_target };
+    }
 
 let pipeline_only ?(strip_size = 50) () =
-  check { name = "pipeline"; strip_size; agg_max = 1; reuse = false }
+  check
+    { name = "pipeline"; strip_size; agg_max = 1; reuse = false; auto = None }
 
 let pipeline_aggregate ?(strip_size = 50) ?(agg_max = 64) () =
-  check { name = "pipeline+agg"; strip_size; agg_max; reuse = false }
+  check
+    {
+      name = "pipeline+agg";
+      strip_size;
+      agg_max;
+      reuse = false;
+      auto = None;
+    }
 
 let pp ppf t =
-  Format.fprintf ppf "%s{strip=%d; agg=%d; reuse=%b}" t.name t.strip_size
-    t.agg_max t.reuse
+  match t.auto with
+  | None ->
+    Format.fprintf ppf "%s{strip=%d; agg=%d; reuse=%b}" t.name t.strip_size
+      t.agg_max t.reuse
+  | Some a ->
+    Format.fprintf ppf
+      "%s{strip=auto(%d..%d, init %d, D<=%d); agg=%d; reuse=%b}" t.name
+      a.min_strip a.max_strip t.strip_size a.d_target t.agg_max t.reuse

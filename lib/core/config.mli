@@ -5,12 +5,46 @@
     how many read requests are packed per message before an eager flush.
     [reuse] enables the alignment buffer D and request merging in the
     pointer map M — the data-reuse ("tiling") half of DPA; with it off the
-    runtime still pipelines and aggregates but refetches every object. *)
+    runtime still pipelines and aggregates but refetches every object.
 
-type t = { name : string; strip_size : int; agg_max : int; reuse : bool }
+    [auto] replaces the static strip bound with a closed-loop controller:
+    the runtime starts at [strip_size] and, at each strip boundary, doubles
+    or halves the next strip within [min_strip, max_strip], steering the
+    alignment buffer's closing occupancy into the band
+    [(d_target/2, d_target]] (see {!Runtime}). The controller reads only
+    quantities the runtime already maintains and charges no simulated time,
+    so a run whose bounds pin the size ([min_strip = max_strip =
+    strip_size]) is bit-identical to the static configuration. *)
+
+type auto_strip = {
+  min_strip : int;  (** inclusive lower bound on the strip size *)
+  max_strip : int;  (** inclusive upper bound on the strip size *)
+  d_target : int;
+      (** alignment-buffer occupancy ceiling the controller steers under *)
+}
+
+type t = {
+  name : string;
+  strip_size : int;
+  agg_max : int;
+  reuse : bool;
+  auto : auto_strip option;
+}
 
 val dpa : ?strip_size:int -> ?agg_max:int -> unit -> t
 (** Full DPA. Defaults: strip 50 (the paper's headline setting), agg 64. *)
+
+val dpa_auto :
+  ?strip_size:int ->
+  ?min_strip:int ->
+  ?max_strip:int ->
+  ?d_target:int ->
+  ?agg_max:int ->
+  unit ->
+  t
+(** Full DPA with the adaptive strip-size controller. Defaults: initial
+    strip 50, bounds [10, 1000], D target 2048, agg 64. Raises
+    [Invalid_argument] if [strip_size] lies outside the bounds. *)
 
 val pipeline_only : ?strip_size:int -> unit -> t
 (** Non-blocking threads with message pipelining but no aggregation and no

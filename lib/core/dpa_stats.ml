@@ -12,6 +12,10 @@ type t = {
   mutable updates : int;
   mutable updates_combined : int;
   mutable update_msgs : int;
+  mutable strip_grows : int;
+  mutable strip_shrinks : int;
+  mutable strip_size_final : int;
+  mutable rt_retries : int;
 }
 
 let create () =
@@ -29,6 +33,10 @@ let create () =
     updates = 0;
     updates_combined = 0;
     update_msgs = 0;
+    strip_grows = 0;
+    strip_shrinks = 0;
+    strip_size_final = 0;
+    rt_retries = 0;
   }
 
 let merge ts =
@@ -47,7 +55,11 @@ let merge ts =
       acc.align_peak <- max acc.align_peak t.align_peak;
       acc.updates <- acc.updates + t.updates;
       acc.updates_combined <- acc.updates_combined + t.updates_combined;
-      acc.update_msgs <- acc.update_msgs + t.update_msgs)
+      acc.update_msgs <- acc.update_msgs + t.update_msgs;
+      acc.strip_grows <- acc.strip_grows + t.strip_grows;
+      acc.strip_shrinks <- acc.strip_shrinks + t.strip_shrinks;
+      acc.strip_size_final <- max acc.strip_size_final t.strip_size_final;
+      acc.rt_retries <- acc.rt_retries + t.rt_retries)
     ts;
   acc
 
@@ -71,6 +83,10 @@ let to_json t =
          ("updates", t.updates);
          ("updates_combined", t.updates_combined);
          ("update_msgs", t.update_msgs);
+         ("strip_grows", t.strip_grows);
+         ("strip_shrinks", t.strip_shrinks);
+         ("strip_size_final", t.strip_size_final);
+         ("rt_retries", t.rt_retries);
          ("total_reads", total_reads t);
        ])
 
@@ -85,4 +101,10 @@ let pp ppf t =
   if t.updates > 0 then
     Format.fprintf ppf
       "@ @[updates: %d (%d combined away, %d messages)@]" t.updates
-      t.updates_combined t.update_msgs
+      t.updates_combined t.update_msgs;
+  if t.strip_grows + t.strip_shrinks > 0 then
+    Format.fprintf ppf
+      "@ @[strip controller: %d grows, %d shrinks, final size %d@]"
+      t.strip_grows t.strip_shrinks t.strip_size_final;
+  if t.rt_retries > 0 then
+    Format.fprintf ppf "@ @[request timer retries: %d@]" t.rt_retries

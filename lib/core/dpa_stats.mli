@@ -15,11 +15,19 @@ type t = {
   mutable updates : int;  (** accumulate operations issued *)
   mutable updates_combined : int;  (** folded into a buffered update *)
   mutable update_msgs : int;  (** aggregated update messages sent *)
+  mutable strip_grows : int;  (** adaptive controller: strip-size doublings *)
+  mutable strip_shrinks : int;  (** adaptive controller: strip-size halvings *)
+  mutable strip_size_final : int;
+      (** strip size in force when the phase ended (the configured size for
+          static runs, so a clamped auto run reports identical stats) *)
+  mutable rt_retries : int;
+      (** end-to-end request re-issues by the runtime's timeout wheel *)
 }
 
 val create : unit -> t
 val merge : t list -> t
-(** Componentwise sum; the [max_*] fields take the maximum. *)
+(** Componentwise sum; the [max_*], [align_peak] and [strip_size_final]
+    fields take the maximum. *)
 
 val total_reads : t -> int
 

@@ -24,6 +24,20 @@ type obs = {
   mutable strip_items : int;
 }
 
+(* Adaptive strip-size controller, allocated only under [Config.auto].
+   It reads quantities the runtime already maintains — the alignment
+   buffer's occupancy at the strip boundary and the node's idle-time
+   delta over the strip — and charges no simulated time, so a clamped
+   controller ([min_strip = max_strip]) never resizes and the run is
+   bit-identical to the static configuration. *)
+type ctrl = {
+  auto : Config.auto_strip;
+  mutable size : int;  (* strip size in force for the next strip *)
+  mutable primed : bool;  (* a strip has completed; the deltas are valid *)
+  mutable clock_at_start : int;
+  mutable idle_at_start : int;
+}
+
 type ctx = {
   engine : Engine.t;
   machine : Machine.t;
@@ -45,6 +59,7 @@ type ctx = {
   rel : bool;
       (* fault plan active: arm end-to-end request timeouts and accept
          duplicate bulk replies (idempotent wakes) *)
+  ctrl : ctrl option;
   obs : obs option;
 }
 
@@ -96,6 +111,84 @@ let obs_wait o (n : Node.t) token =
     Hashtbl.remove o.issued token;
     Dpa_obs.Metrics.observe o.h_wait (n.Node.clock - t0)
 
+(* Every suspension counts toward the outstanding-thread peak: a thread is
+   outstanding from the moment its spawn site runs until the scheduler
+   dispatches it, whether its data was at hand locally, in D, or remote.
+   (The peak used to be sampled only on the remote-miss path,
+   under-reporting whenever inline-local or alignment-hit threads
+   dominated a strip.) *)
+let note_outstanding ctx =
+  ctx.pending <- ctx.pending + 1;
+  if ctx.pending > ctx.stats.Dpa_stats.max_outstanding then
+    ctx.stats.Dpa_stats.max_outstanding <- ctx.pending
+
+(* --- adaptive strip-size controller ------------------------------------ *)
+
+(* Strip-boundary resize decision, evaluated before D is cleared so the
+   occupancy [d_end] is the strip's closing footprint:
+
+   - [d_end > d_target]: the strip materialized more copies than the
+     configured ceiling — halve (clamped to [min_strip]).
+   - [2 * d_end <= d_target]: doubling the strip cannot overshoot the
+     ceiling even if the footprint scales with it, and a bigger strip
+     means more reuse per fetched copy and fewer boundary evictions —
+     double (clamped to [max_strip]).
+   - otherwise hold. The hysteresis band [(d_target/2, d_target]] where
+     neither rule fires makes the size converge on steady workloads
+     instead of oscillating: a shrink roughly halves the footprint,
+     which lands inside the band, not below it.
+
+   The per-strip idle delta rides along in the resize event (and could
+   gate a latency-hiding grow rule), but it is not a decision input: on
+   this runtime almost all idle accrues at the phase tail, after the
+   last strip, so mid-strip idle fractions are noise. *)
+let ctrl_decide ctx c =
+  if c.primed then begin
+    let d_end = Align_buffer.size ctx.buffer in
+    let elapsed = ctx.node.Node.clock - c.clock_at_start in
+    let idle = ctx.node.Node.idle_ns - c.idle_at_start in
+    let old_size = c.size in
+    if d_end > c.auto.Config.d_target then
+      c.size <- max c.auto.Config.min_strip (c.size / 2)
+    else if 2 * d_end <= c.auto.Config.d_target then
+      c.size <- min c.auto.Config.max_strip (c.size * 2);
+    if c.size <> old_size then begin
+      (if c.size > old_size then
+         ctx.stats.Dpa_stats.strip_grows <-
+           ctx.stats.Dpa_stats.strip_grows + 1
+       else
+         ctx.stats.Dpa_stats.strip_shrinks <-
+           ctx.stats.Dpa_stats.strip_shrinks + 1);
+      match ctx.obs with
+      | None -> ()
+      | Some o ->
+        Dpa_obs.Sink.instant
+          ~args:
+            [
+              ("from", Dpa_obs.Sink.Int old_size);
+              ("to", Dpa_obs.Sink.Int c.size);
+              ("d_end", Dpa_obs.Sink.Int d_end);
+              ("idle_ns", Dpa_obs.Sink.Int idle);
+              ("elapsed_ns", Dpa_obs.Sink.Int elapsed);
+            ]
+          o.sink ~cat:"ctrl" ~name:"strip_resize" ~node:ctx.node.Node.id
+          ~ts:ctx.node.Node.clock
+    end
+  end
+
+let ctrl_strip_begin ctx ~start =
+  match ctx.ctrl with
+  | None -> ()
+  | Some c ->
+    c.primed <- true;
+    c.clock_at_start <- start;
+    c.idle_at_start <- ctx.node.Node.idle_ns;
+    (match ctx.obs with
+    | None -> ()
+    | Some o ->
+      Dpa_obs.Sink.counter o.sink ~name:"strip_size" ~node:ctx.node.Node.id
+        ~ts:start c.size)
+
 (* --- scheduler -------------------------------------------------------- *)
 
 let rec ensure_scheduled ctx =
@@ -146,15 +239,21 @@ and next_strip ctx =
   if ctx.next_item >= Array.length ctx.items then ctx.finished <- true
   else begin
     ctx.stats.Dpa_stats.strips <- ctx.stats.Dpa_stats.strips + 1;
+    (* The controller reads D's occupancy before the boundary clears it. *)
+    (match ctx.ctrl with None -> () | Some c -> ctrl_decide ctx c);
     (match ctx.obs with
     | None -> ()
     | Some o -> obs_align_clear o ctx.node ~size:(Align_buffer.size ctx.buffer));
     Align_buffer.clear ctx.buffer;
     let start_item = ctx.next_item in
     let start_clock = ctx.node.Node.clock in
-    let limit =
-      min (Array.length ctx.items) (ctx.next_item + ctx.cfg.Config.strip_size)
+    let strip_size =
+      match ctx.ctrl with
+      | Some c -> c.size
+      | None -> ctx.cfg.Config.strip_size
     in
+    let limit = min (Array.length ctx.items) (ctx.next_item + strip_size) in
+    ctrl_strip_begin ctx ~start:start_clock;
     while ctx.next_item < limit do
       let item = ctx.items.(ctx.next_item) in
       ctx.next_item <- ctx.next_item + 1;
@@ -215,11 +314,22 @@ and deliver ctx pairs =
    duplicate reply that [deliver] discards. *)
 and rt_rto ctx ~bytes =
   let m = ctx.machine in
-  8
-  * ((2 * (m.Machine.send_overhead_ns + m.Machine.recv_overhead_ns))
-    + Machine.transfer_ns m ~bytes
-    + Machine.transfer_ns m ~bytes:m.Machine.msg_header_bytes
-    + (4 * m.Machine.poll_quantum_ns))
+  let const =
+    8
+    * ((2 * (m.Machine.send_overhead_ns + m.Machine.recv_overhead_ns))
+      + Machine.transfer_ns m ~bytes
+      + Machine.transfer_ns m ~bytes:m.Machine.msg_header_bytes
+      + (4 * m.Machine.poll_quantum_ns))
+  in
+  (* Under [adaptive_rto] the constant worst-case formula is only the
+     floor: once the transport's estimator has seen full delivery round
+     trips — retransmission recovery included — twice that estimate is a
+     far better picture of how long "still outstanding" can innocently
+     last (e.g. across an injected NIC outage), and using it stops the
+     wheel from re-issuing requests the transport was already
+     recovering. *)
+  if m.Machine.adaptive_rto then Dpa_msg.Am.e2e_rto ctx.engine ~fallback:const
+  else const
 
 and arm_request_timer ctx ~dst (req : request) ~rto =
   let deadline = ctx.node.Node.clock + rto in
@@ -228,6 +338,7 @@ and arm_request_timer ctx ~dst (req : request) ~rto =
       | None -> ()  (* answered in time: pure no-op, clock untouched *)
       | Some _ ->
         Node.wait_until ctx.node deadline;
+        ctx.stats.Dpa_stats.rt_retries <- ctx.stats.Dpa_stats.rt_retries + 1;
         (match ctx.obs with
         | None -> ()
         | Some o ->
@@ -345,7 +456,7 @@ let read ctx ptr k =
   Node.charge_comm ctx.node ctx.machine.Machine.spawn_overhead_ns;
   if ptr.Gptr.node = ctx.node.Node.id then begin
     ctx.stats.Dpa_stats.inline_local <- ctx.stats.Dpa_stats.inline_local + 1;
-    ctx.pending <- ctx.pending + 1;
+    note_outstanding ctx;
     Queue.push (Heap.get ctx.heap ptr, k) ctx.ready;
     ensure_scheduled ctx
   end
@@ -359,13 +470,11 @@ let read ctx ptr k =
       (match ctx.obs with
       | None -> ()
       | Some o -> obs_instant o ctx.node ~name:"align_hit");
-      ctx.pending <- ctx.pending + 1;
+      note_outstanding ctx;
       Queue.push (view, k) ctx.ready;
       ensure_scheduled ctx
     | None ->
-      ctx.pending <- ctx.pending + 1;
-      if ctx.pending > ctx.stats.Dpa_stats.max_outstanding then
-        ctx.stats.Dpa_stats.max_outstanding <- ctx.pending;
+      note_outstanding ctx;
       (match Pointer_map.register ctx.map ~reuse:ctx.cfg.Config.reuse ptr k with
       | `Merged ->
         ctx.stats.Dpa_stats.merge_hits <- ctx.stats.Dpa_stats.merge_hits + 1;
@@ -460,6 +569,18 @@ let make_ctx ~engine ~heaps ~config ~items ~label node =
       next_item = 0;
       finished = false;
       rel = Engine.fault engine <> None;
+      ctrl =
+        (match config.Config.auto with
+        | None -> None
+        | Some a ->
+          Some
+            {
+              auto = a;
+              size = config.Config.strip_size;
+              primed = false;
+              clock_at_start = 0;
+              idle_at_start = 0;
+            });
       obs = make_obs ~engine ~heaps ~label;
     }
   in
@@ -511,7 +632,12 @@ let run_phase_labeled ~label ~engine ~heaps ~config ~items =
      if infl > 0 then
        failwith
          (Printf.sprintf
-            "Runtime.run_phase: %d unacknowledged messages at barrier" infl));
+            "Runtime.run_phase: %d unacknowledged messages at barrier" infl);
+     (* Quiescence certified: every delivered copy has run and nothing can
+        be retransmitted, so the receiver dedup tables are reclaimable.
+        Without this they grow by one entry per envelope for the life of
+        the engine. *)
+     ignore (Dpa_msg.Am.prune_seen engine));
   Array.iter
     (fun ctx ->
       if
@@ -524,6 +650,16 @@ let run_phase_labeled ~label ~engine ~heaps ~config ~items =
   Engine.barrier engine;
   let elapsed_ns = Engine.elapsed engine - start in
   let breakdown = Breakdown.of_nodes ~elapsed_ns nodes in
+  (* Record the strip size each node ended the phase with; static runs
+     report their configured size so a clamped auto run's stats compare
+     equal field-for-field. *)
+  Array.iter
+    (fun ctx ->
+      ctx.stats.Dpa_stats.strip_size_final <-
+        (match ctx.ctrl with
+        | Some c -> c.size
+        | None -> ctx.cfg.Config.strip_size))
+    ctxs;
   let stats =
     Dpa_stats.merge (Array.to_list (Array.map (fun c -> c.stats) ctxs))
   in

@@ -16,7 +16,35 @@
       consecutively.
 
     Between strips [D] and the thread state are discarded, bounding memory
-    as the paper's k-bounded strip-mining does. *)
+    as the paper's k-bounded strip-mining does.
+
+    {2 Adaptive strip size}
+
+    Under {!Config.dpa_auto} the strip bound is not static: at each strip
+    boundary a per-node controller halves the next strip when [D]'s
+    closing occupancy exceeded the configured target, doubles it while
+    the occupancy is at or below half the target (so a doubling cannot
+    overshoot even if the footprint scales with the strip), and holds
+    inside the hysteresis band between — always within
+    [min_strip, max_strip]. The decision reads only state the runtime
+    already maintains and charges no simulated time, so pinning the
+    bounds ([min_strip = max_strip]) reproduces the static configuration
+    bit for bit. Resizes are counted in {!Dpa_stats} ([strip_grows],
+    [strip_shrinks], [strip_size_final]) and, under a sink, emitted as
+    ["ctrl"]-category [strip_resize] instants plus a [strip_size] counter
+    track.
+
+    {2 Timeouts under a fault plan}
+
+    With a fault plan active each aggregated request also arms an
+    end-to-end timer that re-issues still-unanswered tokens
+    ([Dpa_stats.rt_retries]); its base timeout uses the transport's
+    round-trip estimator when {!Dpa_sim.Machine.adaptive_rto} is set
+    (see {!Dpa_msg.Am.e2e_rto}), falling back to a constant worst-case
+    formula until samples exist. The phase barrier certifies transport
+    quiescence and then prunes the receiver dedup tables
+    ({!Dpa_msg.Am.prune_seen}), which would otherwise grow for the life
+    of the engine. *)
 
 type ctx
 

@@ -1,5 +1,13 @@
 open Dpa_sim
 
+(* The DPA variant an experiment should run: the scale's static strip, or
+   the adaptive controller seeded with it when [--strip auto] set
+   [Runconf.strip_auto]. *)
+let dpa_variant (conf : Runconf.t) ~strip =
+  if conf.Runconf.strip_auto then
+    Dpa_baselines.Variant.Dpa (Dpa.Config.dpa_auto ~strip_size:strip ())
+  else Dpa_baselines.Variant.dpa ~strip_size:strip ()
+
 (* ------------------------------------------------------------------ T2/T3 *)
 
 type timing = {
@@ -27,7 +35,7 @@ let bh_times (conf : Runconf.t) =
     (fun procs ->
       let dpa =
         bh_run conf ~procs
-          (Dpa_baselines.Variant.dpa ~strip_size:conf.Runconf.bh_strip ())
+          (dpa_variant conf ~strip:conf.Runconf.bh_strip)
       in
       let caching =
         bh_run conf ~procs
@@ -64,7 +72,7 @@ let fmm_times (conf : Runconf.t) =
     (fun procs ->
       let dpa =
         fmm_run conf ~procs
-          (Dpa_baselines.Variant.dpa ~strip_size:conf.Runconf.bh_strip ())
+          (dpa_variant conf ~strip:conf.Runconf.bh_strip)
       in
       let caching =
         fmm_run conf ~procs
@@ -121,7 +129,11 @@ type breakdown_bar = {
   speedup : float;
 }
 
-let breakdown_variants ~strip =
+let breakdown_variants (conf : Runconf.t) ~strip =
+  let dpa_label =
+    if conf.Runconf.strip_auto then "DPA(auto)"
+    else Printf.sprintf "DPA(%d)" strip
+  in
   [
     ("Blocking (base)", Dpa_baselines.Variant.Blocking);
     ("Caching", Dpa_baselines.Variant.Caching { capacity = 0 } (* set below *));
@@ -130,8 +142,7 @@ let breakdown_variants ~strip =
     ( "Pipeline+agg",
       Dpa_baselines.Variant.Dpa
         (Dpa.Config.pipeline_aggregate ~strip_size:strip ()) );
-    ( Printf.sprintf "DPA(%d)" strip,
-      Dpa_baselines.Variant.Dpa (Dpa.Config.dpa ~strip_size:strip ()) );
+    (dpa_label, dpa_variant conf ~strip);
   ]
 
 let patch_cache conf variant =
@@ -150,7 +161,7 @@ let bh_breakdown (conf : Runconf.t) =
         breakdown = r.Dpa_bh.Bh_run.total;
         speedup = bh_seq_s conf r /. Breakdown.elapsed_s r.Dpa_bh.Bh_run.total;
       })
-    (breakdown_variants ~strip:conf.Runconf.bh_strip)
+    (breakdown_variants conf ~strip:conf.Runconf.bh_strip)
 
 let fmm_breakdown (conf : Runconf.t) =
   let procs = conf.Runconf.breakdown_procs in
@@ -163,7 +174,7 @@ let fmm_breakdown (conf : Runconf.t) =
         breakdown = b;
         speedup = fmm_seq_s conf r /. Breakdown.elapsed_s b;
       })
-    (breakdown_variants ~strip:conf.Runconf.fmm_strip)
+    (breakdown_variants conf ~strip:conf.Runconf.fmm_strip)
 
 let print_breakdown ~title bars =
   Printf.printf "%s\n" title;
@@ -298,11 +309,11 @@ let of_dpa_stats ~name ~static_sites (s : Dpa.Dpa_stats.t) =
 let thread_stats (conf : Runconf.t) =
   let procs = conf.Runconf.breakdown_procs in
   let bh =
-    bh_run conf ~procs (Dpa_baselines.Variant.dpa ~strip_size:conf.Runconf.bh_strip ())
+    bh_run conf ~procs (dpa_variant conf ~strip:conf.Runconf.bh_strip)
   in
   let fmm =
     fmm_run conf ~procs
-      (Dpa_baselines.Variant.dpa ~strip_size:conf.Runconf.fmm_strip ())
+      (dpa_variant conf ~strip:conf.Runconf.fmm_strip)
   in
   let compiler_rows =
     List.map
@@ -456,7 +467,7 @@ let distribution_sweep (conf : Runconf.t) =
       let r =
         Dpa_fmm.Fmm_run.run ~params:(fmm_params conf) ~nnodes:procs
           ~nparticles:conf.Runconf.fmm_particles ~distribution
-          (Dpa_baselines.Variant.dpa ~strip_size:conf.Runconf.fmm_strip ())
+          (dpa_variant conf ~strip:conf.Runconf.fmm_strip)
       in
       let b = r.Dpa_fmm.Fmm_run.phase.Dpa_fmm.Fmm_run.breakdown in
       {
@@ -498,7 +509,7 @@ let partition_sweep (conf : Runconf.t) =
       let r =
         Dpa_bh.Bh_run.simulate ~nnodes:procs ~nbodies:conf.Runconf.bh_bodies
           ~nsteps:conf.Runconf.bh_steps ~partition
-          (Dpa_baselines.Variant.dpa ~strip_size:conf.Runconf.bh_strip ())
+          (dpa_variant conf ~strip:conf.Runconf.bh_strip)
       in
       {
         part_name;
@@ -626,7 +637,7 @@ let latency_sweep ?(scales = [ 0.5; 1.; 2.; 4.; 8. ]) (conf : Runconf.t) =
       {
         lat_scale = scale;
         lat_dpa_s =
-          time (Dpa_baselines.Variant.dpa ~strip_size:conf.Runconf.bh_strip ());
+          time (dpa_variant conf ~strip:conf.Runconf.bh_strip);
         lat_blocking_s = time Dpa_baselines.Variant.Blocking;
       })
     scales
@@ -685,7 +696,7 @@ let upward_sweep (conf : Runconf.t) =
           | None -> 0);
       })
     [
-      ("DPA (combining)", Dpa_baselines.Variant.dpa ~strip_size:conf.Runconf.fmm_strip ());
+      ("DPA (combining)", dpa_variant conf ~strip:conf.Runconf.fmm_strip);
       ( "Pipeline (no combine)",
         Dpa_baselines.Variant.Prefetch { strip_size = conf.Runconf.fmm_strip } );
       ("Caching (put/update)", Dpa_baselines.Variant.Caching { capacity = conf.Runconf.cache_capacity });
@@ -734,7 +745,7 @@ let afmm_sweep (conf : Runconf.t) =
     let r =
       Dpa_fmm.Fmm_run.run ~params ~nnodes:procs ~nparticles:n
         ~distribution:(`Clustered 8) ~seed:23
-        (Dpa_baselines.Variant.dpa ~strip_size:conf.Runconf.fmm_strip ())
+        (dpa_variant conf ~strip:conf.Runconf.fmm_strip)
     in
     let b = r.Dpa_fmm.Fmm_run.phase.Dpa_fmm.Fmm_run.breakdown in
     {
@@ -745,7 +756,7 @@ let afmm_sweep (conf : Runconf.t) =
   in
   [
     adaptive
-      (Dpa_baselines.Variant.dpa ~strip_size:conf.Runconf.fmm_strip ())
+      (dpa_variant conf ~strip:conf.Runconf.fmm_strip)
       "adaptive + DPA";
     adaptive
       (Dpa_baselines.Variant.Caching { capacity = conf.Runconf.cache_capacity })
@@ -930,7 +941,7 @@ let chaos_sweep ?(specs = default_chaos_specs) ?(fault_seed = 0x5EED)
     if faults = None then Engine.set_fault engine None;
     let r =
       Dpa_bh.Bh_run.force_phase ~engine ~tree ~bodies ~params
-        (Dpa_baselines.Variant.dpa ~strip_size:conf.Runconf.bh_strip ())
+        (dpa_variant conf ~strip:conf.Runconf.bh_strip)
     in
     (r, engine, sink)
   in
@@ -1005,6 +1016,163 @@ let print_chaos_sweep ~procs points =
           string_of_int p.ch_drops;
           string_of_int p.ch_dups_suppressed;
           (if p.ch_forces_ok then "bit-identical" else "DIVERGED");
+        ])
+    points;
+  Table.print t;
+  print_newline ()
+
+(* -------------------------------------------------------------------- A12 *)
+
+type adaptive_strip_point = {
+  as_mode : string;
+  as_time_s : float;
+  as_final_strip : int;
+  as_grows : int;
+  as_shrinks : int;
+  as_peak_d : int;
+  as_max_out : int;
+}
+
+(* Fault-free BH force phase per strip mode; all the columns come from the
+   phase's [Dpa_stats], so no sink is needed. *)
+let adaptive_strip_sweep ?(strips = [ 10; 25; 50; 100; 300 ])
+    (conf : Runconf.t) =
+  let procs = conf.Runconf.breakdown_procs in
+  let params = Dpa_bh.Bh_force.default_params in
+  let point name variant =
+    let bodies = Dpa_bh.Plummer.generate ~n:conf.Runconf.bh_bodies ~seed:17 in
+    let octree = Dpa_bh.Octree.build bodies in
+    let tree = Dpa_bh.Bh_global.distribute octree ~nnodes:procs in
+    let machine = Machine.make ~nodes:procs () in
+    let engine = Engine.create machine in
+    Engine.set_fault engine None;
+    let r = Dpa_bh.Bh_run.force_phase ~engine ~tree ~bodies ~params variant in
+    let s =
+      match r.Dpa_bh.Bh_run.dpa_stats with
+      | Some s -> s
+      | None -> assert false
+    in
+    {
+      as_mode = name;
+      as_time_s = Breakdown.elapsed_s r.Dpa_bh.Bh_run.breakdown;
+      as_final_strip = s.Dpa.Dpa_stats.strip_size_final;
+      as_grows = s.Dpa.Dpa_stats.strip_grows;
+      as_shrinks = s.Dpa.Dpa_stats.strip_shrinks;
+      as_peak_d = s.Dpa.Dpa_stats.align_peak;
+      as_max_out = s.Dpa.Dpa_stats.max_outstanding;
+    }
+  in
+  List.map
+    (fun strip ->
+      point (string_of_int strip)
+        (Dpa_baselines.Variant.dpa ~strip_size:strip ()))
+    strips
+  @ [ point "auto" (Dpa_baselines.Variant.Dpa (Dpa.Config.dpa_auto ())) ]
+
+let print_adaptive_strip_sweep ~procs points =
+  Printf.printf
+    "A12a: static vs adaptive strip size — BH force phase (%d nodes)\n" procs;
+  let t =
+    Table.make
+      ~header:
+        [
+          "STRIP"; "TIME(s)"; "FINAL"; "GROWS"; "SHRINKS"; "PEAK D"; "MAX OUT";
+        ]
+  in
+  List.iter
+    (fun p ->
+      Table.add_row t
+        [
+          p.as_mode;
+          Table.sec p.as_time_s;
+          string_of_int p.as_final_strip;
+          string_of_int p.as_grows;
+          string_of_int p.as_shrinks;
+          string_of_int p.as_peak_d;
+          string_of_int p.as_max_out;
+        ])
+    points;
+  Table.print t;
+  print_newline ()
+
+type adaptive_rto_point = {
+  rp_mode : string;
+  rp_time_s : float;
+  rp_retransmits : int;
+  rp_rt_retries : int;
+  rp_forces_ok : bool;
+}
+
+(* Same phase, same fault plan and seed, with only the timeout policy
+   varied. The interesting column is RT RETRIES: the constant wheel base
+   undershoots an injected NIC outage and re-issues requests the
+   transport was already recovering; the estimator learns outage-scale
+   round trips and backs the wheel off, while forces stay bit-identical
+   to the fault-free reference either way. *)
+let adaptive_rto_sweep ?(spec = "heavy") ?(fault_seed = 0x5EED)
+    (conf : Runconf.t) =
+  let procs = conf.Runconf.breakdown_procs in
+  let params = Dpa_bh.Bh_force.default_params in
+  let run ~adaptive faults =
+    let bodies = Dpa_bh.Plummer.generate ~n:conf.Runconf.bh_bodies ~seed:17 in
+    let octree = Dpa_bh.Octree.build bodies in
+    let tree = Dpa_bh.Bh_global.distribute octree ~nnodes:procs in
+    let machine =
+      Machine.make ~nodes:procs ?faults ~fault_seed ~adaptive_rto:adaptive ()
+    in
+    let engine = Engine.create machine in
+    if faults = None then Engine.set_fault engine None;
+    let r =
+      Dpa_bh.Bh_run.force_phase ~engine ~tree ~bodies ~params
+        (dpa_variant conf ~strip:conf.Runconf.bh_strip)
+    in
+    (r, engine)
+  in
+  let reference, _ = run ~adaptive:false None in
+  let faults =
+    match Fault.spec_of_string spec with
+    | Ok s -> s
+    | Error msg -> invalid_arg ("adaptive_rto_sweep: " ^ msg)
+  in
+  List.map
+    (fun (name, adaptive) ->
+      let r, engine = run ~adaptive (Some faults) in
+      let retransmits =
+        match Dpa_msg.Am.stats engine with
+        | None -> 0
+        | Some s -> s.Dpa_msg.Am.retransmits
+      in
+      let s =
+        match r.Dpa_bh.Bh_run.dpa_stats with
+        | Some s -> s
+        | None -> assert false
+      in
+      {
+        rp_mode = name;
+        rp_time_s = Breakdown.elapsed_s r.Dpa_bh.Bh_run.breakdown;
+        rp_retransmits = retransmits;
+        rp_rt_retries = s.Dpa.Dpa_stats.rt_retries;
+        rp_forces_ok = r.Dpa_bh.Bh_run.accs = reference.Dpa_bh.Bh_run.accs;
+      })
+    [ ("constant", false); ("adaptive", true) ]
+
+let print_adaptive_rto_sweep ~procs ~spec points =
+  Printf.printf
+    "A12b: constant vs adaptive retransmission timeout — BH force phase \
+     under %s faults (%d nodes)\n"
+    spec procs;
+  let t =
+    Table.make ~header:[ "RTO"; "TIME(s)"; "RETRANS"; "RT RETRIES"; "FORCES" ]
+  in
+  List.iter
+    (fun p ->
+      Table.add_row t
+        [
+          p.rp_mode;
+          Table.sec p.rp_time_s;
+          string_of_int p.rp_retransmits;
+          string_of_int p.rp_rt_retries;
+          (if p.rp_forces_ok then "bit-identical" else "DIVERGED");
         ])
     points;
   Table.print t;

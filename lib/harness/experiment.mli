@@ -227,3 +227,43 @@ val chaos_sweep :
     the reliable-delivery protocol's headline correctness claim. *)
 
 val print_chaos_sweep : procs:int -> chaos_point list -> unit
+
+type adaptive_strip_point = {
+  as_mode : string;  (** static strip size, or ["auto"] *)
+  as_time_s : float;
+  as_final_strip : int;  (** strip size in force when the phase ended *)
+  as_grows : int;
+  as_shrinks : int;
+  as_peak_d : int;
+  as_max_out : int;
+}
+
+val adaptive_strip_sweep :
+  ?strips:int list -> Runconf.t -> adaptive_strip_point list
+(** A12a: the fault-free BH force phase on the breakdown node count, once
+    per static strip size and once under {!Dpa.Config.dpa_auto} — does
+    the controller land near the best static setting without being told
+    it? *)
+
+val print_adaptive_strip_sweep : procs:int -> adaptive_strip_point list -> unit
+
+type adaptive_rto_point = {
+  rp_mode : string;  (** ["constant"] or ["adaptive"] *)
+  rp_time_s : float;
+  rp_retransmits : int;  (** transport-level timeout re-sends *)
+  rp_rt_retries : int;  (** runtime-level end-to-end request re-issues *)
+  rp_forces_ok : bool;
+      (** accelerations bit-identical to the fault-free reference run *)
+}
+
+val adaptive_rto_sweep :
+  ?spec:string -> ?fault_seed:int -> Runconf.t -> adaptive_rto_point list
+(** A12b: the BH force phase under one fault plan (default ["heavy"]),
+    with the end-to-end timeout wheel on its constant worst-case base vs
+    the transport's round-trip estimator
+    ({!Dpa_sim.Machine.adaptive_rto}). Correctness is unchanged either
+    way — the columns show how many spurious re-issues the estimator
+    avoids. *)
+
+val print_adaptive_rto_sweep :
+  procs:int -> spec:string -> adaptive_rto_point list -> unit

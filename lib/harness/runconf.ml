@@ -8,6 +8,7 @@ type t = {
   breakdown_procs : int;
   bh_strip : int;
   fmm_strip : int;
+  strip_auto : bool;
   cache_capacity : int;
 }
 
@@ -22,6 +23,7 @@ let small =
     breakdown_procs = 8;
     bh_strip = 50;
     fmm_strip = 50;
+    strip_auto = false;
     cache_capacity = 2048;
   }
 
@@ -36,6 +38,7 @@ let full =
     breakdown_procs = 16;
     bh_strip = 50;
     fmm_strip = 300;
+    strip_auto = false;
     cache_capacity = 16384;
   }
 

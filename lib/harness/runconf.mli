@@ -13,6 +13,9 @@ type t = {
   breakdown_procs : int;  (** node count for the breakdown figures *)
   bh_strip : int;
   fmm_strip : int;  (** the paper uses 300 for FMM's breakdown figure *)
+  strip_auto : bool;
+      (** replace the static strips with the adaptive controller
+          ({!Dpa.Config.dpa_auto}, [--strip auto]); off in both presets *)
   cache_capacity : int;  (** software-caching baseline cache size *)
 }
 

@@ -66,12 +66,19 @@ type pending = {
 
 type state = {
   mutable next_seq : int;
+  nnodes : int;
   pending : (int, pending) Hashtbl.t;  (* unacked envelopes, by seq *)
   seen : (int, unit) Hashtbl.t array;  (* per receiving node: delivered seqs *)
+  rtt : Rtt.t array;  (* per (src, dst) link: ack round trips, Karn-filtered *)
+  e2e : Rtt.t;
+      (* engine-wide first-send -> acknowledged latency, retransmission
+         recovery included — the signal the runtime's end-to-end timeout
+         wheel scales itself by *)
   mutable retransmits : int;
   mutable retransmit_bytes : int;
   mutable acks : int;
   mutable dups_suppressed : int;
+  mutable pruned : int;  (* dedup entries reclaimed at phase barriers *)
 }
 
 type stats = {
@@ -80,6 +87,8 @@ type stats = {
   retransmit_bytes : int;
   acks : int;
   dups_suppressed : int;
+  seen_entries : int;
+  pruned : int;
 }
 
 type Engine.ext += Reliable of state
@@ -88,22 +97,27 @@ let state engine =
   match Engine.ext engine with
   | Some (Reliable s) -> s
   | _ ->
+    let nnodes = Array.length (Engine.nodes engine) in
     let s =
       {
         next_seq = 0;
+        nnodes;
         pending = Hashtbl.create 256;
-        seen =
-          Array.init
-            (Array.length (Engine.nodes engine))
-            (fun _ -> Hashtbl.create 1024);
+        seen = Array.init nnodes (fun _ -> Hashtbl.create 1024);
+        rtt = Array.init (nnodes * nnodes) (fun _ -> Rtt.create ());
+        e2e = Rtt.create ();
         retransmits = 0;
         retransmit_bytes = 0;
         acks = 0;
         dups_suppressed = 0;
+        pruned = 0;
       }
     in
     Engine.set_ext engine (Some (Reliable s));
     s
+
+let seen_entries s =
+  Array.fold_left (fun acc tbl -> acc + Hashtbl.length tbl) 0 s.seen
 
 let stats engine =
   match Engine.ext engine with
@@ -115,6 +129,8 @@ let stats engine =
         retransmit_bytes = s.retransmit_bytes;
         acks = s.acks;
         dups_suppressed = s.dups_suppressed;
+        seen_entries = seen_entries s;
+        pruned = s.pruned;
       }
   | _ -> None
 
@@ -122,6 +138,41 @@ let in_flight engine =
   match Engine.ext engine with
   | Some (Reliable s) -> Hashtbl.length s.pending
   | _ -> 0
+
+(* Reclaim the receiver dedup tables. Safe only at a quiescent point: with
+   the event queue drained every delivered copy (duplicates included) has
+   run, and with no unacked envelope no sequence number can ever be
+   retransmitted — so no future arrival can match a pruned entry. Called
+   by the runtimes at their phase barrier; without it a long multi-phase
+   chaos run leaks one entry per envelope ever sent. *)
+let prune_seen engine =
+  match Engine.ext engine with
+  | Some (Reliable s) ->
+    if not (Engine.idle engine) then
+      invalid_arg "Am.prune_seen: event queue not drained";
+    if Hashtbl.length s.pending > 0 then
+      invalid_arg "Am.prune_seen: unacknowledged envelopes in flight";
+    let n = seen_entries s in
+    Array.iter Hashtbl.reset s.seen;
+    s.pruned <- s.pruned + n;
+    n
+  | _ -> 0
+
+let link_rtt engine ~src ~dst =
+  match Engine.ext engine with
+  | Some (Reliable s) ->
+    let est = s.rtt.((src * s.nnodes) + dst) in
+    if Rtt.samples est = 0 then None else Some est
+  | _ -> None
+
+(* Scale factor for the end-to-end wheel: a request conversation is two
+   reliable deliveries (the aggregated request out, the bulk reply back)
+   plus owner service time, each delivery itself subject to recovery. *)
+let e2e_rto engine ~fallback =
+  match Engine.ext engine with
+  | Some (Reliable s) when Rtt.samples s.e2e > 0 ->
+    max fallback (2 * Rtt.estimate_ns s.e2e)
+  | _ -> fallback
 
 (* Retransmission policy. The initial timeout covers a fault-free round
    trip — injection overheads, the payload out, a header-only NIC ack back
@@ -137,6 +188,22 @@ let initial_rto (m : Machine.t) ~bytes =
   + (4 * m.poll_quantum_ns)
 
 let rto_cap m ~bytes = 1024 * initial_rto m ~bytes
+
+(* Adaptive transport timeout (Machine.adaptive_rto): the Jacobson–Karels
+   estimate for this (src, dst) link plus this message's own serialization
+   time — samples mix message sizes, so the explicit transfer term keeps a
+   large bulk reply from being timed against an estimate learned on small
+   requests. Falls back to the constant worst-case formula until the first
+   sample. Retransmitted envelopes never feed the estimator (Karn's
+   algorithm: an ack after a retransmission is ambiguous), and the result
+   is floored at the smallest round trip ever measured on the link. *)
+let rto_for (st : state) (m : Machine.t) ~src ~dst ~bytes =
+  let fallback = initial_rto m ~bytes in
+  if not m.Machine.adaptive_rto then fallback
+  else
+    let est = st.rtt.((src * st.nnodes) + dst) in
+    if Rtt.samples est = 0 then fallback
+    else Rtt.rto_ns est ~fallback + Machine.transfer_ns m ~bytes
 
 (* Far beyond anything a drop rate < 1 will produce; a plan that eats this
    many attempts is a configuration error, not bad luck. *)
@@ -212,7 +279,7 @@ let reliable_send engine f ~(src : Node.t) ~dst ~bytes handler =
     {
       p_first_sent = src.Node.clock;
       p_attempts = 0;
-      p_rto_ns = initial_rto m ~bytes;
+      p_rto_ns = rto_for st m ~src:src_id ~dst ~bytes;
     }
   in
   Hashtbl.replace st.pending seq p;
@@ -241,6 +308,7 @@ let reliable_send engine f ~(src : Node.t) ~dst ~bytes handler =
     transmit engine f ~src ~dst ~bytes on_deliver;
     (* Arm the timeout. Soft event: if the ack beats the deadline this is
        a pure no-op that leaves the sender's clock untouched. *)
+    obs_observe engine "am.rto_ns" p.p_rto_ns;
     let deadline = src.Node.clock + p.p_rto_ns in
     p.p_rto_ns <- min (2 * p.p_rto_ns) (rto_cap m ~bytes);
     Engine.post_soft engine ~time:deadline ~node:src_id (fun () ->
@@ -300,9 +368,16 @@ let reliable_send engine f ~(src : Node.t) ~dst ~bytes handler =
               s.Node.bytes_recv <- s.Node.bytes_recv + ack_bytes;
               if Hashtbl.mem st.pending seq then begin
                 Hashtbl.remove st.pending seq;
+                let latency = (arrival + extra) - p.p_first_sent in
+                (* Full delivery latency, recovery included, feeds the
+                   end-to-end estimator; the per-link ack-RTT estimator
+                   only takes unambiguous samples (Karn: a single
+                   transmission, so the ack can only belong to it). *)
+                Rtt.observe st.e2e latency;
+                if p.p_attempts = 1 then
+                  Rtt.observe st.rtt.((src_id * st.nnodes) + dst) latency;
                 if p.p_attempts > 1 then
-                  obs_observe engine "am.recovery_ns"
-                    ((arrival + extra) - p.p_first_sent)
+                  obs_observe engine "am.recovery_ns" latency
               end))
         delays
   in

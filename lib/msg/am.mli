@@ -47,6 +47,8 @@ type stats = {
   retransmit_bytes : int;  (** payload bytes re-sent *)
   acks : int;  (** acknowledgements injected by receivers *)
   dups_suppressed : int;  (** duplicate copies discarded by the dedup table *)
+  seen_entries : int;  (** live dedup entries across all receivers *)
+  pruned : int;  (** dedup entries reclaimed by {!prune_seen} so far *)
 }
 
 val stats : Engine.t -> stats option
@@ -57,3 +59,33 @@ val in_flight : Engine.t -> int
 (** Unacknowledged envelopes right now ([0] without protocol state). The
     runtime's phase barrier certifies [in_flight = 0] before clearing its
     alignment structures. *)
+
+val prune_seen : Engine.t -> int
+(** Reclaim the receiver dedup tables, returning the number of entries
+    dropped. Only legal at a quiescent point — the engine's event queue
+    drained and no envelope unacknowledged (raises [Invalid_argument]
+    otherwise): then every delivered copy has already run and no pruned
+    sequence number can ever arrive again, so exactly-once execution is
+    preserved. The runtimes call this at their phase barrier; without it
+    the tables grow by one entry per envelope ever sent. No-op ([0])
+    without protocol state. *)
+
+(** {2 Round-trip estimation}
+
+    Under [Machine.adaptive_rto] (the default) the retransmission timeout
+    is not the constant worst-case formula but a Jacobson–Karels estimate
+    fed by ack round trips. Because acks are timestamped at the wire (see
+    above), the samples measure network latency, not receiver backlog —
+    which is exactly what a retransmission decision needs. Retransmitted
+    envelopes never feed the per-link filter (Karn's algorithm). *)
+
+val link_rtt : Engine.t -> src:int -> dst:int -> Rtt.t option
+(** The (src, dst) link's ack round-trip estimator, once it has at least
+    one sample. [None] without protocol state or samples. *)
+
+val e2e_rto : Engine.t -> fallback:int -> int
+(** Timeout base for an end-to-end request timer: twice the estimated
+    full-delivery latency (first transmission to acknowledgement,
+    retransmission recovery included — one delivery each way), but never
+    below [fallback]. Returns [fallback] verbatim until the estimator has
+    a sample, so a fault-free-calibrated constant remains the floor. *)

@@ -1,0 +1,36 @@
+(** Jacobson–Karels round-trip estimator (integer, deterministic).
+
+    The TCP-style filter pair: [srtt] is an EWMA of observed round trips
+    (gain 1/8), [rttvar] an EWMA of the absolute deviation (gain 1/4),
+    and the suggested timeout is [srtt + 4 * rttvar], floored at the
+    smallest round trip ever measured so the timeout can never undercut
+    the physically possible minimum. All arithmetic is integer
+    nanoseconds: replaying the same sample sequence reproduces the same
+    estimates bit-for-bit. *)
+
+type t
+
+val create : unit -> t
+
+val observe : t -> int -> unit
+(** Feed one measured round trip (ns). Samples are clamped to [>= 1]. *)
+
+val samples : t -> int
+(** Number of samples observed. *)
+
+val srtt_ns : t -> int
+(** Smoothed round trip; [0] before the first sample, positive after. *)
+
+val rttvar_ns : t -> int
+(** Smoothed absolute deviation; non-negative. *)
+
+val min_ns : t -> int
+(** Smallest round trip observed ([max_int] before the first sample). *)
+
+val estimate_ns : t -> int
+(** [srtt + 4 * max 1 rttvar]: the raw Jacobson–Karels timeout. *)
+
+val rto_ns : t -> fallback:int -> int
+(** Recommended timeout: [fallback] until the first sample, then
+    [max min_ns estimate_ns] — never below the measured round-trip
+    floor. *)

@@ -68,8 +68,13 @@ let span ?(args = []) t ~cat ~name ~node ~ts ~dur =
   end
   else t.filtered <- t.filtered + 1
 
+(* Counter samples bypass the category filter: their "counter" category is
+   synthetic (no producer chooses it), so a [--trace-cats] list naming only
+   real categories used to silently drop every sampled counter track.
+   [spans_only] still drops them — that knob's contract is spans and
+   nothing else. *)
 let push_ring t ev =
-  if t.spans_only || not (cat_enabled t ev.cat) then
+  if t.spans_only || (ev.kind <> Counter && not (cat_enabled t ev.cat)) then
     t.filtered <- t.filtered + 1
   else begin
     t.ring.(t.written mod t.capacity) <- Some ev;

@@ -60,11 +60,15 @@ val counter : t -> name:string -> node:int -> ts:int -> int -> unit
 (** A sampled value, rendered as a counter track by the Chrome exporter. *)
 
 val set_categories : t -> string list option -> unit
-(** [set_categories t (Some cats)] keeps only events whose [cat] is listed
-    (counter samples carry category ["counter"]); everything else is
-    rejected at emission and counted by {!filtered}. [None] (the default)
-    enables every category. Chaos runs emit dense ["fault"] instants —
-    this is the knob that keeps their Chrome traces tractable. *)
+(** [set_categories t (Some cats)] keeps only spans and instants whose
+    [cat] is listed; everything else is rejected at emission and counted
+    by {!filtered}. [None] (the default) enables every category. Counter
+    samples are exempt: their ["counter"] category is synthetic (no
+    producer chooses it), so they are always recorded regardless of the
+    list — a [--trace-cats] filter combined with [--sample-ns] must not
+    silently drop the sampled tracks. Chaos runs emit dense ["fault"]
+    instants — this is the knob that keeps their Chrome traces
+    tractable. *)
 
 val set_spans_only : t -> bool -> unit
 (** When on, instants and counter samples are rejected at emission (and

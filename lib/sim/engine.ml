@@ -82,6 +82,8 @@ let post_now t ~node action =
 
 let live_events t = t.live
 
+let idle t = Event_queue.is_empty t.queue
+
 let run t =
   let rec loop () =
     match Event_queue.pop t.queue with

@@ -61,6 +61,11 @@ val post_now : t -> node:Node.t -> (unit -> unit) -> unit
 val live_events : t -> int
 (** Pending events, excluding periodic-sampler ticks. *)
 
+val idle : t -> bool
+(** True when the event queue is completely drained (sampler ticks
+    included) — the precondition for phase-boundary cleanup such as
+    pruning the reliable-delivery dedup tables. *)
+
 val start_sampler : t -> period_ns:int -> name:string -> (Node.t -> int) -> unit
 (** Fixed-rate counter track: every [period_ns] of sim-time emit one
     counter sample per node valued [f node] into the engine's sink (no-op

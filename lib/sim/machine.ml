@@ -17,7 +17,15 @@ type t = {
   ingress_serialized : bool;
   faults : Fault.spec option;
   fault_seed : int;
+  adaptive_rto : bool;
 }
+
+(* Process-wide default for [adaptive_rto], so the CLI can flip the whole
+   run between the constant-base and estimator-driven retransmission
+   policies without plumbing a flag through every experiment. *)
+let default_adaptive_rto = ref true
+
+let set_default_adaptive_rto b = default_adaptive_rto := b
 
 let make ?(send_overhead_ns = 2_500) ?(recv_overhead_ns = 2_500)
     ?(wire_latency_ns = 2_000) ?(ns_per_byte = 33.)
@@ -26,8 +34,12 @@ let make ?(send_overhead_ns = 2_500) ?(recv_overhead_ns = 2_500)
     ?(dispatch_overhead_ns = 100) ?(poll_quantum_ns = 50_000)
     ?(msg_header_bytes = 16) ?(req_entry_bytes = 12)
     ?(update_entry_bytes = 20) ?(update_apply_ns = 150)
-    ?(ingress_serialized = false) ?faults ?(fault_seed = 0x5EED) ~nodes () =
+    ?(ingress_serialized = false) ?faults ?(fault_seed = 0x5EED)
+    ?adaptive_rto ~nodes () =
   if nodes <= 0 then invalid_arg "Machine.make: nodes must be positive";
+  let adaptive_rto =
+    match adaptive_rto with Some b -> b | None -> !default_adaptive_rto
+  in
   {
     nodes;
     send_overhead_ns;
@@ -47,6 +59,7 @@ let make ?(send_overhead_ns = 2_500) ?(recv_overhead_ns = 2_500)
     ingress_serialized;
     faults;
     fault_seed;
+    adaptive_rto;
   }
 
 let t3d ~nodes = make ~nodes ()
@@ -60,7 +73,7 @@ let pp ppf t =
      ns@ bandwidth: %.1f ns/byte@ request service: %d + %d/obj ns@ hash \
      probe: %d ns@ spawn/dispatch overhead: %d/%d ns@ poll quantum: %d ns@ \
      header/request/update entry: %d/%d/%d bytes@ update apply: %d ns@ \
-     ingress serialized: %b@ faults: %a (seed %d)@]"
+     ingress serialized: %b@ faults: %a (seed %d)@ adaptive rto: %b@]"
     t.nodes t.send_overhead_ns t.recv_overhead_ns t.wire_latency_ns
     t.ns_per_byte t.request_service_ns t.request_service_per_obj_ns
     t.hash_probe_ns t.spawn_overhead_ns t.dispatch_overhead_ns
@@ -69,4 +82,4 @@ let pp ppf t =
     (Format.pp_print_option
        ~none:(fun ppf () -> Format.pp_print_string ppf "off")
        Fault.pp_spec)
-    t.faults t.fault_seed
+    t.faults t.fault_seed t.adaptive_rto

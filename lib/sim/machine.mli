@@ -33,6 +33,14 @@ type t = {
           network the paper assumes — and is bit-identical to builds
           without the fault subsystem. *)
   fault_seed : int;  (** seed for the per-engine fault plan *)
+  adaptive_rto : bool;
+      (** when true (the default), the reliable-delivery layer bases its
+          retransmission timeout on a Jacobson–Karels estimate of the
+          per-link ack round trip, and the DPA runtime's end-to-end
+          request timers on an estimate of full delivery latency
+          (including retransmission recovery), instead of the constant
+          worst-case formula. Only observable under a fault plan: the
+          fault-free path arms no timers at all. *)
 }
 
 val t3d : nodes:int -> t
@@ -56,9 +64,16 @@ val make :
   ?ingress_serialized:bool ->
   ?faults:Fault.spec ->
   ?fault_seed:int ->
+  ?adaptive_rto:bool ->
   nodes:int ->
   unit ->
   t
+
+val set_default_adaptive_rto : bool -> unit
+(** Process-wide default for {!make}'s [?adaptive_rto] (initially [true]);
+    the CLI's [--rto] flag sets it so a whole experiment run switches
+    retransmission policy without plumbing. An explicit [?adaptive_rto]
+    always wins. *)
 
 val transfer_ns : t -> bytes:int -> int
 (** Time for [bytes] to cross the wire after injection: latency plus

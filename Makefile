@@ -17,8 +17,12 @@ test:
 fmt:
 	dune fmt
 
+# Also gates the API docs: every .mli must render through odoc without
+# warnings (broken references, ambiguous doc comments).
 fmt-check:
 	dune build @fmt
+	dune build @doc 2>&1 | tee /tmp/dpa_doc.log
+	@! grep -qi warning /tmp/dpa_doc.log && echo "fmt-check: docs build warning-free"
 
 # End-to-end observability smoke test: run a small experiment with the
 # trace/metrics exporters on and make sure the artifacts appear and are
@@ -29,15 +33,23 @@ smoke: build chaos-smoke adaptive-smoke
 	@test -s /tmp/dpa_trace.json && test -s /tmp/dpa_metrics.json \
 	  && echo "smoke: trace + metrics written"
 
-# Chaos smoke test: the a11 sweep at reduced scale with a fixed fault seed.
-# Every row (including 10% drop and the heavy preset) must report forces
-# bit-identical to the fault-free reference; any divergence prints DIVERGED
-# and fails the target.
+# Chaos smoke test: the a11 sweep and the a13 crash matrix at reduced
+# scale with a fixed fault seed. Every row (including 10% drop, the heavy
+# preset, and the crash-restart schedules) must report results
+# bit-identical to the fault-free reference; any divergence prints
+# DIVERGED and fails the target. The a13 summary line must also show that
+# crash-restarts actually executed.
 chaos-smoke: build
 	dune exec $(BENCH) -- a11 --scale small --bodies 512 | tee /tmp/dpa_chaos.txt
 	@! grep -q DIVERGED /tmp/dpa_chaos.txt \
 	  && grep -cq bit-identical /tmp/dpa_chaos.txt \
 	  && echo "chaos-smoke: forces bit-identical under all fault plans"
+	dune exec $(BENCH) -- a13 --scale small --bodies 512 | tee /tmp/dpa_crash.txt
+	@! grep -q DIVERGED /tmp/dpa_crash.txt \
+	  && grep -q "a13 summary" /tmp/dpa_crash.txt \
+	  && ! grep -q "a13 summary: 0 crash-restarts" /tmp/dpa_crash.txt \
+	  && grep -q "0 schedule(s) diverged" /tmp/dpa_crash.txt \
+	  && echo "chaos-smoke: crash-restart schedules reproduce fault-free results bit for bit"
 
 # Adaptive-control smoke test: the a12 sweep at reduced scale. Both RTO
 # rows must report forces bit-identical to the fault-free reference, and

@@ -147,8 +147,13 @@ let fault_term =
             "Inject deterministic network faults: a preset ($(b,none), \
              $(b,light), $(b,heavy)) or a comma list of knobs \
              (drop=P, dup=P, delay=P, jitter=NS, outages=N, outage=NS, \
-             horizon=NS, slow-node=ID, slow-factor=F). Enables the \
-             reliable-delivery protocol (acks, dedup, retransmission).")
+             crashes=N, crash=NS, horizon=NS, slow-node=ID, \
+             slow-factor=F). A preset may lead the list and the knobs \
+             override it, e.g. $(b,heavy,crashes=1). Enables the \
+             reliable-delivery protocol (acks, dedup, retransmission); \
+             $(b,crashes) additionally fail-stops each node N times \
+             inside the horizon, wiping its volatile state for crash=NS \
+             before it restarts and re-fetches (see docs/FAULTS.md).")
   in
   let seed =
     Arg.(
@@ -329,6 +334,8 @@ let run_a12 conf =
     ~spec:"heavy"
     (Experiment.adaptive_rto_sweep conf)
 
+let run_a13 conf = Experiment.print_crash_matrix (Experiment.crash_matrix conf)
+
 let run_timeline ?(csv = None) conf =
   let nnodes = conf.Runconf.breakdown_procs in
   let show variant =
@@ -411,7 +418,8 @@ let run_all conf =
   run_a9 conf;
   run_a10 conf;
   run_a11 conf;
-  run_a12 conf
+  run_a12 conf;
+  run_a13 conf
 
 let cmd name doc f =
   Cmd.v (Cmd.info name ~doc)
@@ -454,6 +462,7 @@ let () =
             cmd "a10" "Hot-spot with link serialization" run_a10;
             cmd "a11" "Chaos sweep: faults vs goodput and correctness" run_a11;
             cmd "a12" "Adaptive strip size and adaptive RTO vs static" run_a12;
+            cmd "a13" "Crash-restart chaos matrix across workloads" run_a13;
             (let csv =
                Arg.(
                  value

@@ -19,10 +19,10 @@ let default_params =
    reads is a timing artifact (and shifts under injected network faults);
    this is what lets any fault schedule reproduce the fault-free forces
    exactly. The snap costs ~2e-13 per contribution, far inside the 1e-9
-   agreement with the sequential reference. *)
-let det_grid = 4398046511104.  (* 2^42 *)
+   agreement with the sequential reference. See Dpa_util.Det. *)
+let det_grid = Dpa_util.Det.grid ~bits:42
 
-let quantize v = Float.round (v *. det_grid) /. det_grid
+let quantize v = Dpa_util.Det.quantize ~grid:det_grid v
 
 let quantize3 (v : Vec3.t) =
   { Vec3.x = quantize v.Vec3.x; y = quantize v.Vec3.y; z = quantize v.Vec3.z }

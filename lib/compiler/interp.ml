@@ -6,15 +6,16 @@ module Make (A : Dpa.Access.S) = struct
     classes : (string, Alias.env) Hashtbl.t;  (* per function *)
     accums : (string, float ref) Hashtbl.t;
     stmt_cost_ns : int;
+    accum_grid : float option;
   }
 
-  let compile ?(stmt_cost_ns = 40) program =
+  let compile ?(stmt_cost_ns = 40) ?accum_grid program =
     Alias.check program;
     let classes = Hashtbl.create 8 in
     List.iter
       (fun f -> Hashtbl.replace classes f.Ast.fname (Alias.infer program f))
       program.Ast.funcs;
-    { program; classes; accums = Hashtbl.create 8; stmt_cost_ns }
+    { program; classes; accums = Hashtbl.create 8; stmt_cost_ns; accum_grid }
 
   let accumulator c name =
     match Hashtbl.find_opt c.accums name with Some r -> !r | None -> 0.
@@ -26,6 +27,11 @@ module Make (A : Dpa.Access.S) = struct
   let reset c = Hashtbl.reset c.accums
 
   let bump c name v =
+    let v =
+      match c.accum_grid with
+      | None -> v
+      | Some grid -> Dpa_util.Det.quantize ~grid v
+    in
     match Hashtbl.find_opt c.accums name with
     | Some r -> r := !r +. v
     | None -> Hashtbl.replace c.accums name (ref v)

@@ -12,9 +12,16 @@
 module Make (A : Dpa.Access.S) : sig
   type compiled
 
-  val compile : ?stmt_cost_ns:int -> Ast.program -> compiled
+  val compile :
+    ?stmt_cost_ns:int -> ?accum_grid:float -> Ast.program -> compiled
   (** Validates (structure and alias classes) and compiles. [stmt_cost_ns]
-      (default 40) is the simulated cost charged per executed statement. *)
+      (default 40) is the simulated cost charged per executed statement.
+      [accum_grid] (default: none, i.e. exact addition in program order)
+      snaps every value added to a global accumulator onto the given grid
+      (see {!Dpa_util.Det}): as long as the running sum stays within the
+      grid's exactness bound, the final accumulator value becomes
+      independent of the order work items complete in — the property the
+      chaos sweeps assert when faults reshuffle message arrivals. *)
 
   val item :
     compiled -> entry:string -> args:Value.t list -> A.ctx -> unit

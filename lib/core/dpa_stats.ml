@@ -16,6 +16,9 @@ type t = {
   mutable strip_shrinks : int;
   mutable strip_size_final : int;
   mutable rt_retries : int;
+  mutable crashes : int;
+  mutable crash_refetches : int;
+  mutable upd_reissues : int;
 }
 
 let create () =
@@ -37,6 +40,9 @@ let create () =
     strip_shrinks = 0;
     strip_size_final = 0;
     rt_retries = 0;
+    crashes = 0;
+    crash_refetches = 0;
+    upd_reissues = 0;
   }
 
 let merge ts =
@@ -59,7 +65,10 @@ let merge ts =
       acc.strip_grows <- acc.strip_grows + t.strip_grows;
       acc.strip_shrinks <- acc.strip_shrinks + t.strip_shrinks;
       acc.strip_size_final <- max acc.strip_size_final t.strip_size_final;
-      acc.rt_retries <- acc.rt_retries + t.rt_retries)
+      acc.rt_retries <- acc.rt_retries + t.rt_retries;
+      acc.crashes <- acc.crashes + t.crashes;
+      acc.crash_refetches <- acc.crash_refetches + t.crash_refetches;
+      acc.upd_reissues <- acc.upd_reissues + t.upd_reissues)
     ts;
   acc
 
@@ -87,6 +96,9 @@ let to_json t =
          ("strip_shrinks", t.strip_shrinks);
          ("strip_size_final", t.strip_size_final);
          ("rt_retries", t.rt_retries);
+         ("crashes", t.crashes);
+         ("crash_refetches", t.crash_refetches);
+         ("upd_reissues", t.upd_reissues);
          ("total_reads", total_reads t);
        ])
 
@@ -107,4 +119,9 @@ let pp ppf t =
       "@ @[strip controller: %d grows, %d shrinks, final size %d@]"
       t.strip_grows t.strip_shrinks t.strip_size_final;
   if t.rt_retries > 0 then
-    Format.fprintf ppf "@ @[request timer retries: %d@]" t.rt_retries
+    Format.fprintf ppf "@ @[request timer retries: %d@]" t.rt_retries;
+  if t.crashes > 0 then
+    Format.fprintf ppf
+      "@ @[crash-restarts: %d (%d requests re-fetched, %d update batches \
+       re-sent)@]"
+      t.crashes t.crash_refetches t.upd_reissues

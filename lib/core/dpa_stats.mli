@@ -22,6 +22,14 @@ type t = {
           static runs, so a clamped auto run reports identical stats) *)
   mutable rt_retries : int;
       (** end-to-end request re-issues by the runtime's timeout wheel *)
+  mutable crashes : int;  (** crash-restarts executed on this node *)
+  mutable crash_refetches : int;
+      (** outstanding requests re-issued through the alignment path at a
+          restart (orphaned by the crash wiping their conversations) *)
+  mutable upd_reissues : int;
+      (** accumulate batches re-sent by the update timer because no
+          application-level ack arrived (journal-deduplicated at the
+          owner, so re-sends never double-apply) *)
 }
 
 val create : unit -> t

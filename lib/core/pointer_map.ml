@@ -57,6 +57,9 @@ let find_ptr t token =
   | None -> None
   | Some slot -> Some slot.ptr
 
+let fold_outstanding t f acc =
+  Hashtbl.fold (fun token slot acc -> f token slot.ptr acc) t.tokens acc
+
 let outstanding t = Hashtbl.length t.tokens
 let waiters t = t.waiters
 let is_empty t = Hashtbl.length t.tokens = 0

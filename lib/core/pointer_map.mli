@@ -31,6 +31,14 @@ val find_ptr : 'k t -> int -> Dpa_heap.Gptr.t option
     runtime's timeout wheel to re-issue a request without consuming the
     token. *)
 
+val fold_outstanding : 'k t -> (int -> Dpa_heap.Gptr.t -> 'a -> 'a) -> 'a -> 'a
+(** Fold over every outstanding (token, pointer) pair, in unspecified
+    order. The crash-recovery path uses this (sorted by token) to re-issue
+    every fetch the crashed node still owes an answer to: the map's
+    registrations are recoverable control state — they hold no partial
+    execution — so the restart re-walks them through the normal alignment
+    path. *)
+
 val outstanding : 'k t -> int
 (** Tokens currently in flight. *)
 

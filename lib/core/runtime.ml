@@ -46,7 +46,10 @@ type ctx = {
   node : Node.t;
   cfg : Config.t;
   stats : Dpa_stats.t;
-  ready : (Obj_repr.t * k) Queue.t;
+  ready : (Gptr.t * Obj_repr.t * k) Queue.t;
+      (* each entry keeps the pointer its view came from: a crash must
+         re-register remote entries (the view copy is volatile) while
+         local entries re-run against the durable heap *)
   map : k Pointer_map.t;
   buffer : Align_buffer.t;
   mutable agg : request Dpa_msg.Aggregator.t;
@@ -59,6 +62,20 @@ type ctx = {
   rel : bool;
       (* fault plan active: arm end-to-end request timeouts and accept
          duplicate bulk replies (idempotent wakes) *)
+  mutable down_until : int;
+      (* end of the node's current crash window; 0 when never crashed.
+         The scheduler idles up to it before touching ready work, so no
+         computation is charged inside a down window. *)
+  mutable upd_next_id : int;
+  out_updates : (int, int * Update_buffer.entry list) Hashtbl.t;
+      (* update batches sent but not yet application-acked, by batch id —
+         the durable WAL pointer the update timer re-sends from *)
+  upd_journal : (int * int, unit) Hashtbl.t array;
+      (* per owner node, shared by every ctx of the phase: (src, batch id)
+         pairs already applied to that owner's heap. Durable by contract —
+         the journal entry and the heap mutation are one atomic action —
+         so a re-sent batch is recognized across the owner's crashes and
+         never double-applied. *)
   ctrl : ctrl option;
   obs : obs option;
 }
@@ -204,13 +221,17 @@ let rec ensure_scheduled ctx =
    this is the "poll" of an FM-style runtime), wait for replies after
    flushing buffered requests, or advance to the next strip. *)
 and run_quantum ctx =
+  (* A quantum scheduled before a crash can pop inside the down window;
+     the node resumes at the restart instant, the gap accounted as idle. *)
+  if ctx.node.Node.clock < ctx.down_until then
+    Node.wait_until ctx.node ctx.down_until;
   let quantum = ctx.machine.Machine.poll_quantum_ns in
   let start = ctx.node.Node.clock in
   let rec loop () =
     if Queue.is_empty ctx.ready then after_drain ()
     else if ctx.node.Node.clock - start >= quantum then ensure_scheduled ctx
     else begin
-      let view, k = Queue.pop ctx.ready in
+      let _ptr, view, k = Queue.pop ctx.ready in
       Node.charge_comm ctx.node ctx.machine.Machine.dispatch_overhead_ns;
       ctx.pending <- ctx.pending - 1;
       k ctx view;
@@ -291,7 +312,7 @@ and deliver ctx pairs =
         | None -> ()
         | Some o -> obs_wait o ctx.node req.token);
         if ctx.cfg.Config.reuse then Align_buffer.add ctx.buffer ptr view;
-        List.iter (fun k -> Queue.push (view, k) ctx.ready) ks)
+        List.iter (fun k -> Queue.push (ptr, view, k) ctx.ready) ks)
     pairs;
   let peak = Align_buffer.peak ctx.buffer in
   if peak > ctx.stats.Dpa_stats.align_peak then
@@ -333,7 +354,14 @@ and rt_rto ctx ~bytes =
 
 and arm_request_timer ctx ~dst (req : request) ~rto =
   let deadline = ctx.node.Node.clock + rto in
+  (* The timer belongs to the incarnation that armed it: after a crash the
+     restart walk re-issues every surviving token with fresh timers, so a
+     pre-crash timer firing on the new incarnation would only double the
+     wheel. It dies silently instead. *)
+  let incarnation = ctx.node.Node.incarnation in
   Engine.post_soft ctx.engine ~time:deadline ~node:(node_id ctx) (fun () ->
+      if ctx.node.Node.incarnation <> incarnation then ()
+      else
       match Pointer_map.find_ptr ctx.map req.token with
       | None -> ()  (* answered in time: pure no-op, clock untouched *)
       | Some _ ->
@@ -433,14 +461,88 @@ and flush_updates ctx ~dst batch =
           ("bytes", Dpa_obs.Sink.Int bytes);
         ]
       o ctx.node ~name:"upd_send");
+  if ctx.rel then begin
+    (* End-to-end exactly-once for accumulations. The transport's dedup is
+       per incarnation, so a crash on either end could double- or
+       zero-apply a batch: an owner crash forgets that a retransmitted
+       batch already ran, a sender crash destroys an undelivered envelope.
+       Each batch therefore gets a stable id, the owner journals applied
+       ids durably (one atomic action with the heap mutation, by
+       contract), re-sends are journal-deduplicated and re-acked, and the
+       sender's timer re-sends until the application-level ack clears the
+       batch from [out_updates]. *)
+    let id = ctx.upd_next_id in
+    ctx.upd_next_id <- id + 1;
+    Hashtbl.replace ctx.out_updates id (dst, batch);
+    send_update_batch ctx ~dst ~id batch;
+    arm_update_timer ctx ~id ~rto:(rt_rto ctx ~bytes)
+  end
+  else
+    Dpa_msg.Am.send ctx.engine ~src:ctx.node ~dst ~bytes (fun owner ->
+        let m = ctx.machine in
+        Node.charge_comm owner (n * m.Machine.update_apply_ns);
+        let owner_heap = ctx.heaps.(dst) in
+        List.iter
+          (fun { Update_buffer.ptr; idx; value } ->
+            Heap.bump_float owner_heap ptr ~idx value)
+          batch)
+
+and send_update_batch ctx ~dst ~id batch =
+  let n = List.length batch in
+  let bytes = Dpa_msg.Am.update_bytes ctx.machine ~nupdates:n in
+  let src_id = node_id ctx in
   Dpa_msg.Am.send ctx.engine ~src:ctx.node ~dst ~bytes (fun owner ->
       let m = ctx.machine in
+      (* The apply cost is charged whether or not the batch is fresh: a
+         journal hit still parses the message and probes the journal. *)
       Node.charge_comm owner (n * m.Machine.update_apply_ns);
-      let owner_heap = ctx.heaps.(dst) in
-      List.iter
-        (fun { Update_buffer.ptr; idx; value } ->
-          Heap.bump_float owner_heap ptr ~idx value)
-        batch)
+      let journal = ctx.upd_journal.(dst) in
+      let key = (src_id, id) in
+      if not (Hashtbl.mem journal key) then begin
+        Hashtbl.replace journal key ();
+        let owner_heap = ctx.heaps.(dst) in
+        List.iter
+          (fun { Update_buffer.ptr; idx; value } ->
+            Heap.bump_float owner_heap ptr ~idx value)
+          batch
+      end;
+      (* Application-level ack, re-sent for journaled duplicates too: a
+         lost ack is repaired by the next timer-driven re-send. *)
+      let ack = m.Machine.msg_header_bytes in
+      Dpa_msg.Am.send ctx.engine ~src:owner ~dst:src_id ~bytes:ack
+        (fun _self -> Hashtbl.remove ctx.out_updates id))
+
+and arm_update_timer ctx ~id ~rto =
+  let deadline = ctx.node.Node.clock + rto in
+  (* Unlike request timers this one is NOT incarnation-fenced:
+     [out_updates] is the durable write-ahead record of unacknowledged
+     batches, and after a sender crash (which wipes the transport envelope)
+     this timer is exactly the mechanism that re-drives them. *)
+  Engine.post_soft ctx.engine ~time:deadline ~node:(node_id ctx) (fun () ->
+      match Hashtbl.find_opt ctx.out_updates id with
+      | None -> ()  (* acked in time: pure no-op, clock untouched *)
+      | Some (dst, batch) ->
+        Node.wait_until ctx.node deadline;
+        ctx.stats.Dpa_stats.upd_reissues <-
+          ctx.stats.Dpa_stats.upd_reissues + 1;
+        (match ctx.obs with
+        | None -> ()
+        | Some o ->
+          obs_instant
+            ~args:
+              [
+                ("id", Dpa_obs.Sink.Int id); ("dst", Dpa_obs.Sink.Int dst);
+              ]
+            o ctx.node ~name:"upd_retry");
+        send_update_batch ctx ~dst ~id batch;
+        let cap =
+          1024
+          * rt_rto ctx
+              ~bytes:
+                (Dpa_msg.Am.update_bytes ctx.machine
+                   ~nupdates:(List.length batch))
+        in
+        arm_update_timer ctx ~id ~rto:(min (2 * rto) cap))
 
 (* --- the access operations --------------------------------------------- *)
 
@@ -457,7 +559,7 @@ let read ctx ptr k =
   if ptr.Gptr.node = ctx.node.Node.id then begin
     ctx.stats.Dpa_stats.inline_local <- ctx.stats.Dpa_stats.inline_local + 1;
     note_outstanding ctx;
-    Queue.push (Heap.get ctx.heap ptr, k) ctx.ready;
+    Queue.push (ptr, Heap.get ctx.heap ptr, k) ctx.ready;
     ensure_scheduled ctx
   end
   else begin
@@ -471,7 +573,7 @@ let read ctx ptr k =
       | None -> ()
       | Some o -> obs_instant o ctx.node ~name:"align_hit");
       note_outstanding ctx;
-      Queue.push (view, k) ctx.ready;
+      Queue.push (ptr, view, k) ctx.ready;
       ensure_scheduled ctx
     | None ->
       note_outstanding ctx;
@@ -540,7 +642,7 @@ let make_obs ~engine ~heaps ~label =
         strip_items = 0;
       }
 
-let make_ctx ~engine ~heaps ~config ~items ~label node =
+let make_ctx ~engine ~heaps ~config ~items ~label ~journals node =
   let dummy =
     Dpa_msg.Aggregator.create ~ndest:1 ~max_batch:1 ~flush:(fun ~dst:_ _ ->
         assert false)
@@ -569,6 +671,10 @@ let make_ctx ~engine ~heaps ~config ~items ~label node =
       next_item = 0;
       finished = false;
       rel = Engine.fault engine <> None;
+      down_until = 0;
+      upd_next_id = 0;
+      out_updates = Hashtbl.create 16;
+      upd_journal = journals;
       ctrl =
         (match config.Config.auto with
         | None -> None
@@ -601,18 +707,125 @@ let make_ctx ~engine ~heaps ~config ~items ~label node =
       ~flush:(fun ~dst batch -> flush_updates ctx ~dst batch);
   ctx
 
+(* --- crash-restart ------------------------------------------------------ *)
+
+(* Execute a crash on [ctx]'s node. Volatile state dies here:
+
+   - the node's incarnation is bumped, fencing every message copy stamped
+     for the old one (Am checks at delivery);
+   - the transport forgets the node's unacked envelopes, dedup entries and
+     link RTT filters ([Am.on_crash]);
+   - the alignment buffer D and the aggregator's unsent batches are
+     discarded;
+   - ready-queue threads lose the object views they were holding: local
+     entries re-read the durable heap, remote entries re-register in M.
+
+   Durable by contract (see DESIGN.md §13): the heap, the result arrays,
+   the pointer map M (spawn records, no partial execution), the
+   update buffer and [out_updates] (write-ahead log), and the owner-side
+   applied-batch journal. *)
+let crash_node ctx ~restart_at =
+  let n = ctx.node in
+  n.Node.incarnation <- n.Node.incarnation + 1;
+  ctx.down_until <- max ctx.down_until restart_at;
+  ctx.stats.Dpa_stats.crashes <- ctx.stats.Dpa_stats.crashes + 1;
+  ignore (Dpa_msg.Am.on_crash ctx.engine ~node:n.Node.id);
+  Align_buffer.clear ctx.buffer;
+  ignore (Dpa_msg.Aggregator.clear ctx.agg);
+  let entries = Queue.length ctx.ready in
+  for _ = 1 to entries do
+    let (ptr, _view, k) as entry = Queue.pop ctx.ready in
+    if ptr.Gptr.node = n.Node.id then Queue.push entry ctx.ready
+    else
+      (* The thread stays pending; it merely moves from ready back into M
+         (so [ctx.pending] is untouched). The restart walk re-issues
+         whatever tokens this creates. *)
+      ignore (Pointer_map.register ctx.map ~reuse:ctx.cfg.Config.reuse ptr k)
+  done;
+  match ctx.obs with
+  | None -> ()
+  | Some o ->
+    obs_instant
+      ~args:
+        [
+          ("incarnation", Dpa_obs.Sink.Int n.Node.incarnation);
+          ("restart_at", Dpa_obs.Sink.Int restart_at);
+        ]
+      o n ~name:"crash"
+
+(* Rejoin at the restart instant: idle up to it, then push every
+   outstanding token in M back through the normal alignment path — the
+   "transparent re-fetch" of orphaned requests. Token order keeps the walk
+   deterministic. Unacked update batches need no walk: their timers
+   ([arm_update_timer]) survive the crash because [out_updates] is
+   durable. *)
+let restart_node ctx ~restart_at =
+  let n = ctx.node in
+  Node.wait_until n restart_at;
+  let outstanding =
+    List.sort compare
+      (Pointer_map.fold_outstanding ctx.map
+         (fun token ptr acc -> (token, ptr) :: acc)
+         [])
+  in
+  ctx.stats.Dpa_stats.crash_refetches <-
+    ctx.stats.Dpa_stats.crash_refetches + List.length outstanding;
+  (match ctx.obs with
+  | None -> ()
+  | Some o ->
+    obs_instant
+      ~args:[ ("refetches", Dpa_obs.Sink.Int (List.length outstanding)) ]
+      o n ~name:"restart");
+  List.iter
+    (fun (token, ptr) ->
+      Dpa_msg.Aggregator.add ctx.agg ~dst:ptr.Gptr.node { token; ptr })
+    outstanding;
+  if Dpa_msg.Aggregator.pending ctx.agg > 0 then
+    Dpa_msg.Aggregator.flush_all ctx.agg;
+  ensure_scheduled ctx
+
+(* Post one background event per crash window not yet behind us. The
+   action double-checks that real work is still pending at the crash
+   instant ([live_events]): a crash drawn past the phase's natural end is
+   a no-op, it must not stretch the phase. The restart event is posted
+   from inside the crash so it runs iff the crash did. *)
+let post_crash_events ~engine ~plan ctxs =
+  let phase_start = Engine.elapsed engine in
+  Array.iter
+    (fun ctx ->
+      let id = ctx.node.Node.id in
+      List.iter
+        (fun (crash_at, restart_at) ->
+          if crash_at >= phase_start then
+            Engine.post_background engine ~time:crash_at ~node:id (fun () ->
+                if Engine.live_events engine > 0 then begin
+                  crash_node ctx ~restart_at;
+                  Engine.post_background engine ~time:restart_at ~node:id
+                    (fun () -> restart_node ctx ~restart_at)
+                end))
+        (Fault.crash_windows plan ~node:id))
+    ctxs
+
 let run_phase_labeled ~label ~engine ~heaps ~config ~items =
   let nodes = Engine.nodes engine in
   Engine.barrier engine;
   Array.iter Node.reset_breakdown nodes;
   let start = Engine.elapsed engine in
+  let journals =
+    Array.init (Array.length nodes) (fun _ -> Hashtbl.create 32)
+  in
   let ctxs =
     Array.map
       (fun node ->
-        make_ctx ~engine ~heaps ~config ~items:(items node.Node.id) ~label node)
+        make_ctx ~engine ~heaps ~config ~items:(items node.Node.id) ~label
+          ~journals node)
       nodes
   in
   Array.iter ensure_scheduled ctxs;
+  (match Engine.fault engine with
+  | Some plan when Fault.has_crashes plan ->
+    post_crash_events ~engine ~plan ctxs
+  | _ -> ());
   (* Fixed-rate counter tracks, opt-in via the sink's sample period. *)
   (match Engine.sink engine with
   | Some sink when Dpa_obs.Sink.sample_period_ns sink > 0 ->
@@ -644,7 +857,8 @@ let run_phase_labeled ~label ~engine ~heaps ~config ~items =
         not
           (ctx.finished && ctx.pending = 0
           && Pointer_map.is_empty ctx.map
-          && Update_buffer.pending ctx.updates = 0)
+          && Update_buffer.pending ctx.updates = 0
+          && Hashtbl.length ctx.out_updates = 0)
       then failwith "Runtime.run_phase: node did not quiesce")
     ctxs;
   Engine.barrier engine;

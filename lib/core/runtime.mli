@@ -44,7 +44,34 @@
     formula until samples exist. The phase barrier certifies transport
     quiescence and then prunes the receiver dedup tables
     ({!Dpa_msg.Am.prune_seen}), which would otherwise grow for the life
-    of the engine. *)
+    of the engine.
+
+    {2 Crash-restart}
+
+    When the fault plan schedules crash windows ([crashes > 0]), the
+    runtime posts one background event per window. At the crash instant
+    the node fail-stops {e between} engine events — no handler is ever
+    interrupted midway — and loses exactly its volatile state: the
+    alignment buffer [D], the aggregator's unsent request batches, the
+    ready queue's remote object views, and the transport's per-node state
+    (unacked envelopes, dedup entries, link RTT filters —
+    {!Dpa_msg.Am.on_crash}). The node's incarnation number is bumped, so
+    every message copy stamped for the old incarnation is fenced at
+    delivery: counted, but no handler runs and no ack is sent.
+
+    Durable by contract: the heap, result arrays, the pointer map [M]
+    (thread records register before any partial execution), the update
+    buffer and its unacked-batch write-ahead log, and the owner-side
+    applied-batch journal that makes remote accumulates exactly-once
+    across crashes on either end.
+
+    At the restart instant the node rejoins cold: it idles until then,
+    and every token still outstanding in [M] is pushed back through the
+    normal aggregation/alignment path — the transparent re-fetch counted
+    by [Dpa_stats.crash_refetches]. Unacked update batches re-send off
+    their own (deliberately unfenced) timers. Results remain
+    bit-identical to the fault-free run; DESIGN.md §13 states the full
+    per-fault-class contract. *)
 
 type ctx
 

@@ -6,6 +6,24 @@ type result = {
   dpa_stats : Dpa.Dpa_stats.t option;
 }
 
+(* The upward pass is a reduction: parent coefficients are sums of M2M
+   contributions arriving through the update path, whose application order
+   depends on message interleaving (and, under a fault plan, on drops,
+   retransmits and crash-restarts). To make the result bit-identical
+   regardless of order, every contribution to coefficient [k] of a parent
+   at tree level [L] is snapped onto the fixed grid 2^-(38 + k(L-1))
+   before it enters the update path (see {!Dpa_util.Det}). The grid tracks
+   the coefficient's natural scale — a coefficient of order [k] has
+   magnitude ~ total-charge * (child radius)^k ~ 2^-k(L+1), and downstream
+   evaluation multiplies it by w^-k at well-separated distances
+   |w| >= 2^-(L-1) — so each value sits far inside the grid's 2^53
+   exactness bound (sums of grid multiples are then exact, hence
+   order-independent) while the snap perturbs any evaluated potential by
+   at most ~2^-39 per term, three orders below the 1e-8 tolerance the
+   correctness tests compare against. P2M needs no snapping: a leaf's
+   multipole is a single-owner direct write and is already deterministic. *)
+let det_bits_base = 38
+
 (* Work items against the generic access interface, so the pass runs under
    every runtime. *)
 module Items (A : Dpa.Access.S) = struct
@@ -49,6 +67,7 @@ module Items (A : Dpa.Access.S) = struct
         let my_ptr = global.Fmm_global.mp_ptrs.(ci) in
         let from_center = Quadtree.center tree ci in
         let to_center = Quadtree.center tree parent in
+        let parent_level = Quadtree.level_of tree parent in
         fun (ctx : A.ctx) ->
           (* Our own multipole is local: the owner of a cell owns its first
              descendant leaf, which is also this item's owner. *)
@@ -60,10 +79,15 @@ module Items (A : Dpa.Access.S) = struct
           in
           Array.iteri
             (fun i c ->
-              if c.Complex.re <> 0. then
-                A.accumulate ctx parent_ptr ~idx:(2 * i) c.Complex.re;
-              if c.Complex.im <> 0. then
-                A.accumulate ctx parent_ptr ~idx:((2 * i) + 1) c.Complex.im)
+              let grid =
+                Dpa_util.Det.grid
+                  ~bits:(det_bits_base + (i * (parent_level - 1)))
+              in
+              let re = Dpa_util.Det.quantize ~grid c.Complex.re in
+              let im = Dpa_util.Det.quantize ~grid c.Complex.im in
+              if re <> 0. then A.accumulate ctx parent_ptr ~idx:(2 * i) re;
+              if im <> 0. then
+                A.accumulate ctx parent_ptr ~idx:((2 * i) + 1) im)
             shifted)
       owned_cells.(node)
 end

@@ -1177,3 +1177,234 @@ let print_adaptive_rto_sweep ~procs ~spec points =
     points;
   Table.print t;
   print_newline ()
+
+(* -------------------------------------------------------------------- A13 *)
+
+type crash_cell = {
+  cc_schedule : string;
+  cc_time_s : float;
+  cc_retransmits : int;
+  cc_fenced : int;
+  cc_crashes : int;
+  cc_refetches : int;
+  cc_ok : bool;
+}
+
+type crash_row = {
+  cw_workload : string;
+  cw_cells : crash_cell list;
+}
+
+module Em3d_interp = Dpa_compiler.Interp.Make (Dpa.Runtime)
+
+(* The EM3D checksum is a global reduction whose terms arrive in wake
+   order; snapping every term onto a fixed grid makes the sum exact (and
+   therefore order-independent) — see {!Dpa_compiler.Interp.Make.compile}.
+   Per-item values are O(10) and there are O(10^3) of them, so the running
+   sum stays far inside the 2^(53-36) exactness bound. *)
+let em3d_accum_grid = Dpa_util.Det.grid ~bits:36
+
+(* Cross-workload crash matrix. Workload phase lengths differ by an order
+   of magnitude, so each workload derives its own crash schedule from its
+   fault-free run: one crash per node, drawn inside the first half of the
+   reference duration, with a restart delay of an eighth of it — long
+   enough that peers retransmit into the fence, short enough that the
+   phase completes. The last column is the point of the table: results
+   must be bit-identical to the fault-free reference under every
+   schedule, including the ones that lose whole nodes mid-phase. *)
+let crash_matrix ?(fault_seed = 0xC4A5) (conf : Runconf.t) =
+  let procs = conf.Runconf.breakdown_procs in
+  let mk_engine ~nodes faults =
+    let machine = Machine.make ~nodes ?faults ~fault_seed () in
+    let engine = Engine.create machine in
+    (* As in [chaos_sweep]: a process-global [--faults] default must not
+       leak into the reference run via [Engine.create]'s fallback. *)
+    if faults = None then Engine.set_fault engine None;
+    engine
+  in
+  let bh faults =
+    let bodies = Dpa_bh.Plummer.generate ~n:conf.Runconf.bh_bodies ~seed:17 in
+    let octree = Dpa_bh.Octree.build bodies in
+    let tree = Dpa_bh.Bh_global.distribute octree ~nnodes:procs in
+    let engine = mk_engine ~nodes:procs faults in
+    let r =
+      Dpa_bh.Bh_run.force_phase ~engine ~tree ~bodies
+        ~params:Dpa_bh.Bh_force.default_params
+        (dpa_variant conf ~strip:conf.Runconf.bh_strip)
+    in
+    let s =
+      match r.Dpa_bh.Bh_run.dpa_stats with Some s -> s | None -> assert false
+    in
+    ( `Bh r.Dpa_bh.Bh_run.accs,
+      engine,
+      Breakdown.elapsed_s r.Dpa_bh.Bh_run.breakdown,
+      s )
+  in
+  let fmm faults =
+    (* Odd node count for the same reason as [upward_sweep]: power-of-two
+       Morton blocks keep every M2M local on a complete quadtree. *)
+    let nodes = max 3 (procs - 1) in
+    let params = fmm_params conf in
+    let parts =
+      Dpa_fmm.Particle2d.uniform ~n:conf.Runconf.fmm_particles ~seed:23
+    in
+    let tree = Dpa_fmm.Quadtree.build parts in
+    let global =
+      Dpa_fmm.Fmm_global.distribute_empty ~p:params.Dpa_fmm.Fmm_force.p tree
+        ~nnodes:nodes
+    in
+    let engine = mk_engine ~nodes faults in
+    let r =
+      Dpa_fmm.Fmm_upward.run ~engine ~global ~params
+        (dpa_variant conf ~strip:conf.Runconf.fmm_strip)
+    in
+    let s =
+      match r.Dpa_fmm.Fmm_upward.dpa_stats with
+      | Some s -> s
+      | None -> assert false
+    in
+    let multipoles =
+      (* Cells above level 2 have no multipole object (no well-separated
+         interactions exist for them): their pointer slot is nil. *)
+      Array.map
+        (fun ptr ->
+          if Dpa_heap.Gptr.is_nil ptr then [||]
+          else
+            Array.copy
+              (Dpa_heap.Heap.deref global.Dpa_fmm.Fmm_global.heaps ptr)
+                .Dpa_heap.Obj_repr.floats)
+        global.Dpa_fmm.Fmm_global.mp_ptrs
+    in
+    ( `Fmm multipoles,
+      engine,
+      Breakdown.elapsed_s r.Dpa_fmm.Fmm_upward.breakdown,
+      s )
+  in
+  let em3d faults =
+    let per_node = max 8 (conf.Runconf.bh_bodies / procs / 4) in
+    let g =
+      Dpa_compiler.Em3d.build ~nnodes:procs ~e_per_node:per_node
+        ~h_per_node:per_node ~degree:20 ~remote_frac:0.25 ~seed:29
+    in
+    (* A fresh compile per run: the compiled program owns the checksum
+       accumulator, and reuse would sum across runs. *)
+    let c =
+      Em3d_interp.compile ~accum_grid:em3d_accum_grid
+        (Dpa_compiler.Em3d.update_program ~degree:20)
+    in
+    let engine = mk_engine ~nodes:procs faults in
+    let per = Array.length g.Dpa_compiler.Em3d.e_nodes / procs in
+    let items node =
+      Array.init per (fun i ->
+          Em3d_interp.item c ~entry:"update_node"
+            ~args:
+              [
+                Dpa_compiler.Value.Ptr
+                  g.Dpa_compiler.Em3d.e_nodes.((node * per) + i);
+              ])
+    in
+    let b, s =
+      Dpa.Runtime.run_phase_labeled ~label:"em3d-ir" ~engine
+        ~heaps:g.Dpa_compiler.Em3d.heaps
+        ~config:(Dpa.Config.dpa ~strip_size:conf.Runconf.bh_strip ())
+        ~items
+    in
+    (`Em3d (Em3d_interp.accumulator c "sum"), engine, Breakdown.elapsed_s b, s)
+  in
+  let cells run =
+    let ref_res, ref_engine, ref_time, ref_stats = run None in
+    let am_counters engine =
+      match Dpa_msg.Am.stats engine with
+      | None -> (0, 0)
+      | Some s -> (s.Dpa_msg.Am.retransmits, s.Dpa_msg.Am.fenced)
+    in
+    let mk label (engine, time_s, (stats : Dpa.Dpa_stats.t)) ~ok =
+      let retransmits, fenced = am_counters engine in
+      {
+        cc_schedule = label;
+        cc_time_s = time_s;
+        cc_retransmits = retransmits;
+        cc_fenced = fenced;
+        cc_crashes = stats.Dpa.Dpa_stats.crashes;
+        cc_refetches = stats.Dpa.Dpa_stats.crash_refetches;
+        cc_ok = ok;
+      }
+    in
+    let elapsed = Engine.elapsed ref_engine in
+    let crash_knobs =
+      Printf.sprintf "crashes=1,crash-ns=%d,horizon-ns=%d"
+        (max 1_000 (elapsed / 8))
+        (max 1_000 (elapsed / 2))
+    in
+    let faulted label spec_str =
+      let faults =
+        match Fault.spec_of_string spec_str with
+        | Ok s -> s
+        | Error msg -> invalid_arg ("crash_matrix: " ^ msg)
+      in
+      let res, engine, time_s, stats = run (Some faults) in
+      mk label (engine, time_s, stats) ~ok:(res = ref_res)
+    in
+    [
+      mk "off" (ref_engine, ref_time, ref_stats) ~ok:true;
+      faulted "drop+dup+delay" "drop=0.05,dup=0.02,delay=0.10";
+      faulted "crash" crash_knobs;
+      faulted "heavy+crash"
+        (Printf.sprintf "heavy,outage-ns=%d,%s"
+           (max 1_000 (elapsed / 8))
+           crash_knobs);
+    ]
+  in
+  [
+    {
+      cw_workload = Printf.sprintf "BH force (%d nodes)" procs;
+      cw_cells = cells bh;
+    };
+    {
+      cw_workload =
+        Printf.sprintf "FMM upward (%d nodes)" (max 3 (procs - 1));
+      cw_cells = cells fmm;
+    };
+    {
+      cw_workload = Printf.sprintf "EM3D via compiler IR (%d nodes)" procs;
+      cw_cells = cells em3d;
+    };
+  ]
+
+let print_crash_matrix rows =
+  print_endline
+    "A13: crash-restart chaos matrix — every schedule must reproduce the \
+     fault-free result bit for bit";
+  List.iter
+    (fun row ->
+      Printf.printf "%s\n" row.cw_workload;
+      let t =
+        Table.make
+          ~header:
+            [
+              "SCHEDULE"; "TIME(s)"; "RETRANS"; "FENCED"; "CRASHES";
+              "REFETCHED"; "RESULT";
+            ]
+      in
+      List.iter
+        (fun c ->
+          Table.add_row t
+            [
+              c.cc_schedule;
+              Table.sec c.cc_time_s;
+              string_of_int c.cc_retransmits;
+              string_of_int c.cc_fenced;
+              string_of_int c.cc_crashes;
+              string_of_int c.cc_refetches;
+              (if c.cc_ok then "bit-identical" else "DIVERGED");
+            ])
+        row.cw_cells;
+      Table.print t;
+      print_newline ())
+    rows;
+  (* A machine-checkable summary line: the chaos-smoke target asserts that
+     crashes actually happened and nothing diverged. *)
+  let total f = List.fold_left (fun a r -> List.fold_left f a r.cw_cells) 0 rows in
+  Printf.printf "a13 summary: %d crash-restarts executed, %d schedule(s) diverged\n\n"
+    (total (fun a c -> a + c.cc_crashes))
+    (total (fun a c -> a + if c.cc_ok then 0 else 1))

@@ -267,3 +267,33 @@ val adaptive_rto_sweep :
 
 val print_adaptive_rto_sweep :
   procs:int -> spec:string -> adaptive_rto_point list -> unit
+
+type crash_cell = {
+  cc_schedule : string;  (** schedule label (["off"], ["crash"], ...) *)
+  cc_time_s : float;
+  cc_retransmits : int;  (** transport-level timeout re-sends *)
+  cc_fenced : int;  (** stale-incarnation deliveries rejected *)
+  cc_crashes : int;  (** crash-restarts executed *)
+  cc_refetches : int;  (** orphaned requests re-issued at restarts *)
+  cc_ok : bool;
+      (** results bit-identical to the fault-free reference run *)
+}
+
+type crash_row = {
+  cw_workload : string;
+  cw_cells : crash_cell list;
+}
+
+val crash_matrix : ?fault_seed:int -> Runconf.t -> crash_row list
+(** A13: the cross-workload crash matrix — the BH force phase, the FMM
+    upward-pass reduction and the compiler-driven EM3D kernel, each under
+    a fault-free reference, a drop+dup+delay schedule, a crash-restart
+    schedule (one crash per node, derived from the workload's own
+    fault-free duration so every crash lands mid-phase), and a combined
+    heavy+crash schedule. Certifies that every schedule reproduces the
+    reference result bit for bit: reads re-fetch through the alignment
+    path after a restart, updates are journaled exactly-once, and the
+    reductions are grid-snapped so arrival order cannot perturb them (see
+    DESIGN.md §13). *)
+
+val print_crash_matrix : crash_row list -> unit

@@ -50,6 +50,13 @@ let flush_all t =
     flush_dst t dst
   done
 
+let clear t =
+  let n = t.pending in
+  Array.fill t.buffers 0 (Array.length t.buffers) [];
+  Array.fill t.counts 0 (Array.length t.counts) 0;
+  t.pending <- 0;
+  n
+
 let pending t = t.pending
 
 let pending_for t ~dst =

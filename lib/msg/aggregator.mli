@@ -14,6 +14,13 @@ val create : ndest:int -> max_batch:int -> flush:(dst:int -> 'a list -> unit) ->
 
 val add : 'a t -> dst:int -> 'a -> unit
 val flush_all : 'a t -> unit
+
+val clear : 'a t -> int
+(** Discard every buffered entry without flushing, returning how many were
+    dropped. Used when the owning node crashes: unsent batches are volatile
+    state, and the runtime re-issues what still matters from its durable
+    pointer map at restart. *)
+
 val pending : 'a t -> int
 (** Total buffered requests across destinations. *)
 

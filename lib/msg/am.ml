@@ -59,6 +59,7 @@ let plain_send engine ~src ~dst ~bytes handler =
    handler execution on any network the plan can express (drop < 1). *)
 
 type pending = {
+  p_src : int;  (* originating node: crash wipes its retransmit buffer *)
   p_first_sent : int;  (* for the recovery-latency histogram *)
   mutable p_attempts : int;
   mutable p_rto_ns : int;
@@ -79,6 +80,8 @@ type state = {
   mutable acks : int;
   mutable dups_suppressed : int;
   mutable pruned : int;  (* dedup entries reclaimed at phase barriers *)
+  mutable fenced : int;  (* copies rejected by incarnation fencing *)
+  mutable crash_wiped : int;  (* envelopes lost with their sender's crash *)
 }
 
 type stats = {
@@ -89,6 +92,8 @@ type stats = {
   dups_suppressed : int;
   seen_entries : int;
   pruned : int;
+  fenced : int;
+  crash_wiped : int;
 }
 
 type Engine.ext += Reliable of state
@@ -111,6 +116,8 @@ let state engine =
         acks = 0;
         dups_suppressed = 0;
         pruned = 0;
+        fenced = 0;
+        crash_wiped = 0;
       }
     in
     Engine.set_ext engine (Some (Reliable s));
@@ -131,6 +138,8 @@ let stats engine =
         dups_suppressed = s.dups_suppressed;
         seen_entries = seen_entries s;
         pruned = s.pruned;
+        fenced = s.fenced;
+        crash_wiped = s.crash_wiped;
       }
   | _ -> None
 
@@ -233,11 +242,20 @@ let obs_observe engine name v =
    according to the verdict. [deliver] runs after the receiver's extraction
    overhead has been charged, once per surviving copy; it also receives the
    copy's wire-arrival time [at], which can lag far behind the receiver's
-   clock on a backlogged node. *)
+   clock on a backlogged node.
+
+   Incarnation fencing: the envelope is stamped with the destination's
+   incarnation as seen at this transmission. If the destination has
+   crash-restarted by the time a copy arrives, the copy is addressed to a
+   dead incarnation — the NIC counts its bytes but sends no ack and runs no
+   handler. The sender's retransmission re-stamps at the next attempt, so
+   the first attempt after the restart goes through; stale replies and
+   requests can never act on the new incarnation's state. *)
 let transmit engine f ~(src : Node.t) ~dst ~bytes deliver =
   let m = Engine.machine engine in
   let sent_at = src.Node.clock in
   let src_id = src.Node.id in
+  let dst_inc = (Engine.node engine dst).Node.incarnation in
   let arrival = injected_arrival engine m ~src ~dst ~bytes in
   match
     Fault.judge f ~now:sent_at ~arrival ~src:src_id ~dst
@@ -263,10 +281,27 @@ let transmit engine f ~(src : Node.t) ~dst ~bytes deliver =
         let at = arrival + extra in
         Engine.post engine ~time:at ~node:dst (fun () ->
             let d = Engine.node engine dst in
-            Node.charge_comm d m.Machine.recv_overhead_ns;
-            d.Node.msgs_recv <- d.Node.msgs_recv + 1;
-            d.Node.bytes_recv <- d.Node.bytes_recv + bytes;
-            deliver ~at d))
+            if d.Node.incarnation <> dst_inc then begin
+              (* Addressed to a pre-crash incarnation: the wire carried it,
+                 but the NIC rejects it before software extraction — no
+                 recv overhead, no ack, no handler. *)
+              d.Node.msgs_recv <- d.Node.msgs_recv + 1;
+              d.Node.bytes_recv <- d.Node.bytes_recv + bytes;
+              let st = state engine in
+              st.fenced <- st.fenced + 1;
+              obs_count engine "am.fenced" 1;
+              obs_instant engine ~cat:"fault" ~name:"fenced" ~node:dst ~ts:at
+                [
+                  ("src", Dpa_obs.Sink.Int src_id);
+                  ("bytes", Dpa_obs.Sink.Int bytes);
+                ]
+            end
+            else begin
+              Node.charge_comm d m.Machine.recv_overhead_ns;
+              d.Node.msgs_recv <- d.Node.msgs_recv + 1;
+              d.Node.bytes_recv <- d.Node.bytes_recv + bytes;
+              deliver ~at d
+            end))
       delays
 
 let reliable_send engine f ~(src : Node.t) ~dst ~bytes handler =
@@ -277,6 +312,7 @@ let reliable_send engine f ~(src : Node.t) ~dst ~bytes handler =
   let src_id = src.Node.id in
   let p =
     {
+      p_src = src_id;
       p_first_sent = src.Node.clock;
       p_attempts = 0;
       p_rto_ns = rto_for st m ~src:src_id ~dst ~bytes;
@@ -382,6 +418,36 @@ let reliable_send engine f ~(src : Node.t) ~dst ~bytes handler =
         delays
   in
   attempt ()
+
+(* Execute the transport side of a node crash: the volatile messaging
+   state tied to [node] is destroyed. Its retransmit buffer vanishes
+   (envelopes it originated are never re-sent — the application layer must
+   re-issue what still matters), its receiver dedup table is forgotten
+   (retransmissions of pre-crash envelopes re-run handlers at most once
+   per new incarnation, and only for conversations the sender still keeps,
+   which re-stamp and stay exactly-once within the incarnation), and the
+   RTT filters of every link touching the node re-converge from scratch.
+   The engine-wide e2e filter is deliberately kept: recovery latencies are
+   exactly what the end-to-end retry wheel should be learning. *)
+let on_crash engine ~node =
+  match Engine.ext engine with
+  | Some (Reliable s) ->
+    let dead =
+      Hashtbl.fold
+        (fun seq p acc -> if p.p_src = node then seq :: acc else acc)
+        s.pending []
+    in
+    List.iter (Hashtbl.remove s.pending) dead;
+    let n = List.length dead in
+    s.crash_wiped <- s.crash_wiped + n;
+    Hashtbl.reset s.seen.(node);
+    for peer = 0 to s.nnodes - 1 do
+      Rtt.reset s.rtt.((node * s.nnodes) + peer);
+      Rtt.reset s.rtt.((peer * s.nnodes) + node)
+    done;
+    obs_count engine "am.crash_wiped" n;
+    n
+  | _ -> 0
 
 let send engine ~src ~dst ~bytes handler =
   let m = Engine.machine engine in

@@ -19,7 +19,23 @@
     Handlers therefore run exactly once per [send] on any network the
     plan can express, and with no fault plan installed the protocol does
     not exist — no acks, no timers, no state — so fault-free runs are
-    bit-identical to a build without this layer. *)
+    bit-identical to a build without this layer.
+
+    {2 Crash-restart and incarnation fencing}
+
+    A crash window ({!Dpa_sim.Fault.spec}[.crashes]) destroys a node's
+    volatile transport state. Every transmission is stamped with the
+    destination's {!Dpa_sim.Node.t}[.incarnation] at the moment it is put
+    on the wire; a copy arriving after the destination has crash-restarted
+    is {e fenced} — its bytes are counted but no ack is sent and no
+    handler runs, so responses and requests addressed to a dead
+    incarnation can never act on the new one's state. Retransmission
+    attempts re-stamp, so a fenced conversation completes on the first
+    attempt after the restart. {!on_crash} performs the state loss itself;
+    the exactly-once guarantee then holds {e per incarnation}, and
+    cross-crash effect deduplication is the application layer's job (the
+    runtime keeps a durable applied-journal for accumulate batches — see
+    DESIGN.md §13). *)
 
 open Dpa_sim
 
@@ -49,6 +65,8 @@ type stats = {
   dups_suppressed : int;  (** duplicate copies discarded by the dedup table *)
   seen_entries : int;  (** live dedup entries across all receivers *)
   pruned : int;  (** dedup entries reclaimed by {!prune_seen} so far *)
+  fenced : int;  (** copies rejected because addressed to a dead incarnation *)
+  crash_wiped : int;  (** unacked envelopes destroyed by their sender's crash *)
 }
 
 val stats : Engine.t -> stats option
@@ -69,6 +87,17 @@ val prune_seen : Engine.t -> int
     preserved. The runtimes call this at their phase barrier; without it
     the tables grow by one entry per envelope ever sent. No-op ([0])
     without protocol state. *)
+
+val on_crash : Engine.t -> node:int -> int
+(** Destroy the volatile transport state of [node] at the instant it
+    crashes: its unacknowledged envelopes (returned count) vanish from the
+    retransmit buffer, its receiver dedup table is forgotten, and the RTT
+    filters of every link touching it are {!Rtt.reset} so they re-converge
+    against the restarted node. The caller ({!Dpa.Runtime}) is responsible
+    for bumping the node's incarnation first and for re-issuing whatever
+    application state still matters. The engine-wide end-to-end filter is
+    kept — crash recovery latencies are signal, not noise, for the retry
+    wheel. No-op ([0]) without protocol state. *)
 
 (** {2 Round-trip estimation}
 

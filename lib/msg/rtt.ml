@@ -15,6 +15,13 @@ type t = {
 let create () =
   { srtt_ns = 0; rttvar_ns = 0; samples = 0; min_ns = max_int; max_ns = 0 }
 
+let reset t =
+  t.srtt_ns <- 0;
+  t.rttvar_ns <- 0;
+  t.samples <- 0;
+  t.min_ns <- max_int;
+  t.max_ns <- 0
+
 let samples t = t.samples
 
 let srtt_ns t = t.srtt_ns

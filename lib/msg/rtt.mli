@@ -12,6 +12,13 @@ type t
 
 val create : unit -> t
 
+val reset : t -> unit
+(** Forget every sample, returning the filter to its freshly-created
+    state. Used when a link's endpoint crash-restarts: the pre-crash
+    samples describe a conversation history the new incarnation never
+    had, so the filter re-converges from scratch (paying the conservative
+    fallback timeout until the first new sample). *)
+
 val observe : t -> int -> unit
 (** Feed one measured round trip (ns). Samples are clamped to [>= 1]. *)
 

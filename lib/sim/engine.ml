@@ -80,6 +80,13 @@ let post_now t ~node action =
   enqueue t ~time:node.Node.clock ~node:node.Node.id ~advance:true
     ~sampler:false action
 
+(* Background events never advance a clock and are excluded from the live
+   count: they neither keep the phase alive nor keep samplers ticking.
+   The fault layer's crash/restart instants use them — a crash scheduled
+   past the end of the phase's real work must not stretch the phase. *)
+let post_background t ~time ~node action =
+  enqueue t ~time ~node ~advance:false ~sampler:true action
+
 let live_events t = t.live
 
 let idle t = Event_queue.is_empty t.queue

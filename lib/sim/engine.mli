@@ -58,6 +58,13 @@ val post_soft : t -> time:int -> node:int -> (unit -> unit) -> unit
 val post_now : t -> node:Node.t -> (unit -> unit) -> unit
 (** Schedule an action on [node] at the node's current clock. *)
 
+val post_background : t -> time:int -> node:int -> (unit -> unit) -> unit
+(** Like {!post_soft}, but additionally excluded from {!live_events} — the
+    event neither keeps the phase alive nor keeps samplers ticking. The
+    runtime schedules crash/restart instants with it: a crash drawn past
+    the end of the phase's real work must not stretch the phase, so the
+    crash action checks [live_events > 0] and no-ops on a drained run. *)
+
 val live_events : t -> int
 (** Pending events, excluding periodic-sampler ticks. *)
 

@@ -8,6 +8,8 @@ type spec = {
   outage_horizon_ns : int;
   slow_node : int;
   slow_factor : float;
+  crashes : int;
+  crash_ns : int;
 }
 
 let none =
@@ -21,6 +23,8 @@ let none =
     outage_horizon_ns = 50_000_000;
     slow_node = -1;
     slow_factor = 1.;
+    crashes = 0;
+    crash_ns = 3_000_000;
   }
 
 let light =
@@ -51,6 +55,8 @@ let check spec =
   if spec.outage_horizon_ns < 0 then
     invalid_arg "Fault: horizon-ns must be >= 0";
   if spec.slow_factor < 1. then invalid_arg "Fault: slow-factor must be >= 1";
+  if spec.crashes < 0 then invalid_arg "Fault: crashes must be >= 0";
+  if spec.crash_ns < 0 then invalid_arg "Fault: crash-ns must be >= 0";
   spec
 
 let spec_to_string s =
@@ -66,8 +72,14 @@ let spec_to_string s =
           else None);
          (if s.outages > 0 then
             Some
-              (Printf.sprintf "outages=%d,outage-ns=%d,horizon-ns=%d" s.outages
-                 s.outage_ns s.outage_horizon_ns)
+              (Printf.sprintf "outages=%d,outage-ns=%d" s.outages s.outage_ns)
+          else None);
+         (if s.crashes > 0 then
+            Some
+              (Printf.sprintf "crashes=%d,crash-ns=%d" s.crashes s.crash_ns)
+          else None);
+         (if s.outages > 0 || s.crashes > 0 then
+            Some (Printf.sprintf "horizon-ns=%d" s.outage_horizon_ns)
           else None);
          (if s.slow_node >= 0 then
             Some
@@ -76,18 +88,20 @@ let spec_to_string s =
           else None);
        ])
 
+let valid_keys =
+  "drop, dup, delay, jitter-ns, outages, outage-ns, crashes, crash-ns, \
+   horizon-ns, slow-node, slow-factor"
+
 let spec_of_string str =
-  match str with
-  | "none" -> Ok none
-  | "light" -> Ok light
-  | "heavy" -> Ok heavy
-  | _ -> (
     let parse_field acc field =
       match acc with
       | Error _ as e -> e
       | Ok spec -> (
         match String.index_opt field '=' with
-        | None -> Error (Printf.sprintf "Fault: expected key=value, got %S" field)
+        | None ->
+          Error
+            (Printf.sprintf "Fault: expected key=value, got %S (valid keys: %s)"
+               field valid_keys)
         | Some i -> (
           let key = String.sub field 0 i in
           let v = String.sub field (i + 1) (String.length field - i - 1) in
@@ -130,12 +144,38 @@ let spec_of_string str =
           | "slow-factor" ->
             let* x = f () in
             Ok { spec with slow_factor = x }
-          | _ -> Error (Printf.sprintf "Fault: unknown knob %S" key)))
+          | "crashes" ->
+            let* x = n () in
+            Ok { spec with crashes = x }
+          | "crash" | "crash-ns" ->
+            let* x = n () in
+            Ok { spec with crash_ns = x }
+          | _ ->
+            Error
+              (Printf.sprintf "Fault: unknown knob %S (valid keys: %s)" key
+                 valid_keys)))
     in
-    let fields = String.split_on_char ',' str in
-    match List.fold_left parse_field (Ok none) fields with
+    (* The first field may be a preset name the remaining knobs override,
+       e.g. "heavy,crashes=1". *)
+    let base, fields =
+      match String.split_on_char ',' str with
+      | first :: rest when not (String.contains first '=') -> (
+        match first with
+        | "none" -> (Ok none, rest)
+        | "light" -> (Ok light, rest)
+        | "heavy" -> (Ok heavy, rest)
+        | _ ->
+          ( Error
+              (Printf.sprintf
+                 "Fault: unknown preset %S (presets: none, light, heavy; \
+                  valid keys: %s)"
+                 first valid_keys),
+            rest ))
+      | fields -> (Ok none, fields)
+    in
+    match List.fold_left parse_field base fields with
     | Error _ as e -> e
-    | Ok spec -> ( try Ok (check spec) with Invalid_argument m -> Error m))
+    | Ok spec -> ( try Ok (check spec) with Invalid_argument m -> Error m)
 
 let pp_spec ppf s =
   let str = spec_to_string s in
@@ -146,38 +186,53 @@ type t = {
   seed : int;
   rng : Dpa_util.Rng.t;
   windows : (int * int) array array;
+  crash_windows : (int * int) array array;
   mutable drops : int;
   mutable dups : int;
   mutable delayed : int;
   mutable outage_drops : int;
+  mutable crash_drops : int;
 }
 
 let make ?(seed = 0x5EED) spec ~nodes =
   let spec = check spec in
   if nodes <= 0 then invalid_arg "Fault.make: nodes must be positive";
   let rng = Dpa_util.Rng.create ~seed in
-  (* Outage windows are drawn up front (one independent stream per node) so
-     the schedule is a pure function of (spec, seed, nodes) — per-message
-     draws later cannot perturb it. *)
-  let windows =
-    Array.init nodes (fun _ ->
-        let node_rng = Dpa_util.Rng.split rng in
-        Array.init spec.outages (fun _ ->
-            let start =
-              Dpa_util.Rng.int node_rng (max 1 spec.outage_horizon_ns)
-            in
-            (start, start + spec.outage_ns)))
-  in
+  (* Outage and crash windows are drawn up front (one independent stream
+     per node) so the schedule is a pure function of (spec, seed, nodes) —
+     per-message draws later cannot perturb it. Crash draws come after the
+     outage draws on the same per-node stream, so a spec with [crashes = 0]
+     yields exactly the schedule it did before crashes existed. *)
+  let windows = Array.make nodes [||] in
+  let crash_windows = Array.make nodes [||] in
+  for n = 0 to nodes - 1 do
+    let node_rng = Dpa_util.Rng.split rng in
+    windows.(n) <-
+      Array.init spec.outages (fun _ ->
+          let start =
+            Dpa_util.Rng.int node_rng (max 1 spec.outage_horizon_ns)
+          in
+          (start, start + spec.outage_ns));
+    crash_windows.(n) <-
+      Array.init spec.crashes (fun _ ->
+          let start =
+            Dpa_util.Rng.int node_rng (max 1 spec.outage_horizon_ns)
+          in
+          (start, start + spec.crash_ns))
+  done;
   Array.iter (fun w -> Array.sort compare w) windows;
+  Array.iter (fun w -> Array.sort compare w) crash_windows;
   {
     spec;
     seed;
     rng;
     windows;
+    crash_windows;
     drops = 0;
     dups = 0;
     delayed = 0;
     outage_drops = 0;
+    crash_drops = 0;
   }
 
 let seed t = t.seed
@@ -193,10 +248,28 @@ let outage_windows t ~node =
     invalid_arg "Fault.outage_windows: bad node";
   Array.to_list t.windows.(node)
 
+let in_crash t ~node ~time =
+  node >= 0
+  && node < Array.length t.crash_windows
+  && Array.exists (fun (s, e) -> time >= s && time < e) t.crash_windows.(node)
+
+let crash_windows t ~node =
+  if node < 0 || node >= Array.length t.crash_windows then
+    invalid_arg "Fault.crash_windows: bad node";
+  Array.to_list t.crash_windows.(node)
+
+let has_crashes t = t.spec.crashes > 0
+
 type verdict = Deliver of int list | Drop | Outage
 
 let judge t ~now ~arrival ~src ~dst ~transfer_ns =
-  if in_outage t ~node:src ~time:now || in_outage t ~node:dst ~time:arrival
+  if in_crash t ~node:src ~time:now || in_crash t ~node:dst ~time:arrival
+  then begin
+    t.crash_drops <- t.crash_drops + 1;
+    Outage
+  end
+  else if
+    in_outage t ~node:src ~time:now || in_outage t ~node:dst ~time:arrival
   then begin
     t.outage_drops <- t.outage_drops + 1;
     Outage
@@ -238,6 +311,7 @@ let drops t = t.drops
 let dups t = t.dups
 let delayed t = t.delayed
 let outage_drops t = t.outage_drops
+let crash_drops t = t.crash_drops
 
 (* Process-global default, mirroring [Dpa_obs.Sink.set_global]: drivers
    (e.g. the CLI's [--faults] flag) can perturb every engine created during

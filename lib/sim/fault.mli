@@ -2,7 +2,8 @@
 
     A {!spec} describes a fault regime (per-message drop/duplication/delay
     probabilities, per-node transient NIC outage windows, an optional slow
-    node); {!make} instantiates it into a plan whose every decision is
+    node, and crash-restart windows in which a node loses its volatile
+    state); {!make} instantiates it into a plan whose every decision is
     drawn from a seeded {!Dpa_util.Rng}, so a given (spec, seed, nodes)
     triple replays the exact same fault schedule — chaos runs are
     reproducible bit-for-bit, which is what lets the test suite assert that
@@ -11,9 +12,25 @@
     The message layer ({!Dpa_msg.Am}) consults the plan once per physical
     transmission; when any plan is installed on an engine the reliable
     delivery protocol (sequence-numbered envelopes, acks, deduplication,
-    retransmission with capped exponential backoff) switches on with it.
-    With no plan installed neither exists and the simulation is
-    bit-identical to a build without this module. *)
+    retransmission with capped exponential backoff, incarnation fencing)
+    switches on with it. With no plan installed neither exists and the
+    simulation is bit-identical to a build without this module.
+
+    Two fault classes take a node down for a window of simulated time:
+
+    - an {e outage} silences the node's NIC — messages to or from it are
+      dropped for the window, but all node state survives;
+    - a {e crash} additionally destroys the node's volatile state. The
+      runtime ({!Dpa.Runtime}) reacts by bumping the node's incarnation,
+      discarding its alignment buffer, aggregation batches and in-flight
+      transport conversations, and — at the restart instant — re-fetching
+      every outstanding request through the normal alignment path.
+
+    This module only decides {e when} crashes happen (it draws the windows
+    and silences the NIC for their duration, exactly like outages); the
+    state loss and recovery live in the runtime and message layers. See
+    DESIGN.md §13 for the full fault-model contract and docs/FAULTS.md for
+    the operator guide. *)
 
 type spec = {
   drop : float;  (** per-message drop probability, [0, 1) *)
@@ -23,11 +40,17 @@ type spec = {
   outages : int;  (** transient NIC outage windows per node *)
   outage_ns : int;  (** length of each outage window *)
   outage_horizon_ns : int;
-      (** window start times drawn uniform in [0, horizon) of sim-time *)
+      (** outage and crash window start times are drawn uniform in
+          [0, horizon) of simulated time *)
   slow_node : int;  (** node whose NIC is slow, or -1 for none *)
   slow_factor : float;
       (** >= 1; messages to/from the slow node take [slow_factor] times
           their serialization time extra on the wire *)
+  crashes : int;  (** crash-restart windows per node *)
+  crash_ns : int;
+      (** down time of each crash: the node rejoins (with a fresh
+          incarnation and cold volatile state) [crash_ns] after the crash
+          instant *)
 }
 
 val none : spec
@@ -44,21 +67,31 @@ val heavy : spec
 val spec_of_string : string -> (spec, string) result
 (** Parse ["none"], ["light"], ["heavy"], or a comma-separated
     [key=value] list over the knobs [drop], [dup], [delay], [jitter-ns],
-    [outages], [outage-ns], [horizon-ns], [slow-node], [slow-factor]
-    (e.g. ["drop=0.05,dup=0.01,outages=1"]). Unset knobs default to
-    {!none}'s values. *)
+    [outages], [outage-ns], [crashes], [crash-ns], [horizon-ns],
+    [slow-node], [slow-factor] (e.g. ["drop=0.05,dup=0.01,outages=1"]).
+    The first field may be a preset name that the remaining knobs
+    override, e.g. ["heavy,crashes=1"]. Unset knobs default to {!none}'s
+    values. Errors name the offending field {e and} enumerate the accepted
+    keys. *)
 
 val spec_to_string : spec -> string
-(** Inverse of {!spec_of_string} up to defaulted knobs; [""] for {!none}. *)
+(** Inverse of {!spec_of_string} up to defaulted knobs; [""] for {!none}.
+    [spec_to_string] and [spec_of_string] form a round trip: parsing a
+    printed spec yields a spec that prints identically (property-tested in
+    [test/test_fault.ml]). *)
 
 val pp_spec : Format.formatter -> spec -> unit
+(** Like {!spec_to_string} but prints ["none"] for the empty spec. *)
 
 type t
 (** An instantiated plan: spec + seeded RNG + injection counters. *)
 
 val make : ?seed:int -> spec -> nodes:int -> t
-(** Validates the spec ([Invalid_argument] on out-of-range knobs) and draws
-    the outage schedule. Equal (spec, seed, nodes) give equal plans. *)
+(** Validates the spec ([Invalid_argument] on out-of-range knobs) and
+    draws the outage and crash schedules. Equal (spec, seed, nodes) give
+    equal plans; crash windows are drawn after the outage windows on the
+    same per-node streams, so adding [crashes = 0] to an existing spec
+    changes nothing. *)
 
 val seed : t -> int
 val spec : t -> spec
@@ -68,10 +101,13 @@ type verdict =
       (** one entry per copy to deliver (two when duplicated), each the
           extra delay in ns beyond the fault-free arrival time *)
   | Drop  (** lost in the network *)
-  | Outage  (** dropped because an endpoint's NIC was down *)
+  | Outage
+      (** dropped because an endpoint's NIC was down — either an outage
+          window or a crash window (see {!crash_drops} for the split) *)
 
-val judge : t -> now:int -> arrival:int -> src:int -> dst:int ->
-  transfer_ns:int -> verdict
+val judge :
+  t -> now:int -> arrival:int -> src:int -> dst:int -> transfer_ns:int ->
+  verdict
 (** Decide the fate of one physical transmission sent at [now] that would
     arrive fault-free at [arrival]. [transfer_ns] is its serialization
     time, the base the slow-node penalty scales. Consumes RNG draws; the
@@ -79,18 +115,38 @@ val judge : t -> now:int -> arrival:int -> src:int -> dst:int ->
     the whole fault schedule — reproducible. *)
 
 val in_outage : t -> node:int -> time:int -> bool
+
 val outage_windows : t -> node:int -> (int * int) list
-(** The [(start, end)] windows drawn for [node] at {!make} time. *)
+(** The [(start, end)] outage windows drawn for [node] at {!make} time. *)
+
+val in_crash : t -> node:int -> time:int -> bool
+(** Whether [node] is inside one of its crash windows (down, volatile
+    state lost at the window's start) at simulated [time]. *)
+
+val crash_windows : t -> node:int -> (int * int) list
+(** The [(crash, restart)] instants drawn for [node] at {!make} time,
+    sorted by crash instant. The runtime executes the state loss at
+    [crash] and the rejoin at [restart]. *)
+
+val has_crashes : t -> bool
+(** [true] iff the spec schedules at least one crash window per node —
+    the runtime's cue to post crash/restart events for a phase. *)
 
 val drops : t -> int
 val dups : t -> int
 val delayed : t -> int
+
 val outage_drops : t -> int
+(** Transmissions silenced by an outage window. *)
+
+val crash_drops : t -> int
+(** Transmissions silenced by a crash window (reported as
+    {!constructor-Outage} verdicts, counted separately). *)
 
 val set_global : ?seed:int -> spec option -> unit
 (** Process-global default plan spec, picked up by
     {!Dpa_sim.Engine.create} when the machine carries no fault spec of its
     own — the CLI's [--faults] flag uses this, mirroring
-    {!Dpa_obs.Sink.set_global}. *)
+    [Dpa_obs.Sink.set_global]. *)
 
 val global : unit -> (spec * int) option

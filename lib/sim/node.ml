@@ -14,6 +14,7 @@ type t = {
   mutable bytes_sent : int;
   mutable msgs_recv : int;
   mutable bytes_recv : int;
+  mutable incarnation : int;
 }
 
 let create ~machine ~id =
@@ -31,6 +32,7 @@ let create ~machine ~id =
     bytes_sent = 0;
     msgs_recv = 0;
     bytes_recv = 0;
+    incarnation = 0;
   }
 
 let emit t kind ~start ~dur =

@@ -22,6 +22,11 @@ type t = {
   mutable bytes_sent : int;
   mutable msgs_recv : int;
   mutable bytes_recv : int;
+  mutable incarnation : int;
+      (** crash-restart epoch, 0 at boot; the runtime bumps it when the
+          node crashes. Messages stamp the destination's incarnation at
+          transmit time and are fenced (rejected without effect) if it has
+          changed by delivery — see {!Dpa_msg.Am} and DESIGN.md §13. *)
 }
 
 val create : machine:Machine.t -> id:int -> t

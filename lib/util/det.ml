@@ -1,0 +1,2 @@
+let grid ~bits = Float.ldexp 1. bits
+let quantize ~grid v = Float.round (v *. grid) /. grid

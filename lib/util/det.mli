@@ -1,0 +1,23 @@
+(** Fixed-point snapping for order-independent floating-point reductions.
+
+    Summing doubles is not associative, so any reduction whose operand
+    order depends on message timing (remote accumulates, force sums,
+    global checksums) produces timing-dependent low bits — fatal for the
+    chaos sweeps, which assert results bit-identical under arbitrary fault
+    schedules. The cure is to snap every contribution to a power-of-two
+    grid before adding it: sums of grid multiples are exact in a double as
+    long as the running total stays below 2^(52 - bits), and exact
+    addition is order-independent.
+
+    Pick [bits] so that the largest partial sum is safely below
+    [2^(52 - bits)] while the snap error [2^-(bits+1)] per term stays far
+    inside the workload's accuracy tolerance. BH forces use 42 bits
+    (sums < 2^10); the FMM upward pass and the EM3D chaos checksum use 36
+    (sums < 2^16). *)
+
+val grid : bits:int -> float
+(** [grid ~bits] is [2^bits], computed exactly via [ldexp]. *)
+
+val quantize : grid:float -> float -> float
+(** [quantize ~grid v] rounds [v] to the nearest multiple of [1/grid]
+    (round-half-away-from-zero, matching [Float.round]). *)

@@ -26,7 +26,7 @@ let test_spec_presets () =
 let test_spec_key_values () =
   match
     Fault.spec_of_string
-      "drop=0.05,dup=0.01,delay=0.2,jitter=77,outages=2,outage-ns=123,horizon-ns=456,slow-node=1,slow-factor=2.5"
+      "drop=0.05,dup=0.01,delay=0.2,jitter=77,outages=2,outage-ns=123,horizon-ns=456,crashes=2,crash-ns=99,slow-node=1,slow-factor=2.5"
   with
   | Error e -> Alcotest.fail e
   | Ok s ->
@@ -37,8 +37,19 @@ let test_spec_key_values () =
     Alcotest.(check int) "outages" 2 s.Fault.outages;
     Alcotest.(check int) "outage-ns" 123 s.Fault.outage_ns;
     Alcotest.(check int) "horizon-ns" 456 s.Fault.outage_horizon_ns;
+    Alcotest.(check int) "crashes" 2 s.Fault.crashes;
+    Alcotest.(check int) "crash-ns" 99 s.Fault.crash_ns;
     Alcotest.(check int) "slow-node" 1 s.Fault.slow_node;
     Alcotest.(check (float 0.)) "slow-factor" 2.5 s.Fault.slow_factor
+
+let test_spec_preset_override () =
+  match Fault.spec_of_string "heavy,crashes=1,crash-ns=777" with
+  | Error e -> Alcotest.fail e
+  | Ok s ->
+    Alcotest.(check (float 0.)) "heavy drop kept" 0.10 s.Fault.drop;
+    Alcotest.(check int) "heavy outages kept" 1 s.Fault.outages;
+    Alcotest.(check int) "crashes overridden" 1 s.Fault.crashes;
+    Alcotest.(check int) "crash-ns overridden" 777 s.Fault.crash_ns
 
 let test_spec_errors () =
   let rejects str =
@@ -52,7 +63,38 @@ let test_spec_errors () =
   rejects "drop";
   rejects "drop=abc";
   rejects "jitter=abc";
+  rejects "crashes=-1";
+  rejects "crash-ns=-5";
   rejects "slow-factor=0.5"
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_spec_errors_enumerate_keys () =
+  (* A typo'd spec is a CLI dead end: the error must teach the valid
+     vocabulary, not just reject. *)
+  let error_of str =
+    match Fault.spec_of_string str with
+    | Error e -> e
+    | Ok _ -> Alcotest.failf "accepted bad spec %S" str
+  in
+  let lists_keys e =
+    contains e "valid keys:" && contains e "crashes" && contains e "crash-ns"
+    && contains e "drop" && contains e "horizon-ns"
+  in
+  Alcotest.(check bool)
+    "unknown knob enumerates keys" true
+    (lists_keys (error_of "wat=1"));
+  Alcotest.(check bool)
+    "missing '=' enumerates keys" true
+    (lists_keys (error_of "light,drop"));
+  let preset_err = error_of "wibble,drop=0.1" in
+  Alcotest.(check bool)
+    "unknown preset names presets and keys" true
+    (contains preset_err "presets: none, light, heavy"
+    && lists_keys preset_err)
 
 let test_spec_roundtrip () =
   List.iter
@@ -64,10 +106,52 @@ let test_spec_roundtrip () =
       Fault.light;
       Fault.heavy;
       { Fault.light with Fault.slow_node = 2; slow_factor = 3. };
+      { Fault.heavy with Fault.crashes = 2; crash_ns = 123_456 };
+      { Fault.none with Fault.crashes = 1 };
     ];
   Alcotest.(check string)
     "pp none" "none"
     (Format.asprintf "%a" Fault.pp_spec Fault.none)
+
+let full_spec_gen =
+  QCheck.Gen.(
+    let* drop = float_range 0. 0.5 in
+    let* dup = float_range 0. 0.3 in
+    let* delay = float_range 0. 0.5 in
+    let* jitter_ns = int_range 1 100_000 in
+    let* outages = int_range 0 3 in
+    let* outage_ns = int_range 1 1_000_000 in
+    let* horizon = int_range 1 10_000_000 in
+    let* crashes = int_range 0 3 in
+    let* crash_ns = int_range 1 1_000_000 in
+    let* slow_node = int_range (-1) 3 in
+    let* slow_factor = float_range 1. 5. in
+    return
+      {
+        Fault.drop;
+        dup;
+        delay;
+        jitter_ns;
+        outages;
+        outage_ns;
+        outage_horizon_ns = horizon;
+        crashes;
+        crash_ns;
+        slow_node;
+        slow_factor;
+      })
+
+let qcheck_spec_pp_parse_roundtrip =
+  (* [pp_spec] output must re-parse, and printing the re-parse must be a
+     fixed point — the property that makes the printed form a faithful
+     CLI-ready name for any plan (fields elided as defaults come back as
+     defaults). *)
+  QCheck.Test.make ~name:"pp/parse round-trips every spec" ~count:200
+    (QCheck.make full_spec_gen) (fun spec ->
+      let printed = Format.asprintf "%a" Fault.pp_spec spec in
+      match Fault.spec_of_string printed with
+      | Error _ -> false
+      | Ok re -> Format.asprintf "%a" Fault.pp_spec re = printed)
 
 (* --- plan determinism --------------------------------------------------- *)
 
@@ -313,6 +397,174 @@ let qcheck_caching_survives_faults =
       in
       run () = run ~faults:spec ~fault_seed:seed ())
 
+(* --- crash-restart ------------------------------------------------------- *)
+
+(* Derive a crash plan from a reference run's duration, the way the a13
+   matrix does: one crash per node inside the first half of the phase,
+   with a restart delay of an eighth of it. *)
+let crash_spec ?(crashes = 1) ~elapsed () =
+  {
+    Fault.none with
+    Fault.crashes;
+    crash_ns = max 1_000 (elapsed / 8);
+    outage_horizon_ns = max 1_000 (elapsed / 2);
+  }
+
+let test_incarnation_fencing () =
+  (* An envelope is stamped with the destination's incarnation at wire-out.
+     Crash the destination before the copy lands: the delivery must be
+     fenced (no handler, no ack), and only the retransmission — stamped
+     with the new incarnation — may run the handler. *)
+  let engine =
+    Engine.create (Machine.make ~nodes:2 ~faults:Fault.none ~fault_seed:3 ())
+  in
+  let m = Engine.machine engine in
+  let delivered = ref 0 in
+  Dpa_msg.Am.send engine
+    ~src:(Engine.node engine 0)
+    ~dst:1
+    ~bytes:(m.Machine.msg_header_bytes + 32)
+    (fun _ -> incr delivered);
+  let dst = Engine.node engine 1 in
+  dst.Node.incarnation <- dst.Node.incarnation + 1;
+  ignore (Dpa_msg.Am.on_crash engine ~node:1);
+  Engine.run engine;
+  Alcotest.(check int) "handler ran exactly once" 1 !delivered;
+  match Dpa_msg.Am.stats engine with
+  | None -> Alcotest.fail "protocol state missing"
+  | Some s ->
+    Alcotest.(check bool) "stale copy fenced" true (s.Dpa_msg.Am.fenced >= 1);
+    Alcotest.(check bool) "fence forced a retransmit" true
+      (s.Dpa_msg.Am.retransmits >= 1);
+    Alcotest.(check int) "drained" 0 s.Dpa_msg.Am.in_flight
+
+let test_am_on_crash_wipes_sender_state () =
+  (* A crashed node's own outstanding envelopes are volatile state: the
+     sender forgets them (no more retransmissions, no ack bookkeeping),
+     so the conversation ends even if the copy already on the wire is
+     lost. The runtime re-issues whatever it still needs after restart;
+     envelopes from other senders are untouched. *)
+  let engine =
+    Engine.create (Machine.make ~nodes:3 ~faults:Fault.none ~fault_seed:5 ())
+  in
+  let m = Engine.machine engine in
+  let from0 = ref 0 and from2 = ref 0 in
+  Dpa_msg.Am.send engine
+    ~src:(Engine.node engine 0)
+    ~dst:1
+    ~bytes:(m.Machine.msg_header_bytes + 8)
+    (fun _ -> incr from0);
+  Dpa_msg.Am.send engine
+    ~src:(Engine.node engine 2)
+    ~dst:1
+    ~bytes:(m.Machine.msg_header_bytes + 8)
+    (fun _ -> incr from2);
+  let wiped = Dpa_msg.Am.on_crash engine ~node:0 in
+  Alcotest.(check int) "node 0's envelope wiped" 1 wiped;
+  Engine.run engine;
+  (* The first copy was already in flight when the crash hit — the
+     network, not the sender, holds it — so it still delivers once. *)
+  Alcotest.(check int) "in-flight copy still delivers once" 1 !from0;
+  Alcotest.(check int) "other sender unaffected" 1 !from2;
+  match Dpa_msg.Am.stats engine with
+  | None -> Alcotest.fail "protocol state missing"
+  | Some s ->
+    Alcotest.(check int) "crash_wiped counted" 1 s.Dpa_msg.Am.crash_wiped;
+    Alcotest.(check int) "wiped envelope is no longer in flight" 0
+      s.Dpa_msg.Am.in_flight;
+    Alcotest.(check int) "no retransmissions for the wiped envelope" 0
+      s.Dpa_msg.Am.retransmits
+
+(* A deterministic phase with plenty of remote reads, so a mid-phase crash
+   is guaranteed to orphan some outstanding requests. *)
+let crash_read_phase =
+  (4, 8, 10, List.init 30 (fun i -> ((i * 7) mod 4, (i * 3) mod 8)))
+
+let test_crash_restart_refetch () =
+  let reference, _, elapsed, _ = run_dpa crash_read_phase in
+  let sums, stats, _, am =
+    run_dpa ~faults:(crash_spec ~elapsed ()) ~fault_seed:11 crash_read_phase
+  in
+  Alcotest.(check bool) "sums bit-identical across crashes" true
+    (reference = sums);
+  Alcotest.(check int) "every node crashed once" 4 stats.Dpa.Dpa_stats.crashes;
+  (* The alignment buffer and pointer-map conversations died with the
+     crash; the restart walk re-fetched what was still owed. *)
+  Alcotest.(check bool) "orphaned requests were re-fetched" true
+    (stats.Dpa.Dpa_stats.crash_refetches > 0);
+  match am with
+  | None -> Alcotest.fail "protocol state missing"
+  | Some s ->
+    Alcotest.(check int) "quiescent: no in-flight envelopes" 0
+      s.Dpa_msg.Am.in_flight
+
+let test_update_exactly_once_across_crash () =
+  (* Remote accumulates with integer increments: the owner-side journal
+     must apply each batch exactly once even when crashes wipe unsent
+     batches, in-flight envelopes, or the application-level acks. *)
+  let run ?faults ?(fault_seed = 0x5EED) () =
+    let nnodes = 4 in
+    let heaps = Dpa_heap.Heap.cluster ~nnodes in
+    let counters =
+      Array.init 6 (fun _ ->
+          Dpa_heap.Heap.alloc heaps.(0) ~floats:(Array.make 2 0.) ~ptrs:[||])
+    in
+    let items node =
+      if node = 0 then [||]
+      else
+        Array.init 12 (fun i ->
+            fun ctx ->
+              Dpa.Runtime.charge ctx 500;
+              Dpa.Runtime.accumulate ctx
+                counters.((node + i) mod 6)
+                ~idx:(i mod 2) 1.)
+    in
+    let engine =
+      Engine.create (Machine.make ~nodes:nnodes ?faults ~fault_seed ())
+    in
+    let _, stats =
+      Dpa.Runtime.run_phase ~engine ~heaps
+        ~config:(Dpa.Config.dpa ~strip_size:4 ())
+        ~items
+    in
+    let vals =
+      Array.map
+        (fun p ->
+          Array.copy (Dpa_heap.Heap.deref heaps p).Dpa_heap.Obj_repr.floats)
+        counters
+    in
+    (vals, stats, Engine.elapsed engine, Dpa_msg.Am.stats engine)
+  in
+  let reference, _, elapsed, _ = run () in
+  let vals, stats, _, am =
+    run ~faults:(crash_spec ~elapsed ()) ~fault_seed:13 ()
+  in
+  Alcotest.(check bool) "counters bit-identical across crashes" true
+    (reference = vals);
+  Alcotest.(check int) "every node crashed once" 4 stats.Dpa.Dpa_stats.crashes;
+  match am with
+  | None -> Alcotest.fail "protocol state missing"
+  | Some s ->
+    Alcotest.(check int) "quiescent: no in-flight envelopes" 0
+      s.Dpa_msg.Am.in_flight
+
+let crash_chaos_gen =
+  QCheck.Gen.(
+    pair Test_properties.phase_gen (pair (int_range 1 2) (int_range 0 1000)))
+
+let qcheck_crashes_preserve_sums =
+  QCheck.Test.make
+    ~name:"DPA phase under crash-restart computes fault-free sums" ~count:20
+    (QCheck.make crash_chaos_gen)
+    (fun (phase, (crashes, seed)) ->
+      let reference, _, elapsed, _ = run_dpa phase in
+      let sums, _, _, am =
+        run_dpa ~faults:(crash_spec ~crashes ~elapsed ()) ~fault_seed:seed
+          phase
+      in
+      reference = sums
+      && match am with Some s -> s.Dpa_msg.Am.in_flight = 0 | None -> true)
+
 (* --- sink knobs and the periodic sampler --------------------------------- *)
 
 let test_sink_category_filter () =
@@ -374,6 +626,11 @@ let suites =
         Alcotest.test_case "spec round-trips" `Quick test_spec_roundtrip;
         Alcotest.test_case "plan is deterministic" `Quick test_plan_determinism;
         Alcotest.test_case "plan validation" `Quick test_plan_validation;
+        Alcotest.test_case "preset prefix with knob overrides" `Quick
+          test_spec_preset_override;
+        Alcotest.test_case "errors enumerate valid keys" `Quick
+          test_spec_errors_enumerate_keys;
+        QCheck_alcotest.to_alcotest qcheck_spec_pp_parse_roundtrip;
       ] );
     ( "reliable delivery",
       [
@@ -388,6 +645,18 @@ let suites =
         QCheck_alcotest.to_alcotest qcheck_faults_preserve_sums;
         QCheck_alcotest.to_alcotest qcheck_chaos_deterministic;
         QCheck_alcotest.to_alcotest qcheck_caching_survives_faults;
+      ] );
+    ( "crash-restart",
+      [
+        Alcotest.test_case "incarnation fencing rejects stale copies" `Quick
+          test_incarnation_fencing;
+        Alcotest.test_case "crash wipes the crashed sender's envelopes" `Quick
+          test_am_on_crash_wipes_sender_state;
+        Alcotest.test_case "restart re-fetches orphaned reads" `Quick
+          test_crash_restart_refetch;
+        Alcotest.test_case "updates apply exactly once across crashes" `Quick
+          test_update_exactly_once_across_crash;
+        QCheck_alcotest.to_alcotest qcheck_crashes_preserve_sums;
       ] );
     ( "chaos observability",
       [

@@ -2,7 +2,7 @@
 
 BENCH := bin/dpa_bench.exe
 
-.PHONY: all build test fmt fmt-check smoke chaos-smoke adaptive-smoke clean
+.PHONY: all build test fmt fmt-check smoke obs-smoke chaos-smoke adaptive-smoke clean
 
 all: build
 
@@ -27,11 +27,28 @@ fmt-check:
 # End-to-end observability smoke test: run a small experiment with the
 # trace/metrics exporters on and make sure the artifacts appear and are
 # non-trivial. The test suite validates the JSON itself (test/test_obs.ml).
-smoke: build chaos-smoke adaptive-smoke
+smoke: build obs-smoke chaos-smoke adaptive-smoke
 	dune exec $(BENCH) -- f1 --scale small \
 	  --trace /tmp/dpa_trace.json --metrics /tmp/dpa_metrics.json --profile
 	@test -s /tmp/dpa_trace.json && test -s /tmp/dpa_metrics.json \
 	  && echo "smoke: trace + metrics written"
+
+# Streaming-observability smoke test: a small BH workload with --events
+# streaming through a deliberately tiny ring (512 entries). The streamed
+# file must hold far more events than the ring with none reported dropped
+# (the writer captures each event at emission; the ring is only the
+# in-memory flight recorder), every JSONL line must parse and stay
+# time-ordered, and the per-node skew table must sum back to the global
+# per-phase row — all validated by bin/obs_check.
+obs-smoke: build
+	dune exec $(BENCH) -- f1 --scale small --bodies 512 --ring 512 \
+	  --events /tmp/dpa_events.jsonl --profile | tee /tmp/dpa_obs.txt
+	@grep -q "wrote event log" /tmp/dpa_obs.txt \
+	  && ! grep -q "overwritten in the ring" /tmp/dpa_obs.txt \
+	  || { echo "obs-smoke: events dropped or log missing"; exit 1; }
+	dune exec bin/obs_check.exe -- --min-lines 513 \
+	  /tmp/dpa_events.jsonl /tmp/dpa_obs.txt
+	@echo "obs-smoke: streamed events exceed the ring with zero drops; skew table consistent"
 
 # Chaos smoke test: the a11 sweep and the a13 crash matrix at reduced
 # scale with a fixed fault seed. Every row (including 10% drop, the heavy

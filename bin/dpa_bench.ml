@@ -16,6 +16,7 @@ type obs_opts = {
   cats : string list option;
   spans_only : bool;
   sample_ns : int;
+  ring : int;
 }
 
 let obs_term =
@@ -42,7 +43,12 @@ let obs_term =
       value
       & opt (some string) None
       & info [ "events" ] ~docv:"FILE"
-          ~doc:"Write the raw event stream as JSON lines (one event per line).")
+          ~doc:
+            "Stream the raw event stream as JSON lines (one event per line). \
+             Events are written as the run emits them — flushed at every \
+             phase barrier and on teardown, so a crashed run keeps \
+             everything flushed before the crash and the file is not \
+             bounded by the in-memory ring.")
   in
   let profile =
     Arg.(
@@ -77,14 +83,28 @@ let obs_term =
             "Emit fixed-rate per-node counter tracks (outstanding threads, \
              D-buffer occupancy) every $(docv) of sim-time. 0 disables.")
   in
-  let combine trace metrics events profile cats spans_only sample_ns =
-    { trace; metrics; events; profile; cats; spans_only; sample_ns }
+  let ring =
+    Arg.(
+      value
+      & opt int Dpa_obs.Sink.default_capacity
+      & info [ "ring" ] ~docv:"N"
+          ~doc:
+            "Capacity of the in-memory instant/counter ring (the flight \
+             recorder). With $(b,--events) the ring only bounds the \
+             in-memory snapshot, not the streamed file.")
+  in
+  let combine trace metrics events profile cats spans_only sample_ns ring =
+    { trace; metrics; events; profile; cats; spans_only; sample_ns; ring }
   in
   Term.(
     const combine $ trace $ metrics $ events $ profile $ cats $ spans_only
-    $ sample_ns)
+    $ sample_ns $ ring)
 
 let with_obs obs f conf =
+  (if obs.ring <= 0 then begin
+     prerr_endline "dpa_bench: --ring must be positive";
+     exit 1
+   end);
   if
     obs.trace = None && obs.metrics = None && obs.events = None
     && not obs.profile
@@ -101,7 +121,7 @@ let with_obs obs f conf =
     let trace_out = Option.map open_or_die obs.trace in
     let metrics_out = Option.map open_or_die obs.metrics in
     let events_out = Option.map open_or_die obs.events in
-    let sink = Dpa_obs.Sink.create () in
+    let sink = Dpa_obs.Sink.create ~capacity:obs.ring () in
     Dpa_obs.Sink.set_categories sink obs.cats;
     Dpa_obs.Sink.set_spans_only sink obs.spans_only;
     (if obs.sample_ns < 0 then begin
@@ -109,9 +129,19 @@ let with_obs obs f conf =
        exit 1
      end);
     Dpa_obs.Sink.set_sample_period sink obs.sample_ns;
+    (* [--events] streams: every event goes to the file as the run emits
+       it (flushed at phase barriers), so the ring capacity no longer
+       bounds the log and a mid-run crash keeps everything flushed. *)
+    (match events_out with
+    | Some (_, oc) -> Dpa_obs.Sink.attach_writer sink (Dpa_obs.Export.jsonl_writer oc)
+    | None -> ());
     Dpa_obs.Sink.set_global (Some sink);
     Fun.protect
-      ~finally:(fun () -> Dpa_obs.Sink.set_global None)
+      ~finally:(fun () ->
+        (* Runs even when [f] raises: the stream stays durable up to the
+           last event emitted before the failure. *)
+        Dpa_obs.Sink.close_writer sink;
+        Dpa_obs.Sink.set_global None)
       (fun () -> f conf);
     let finish what render = function
       | None -> ()
@@ -124,7 +154,12 @@ let with_obs obs f conf =
     finish "metrics"
       (fun () -> Dpa_obs.Json.to_string (Dpa_obs.Export.metrics_json sink))
       metrics_out;
-    finish "event log" (fun () -> Dpa_obs.Export.jsonl sink) events_out;
+    (match events_out with
+    | None -> ()
+    | Some (path, _) ->
+      (* Already streamed and closed by the [Fun.protect] finaliser. *)
+      Printf.printf "wrote event log to %s (%d events)\n" path
+        (Dpa_obs.Sink.streamed sink));
     if obs.profile then print_string (Dpa_obs.Export.profile sink);
     let nfiltered = Dpa_obs.Sink.filtered sink in
     if nfiltered > 0 then

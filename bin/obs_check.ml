@@ -1,0 +1,206 @@
+(* CI validator for the observability artifacts (see `make obs-smoke`):
+   checks that a streamed --events JSONL file is well-formed and
+   time-ordered, and that the --profile per-node skew tables are
+   internally consistent with the global per-phase rows.
+
+   Usage: obs_check [--min-lines N] EVENTS.jsonl PROFILE.txt *)
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("obs_check: " ^ s); exit 1) fmt
+
+let read_lines path =
+  let ic = try open_in path with Sys_error e -> fail "%s" e in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+      close_in ic;
+      List.rev acc
+  in
+  go []
+
+(* ---- events.jsonl ----------------------------------------------------- *)
+
+let str_field name j =
+  match Dpa_obs.Json.member name j with
+  | Some (Dpa_obs.Json.Str s) -> s
+  | _ -> fail "event missing string field %S" name
+
+let int_field name j =
+  match Dpa_obs.Json.member name j with
+  | Some (Dpa_obs.Json.Int i) -> i
+  | _ -> fail "event missing int field %S" name
+
+(* Every line must parse with the in-repo JSON parser and carry the JSONL
+   event shape. Timestamps must be non-decreasing, except where a fresh
+   engine's clocks restart at zero: the stream is flushed (sorted) at
+   every barrier, so a legitimate reset always lands on the new engine's
+   opening cat="sim"/name="barrier" instant — a decrease anywhere else is
+   an ordering bug. *)
+let check_events path =
+  let lines = read_lines path in
+  let prev_ts = ref min_int in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let j =
+        match Dpa_obs.Json.parse line with
+        | Ok j -> j
+        | Error e -> fail "%s:%d: parse error: %s" path lineno e
+      in
+      let kind = str_field "kind" j in
+      if kind <> "span" && kind <> "instant" && kind <> "counter" then
+        fail "%s:%d: unknown kind %S" path lineno kind;
+      let cat = str_field "cat" j
+      and name = str_field "name" j
+      and ts = int_field "ts" j in
+      ignore (int_field "node" j);
+      ignore (int_field "dur" j);
+      (match Dpa_obs.Json.member "args" j with
+      | Some (Dpa_obs.Json.Obj _) -> ()
+      | _ -> fail "%s:%d: missing args object" path lineno);
+      if ts < !prev_ts
+         && not (kind = "instant" && cat = "sim" && name = "barrier")
+      then
+        fail "%s:%d: ts went backwards (%d after %d) on %s %s/%s" path lineno
+          ts !prev_ts kind cat name;
+      prev_ts := ts)
+    lines;
+  List.length lines
+
+(* ---- profile text ----------------------------------------------------- *)
+
+let tokens line =
+  String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+
+type global_row = { g_runs : int; g_nodes : int; g_mean : float; g_strips : int }
+
+type skew_acc = {
+  mutable s_rows : int;  (* rows with a numeric wall column *)
+  mutable s_wall : float;
+  mutable s_strips : int;  (* all rows, strip-only ones included *)
+}
+
+type summary = { m_wall : float; m_spans : int }
+
+let int_tok name t =
+  match int_of_string_opt t with
+  | Some i -> i
+  | None -> fail "profile: bad %s field %S" name t
+
+let float_tok name t =
+  match float_of_string_opt t with
+  | Some f -> f
+  | None -> fail "profile: bad %s field %S" name t
+
+let check_profile path =
+  let lines = read_lines path in
+  let globals : (string, global_row) Hashtbl.t = Hashtbl.create 8 in
+  let skews : (string, skew_acc) Hashtbl.t = Hashtbl.create 8 in
+  let summaries : (string, summary) Hashtbl.t = Hashtbl.create 8 in
+  let skew name =
+    match Hashtbl.find_opt skews name with
+    | Some a -> a
+    | None ->
+      let a = { s_rows = 0; s_wall = 0.; s_strips = 0 } in
+      Hashtbl.add skews name a;
+      a
+  in
+  let section = ref `None in
+  List.iter
+    (fun line ->
+      if line = "Per-phase profile (sim time)" then section := `Global
+      else if line = "Per-node skew" then section := `Skew
+      else if String.length line = 0 || line.[0] <> ' ' then section := `None
+      else
+        match (!section, tokens line) with
+        | `Global, [ "phase"; "runs"; "nodes"; "mean"; "wall"; "ms"; "strips" ]
+          ->
+          ()
+        | `Global, [ name; runs; nodes; mean; strips ] ->
+          if runs <> "-" then
+            Hashtbl.replace globals name
+              {
+                g_runs = int_tok "runs" runs;
+                g_nodes = int_tok "nodes" nodes;
+                g_mean = float_tok "mean" mean;
+                g_strips = int_tok "strips" strips;
+              }
+        | `Skew, "phase" :: "node" :: _ -> ()
+        | `Skew, name :: "=" :: "wall" :: wall :: "ms" :: "over" :: spans :: _
+          ->
+          Hashtbl.replace summaries name
+            {
+              m_wall = float_tok "summary wall" wall;
+              m_spans = int_tok "summary spans" spans;
+            }
+        | `Skew, [ name; _node; wall; _busy; strips; _bytes ] ->
+          let a = skew name in
+          a.s_strips <- a.s_strips + int_tok "strips" strips;
+          if wall <> "-" then begin
+            a.s_rows <- a.s_rows + 1;
+            a.s_wall <- a.s_wall +. float_tok "wall" wall
+          end
+        | _ -> ())
+    lines;
+  if Hashtbl.length globals = 0 then
+    fail "%s: no per-phase profile rows found" path;
+  Hashtbl.iter
+    (fun name (g : global_row) ->
+      let a =
+        match Hashtbl.find_opt skews name with
+        | Some a -> a
+        | None -> fail "%s: phase %S has no per-node skew rows" path name
+      in
+      let m =
+        match Hashtbl.find_opt summaries name with
+        | Some m -> m
+        | None -> fail "%s: phase %S has no skew summary line" path name
+      in
+      if a.s_rows <> g.g_nodes then
+        fail "%s: phase %S: %d skew rows but %d nodes in the global row" path
+          name a.s_rows g.g_nodes;
+      if a.s_strips <> g.g_strips then
+        fail "%s: phase %S: skew strips sum to %d, global row says %d" path
+          name a.s_strips g.g_strips;
+      (* Each row is printed to 1 us; allow the accumulated rounding. *)
+      let tol = (0.0005 *. float_of_int a.s_rows) +. 0.002 in
+      if Float.abs (a.s_wall -. m.m_wall) > tol then
+        fail "%s: phase %S: skew wall sums to %.3f, summary says %.3f" path
+          name a.s_wall m.m_wall;
+      if m.m_spans = 0 then fail "%s: phase %S: summary has 0 spans" path name;
+      if Float.abs ((m.m_wall /. float_of_int m.m_spans) -. g.g_mean) > 0.005
+      then
+        fail
+          "%s: phase %S: global mean %.3f disagrees with wall/spans = %.3f"
+          path name g.g_mean
+          (m.m_wall /. float_of_int m.m_spans))
+    globals;
+  Hashtbl.length globals
+
+let () =
+  let min_lines = ref 1 in
+  let positional = ref [] in
+  let rec parse = function
+    | "--min-lines" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some i -> min_lines := i
+      | None -> fail "--min-lines expects an integer, got %S" n);
+      parse rest
+    | arg :: rest ->
+      positional := arg :: !positional;
+      parse rest
+    | [] -> ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let events_path, profile_path =
+    match List.rev !positional with
+    | [ e; p ] -> (e, p)
+    | _ -> fail "usage: obs_check [--min-lines N] EVENTS.jsonl PROFILE.txt"
+  in
+  let nlines = check_events events_path in
+  if nlines < !min_lines then
+    fail "%s: only %d event lines, expected at least %d" events_path nlines
+      !min_lines;
+  let nphases = check_profile profile_path in
+  Printf.printf "obs_check: OK (%d event lines, %d profiled phase(s))\n" nlines
+    nphases

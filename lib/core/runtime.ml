@@ -861,8 +861,29 @@ let run_phase_labeled ~label ~engine ~heaps ~config ~items =
           && Hashtbl.length ctx.out_updates = 0)
       then failwith "Runtime.run_phase: node did not quiesce")
     ctxs;
-  Engine.barrier engine;
   let elapsed_ns = Engine.elapsed engine - start in
+  (* Per-node phase spans carry the node's own busy time (local+comm since
+     the phase's breakdown reset) and sent bytes, feeding the profile's
+     per-node skew table. Emitted before the closing barrier: the barrier
+     flushes any attached stream writer, and these spans open at the phase
+     start, so they must be sorted into this phase's flush segment. The
+     barrier itself only charges idle, so the args are final here. *)
+  (match Engine.sink engine with
+  | None -> ()
+  | Some sink ->
+    Array.iter
+      (fun (n : Node.t) ->
+        Dpa_obs.Sink.span
+          ~args:
+            [
+              ("elapsed_ns", Dpa_obs.Sink.Int elapsed_ns);
+              ("busy_ns", Dpa_obs.Sink.Int (n.Node.local_ns + n.Node.comm_ns));
+              ("bytes", Dpa_obs.Sink.Int n.Node.bytes_sent);
+            ]
+          sink ~cat:"phase" ~name:label ~node:n.Node.id ~ts:start
+          ~dur:elapsed_ns)
+      nodes);
+  Engine.barrier engine;
   let breakdown = Breakdown.of_nodes ~elapsed_ns nodes in
   (* Record the strip size each node ended the phase with; static runs
      report their configured size so a clamped auto run's stats compare
@@ -880,13 +901,6 @@ let run_phase_labeled ~label ~engine ~heaps ~config ~items =
   (match Engine.sink engine with
   | None -> ()
   | Some sink ->
-    Array.iter
-      (fun (n : Node.t) ->
-        Dpa_obs.Sink.span
-          ~args:[ ("elapsed_ns", Dpa_obs.Sink.Int elapsed_ns) ]
-          sink ~cat:"phase" ~name:label ~node:n.Node.id ~ts:start
-          ~dur:elapsed_ns)
-      nodes;
     Dpa_obs.Sink.set_meta sink ("dpa_stats." ^ label) (Dpa_stats.to_json stats));
   (breakdown, stats)
 

@@ -931,6 +931,14 @@ let chaos_sweep ?(specs = default_chaos_specs) ?(fault_seed = 0x5EED)
     let tree = Dpa_bh.Bh_global.distribute octree ~nnodes:procs in
     let machine = Machine.make ~nodes:procs ?faults ~fault_seed () in
     let saved = Dpa_obs.Sink.global () in
+    (* If the enclosing run streams events ([--events]), make everything
+       emitted so far durable before handing control to a fault-injected
+       engine: a crash mid-sweep must not lose already-captured lines.
+       The sweep's own events go to a private sink and are never
+       streamed. *)
+    (match saved with
+    | Some s -> Dpa_obs.Sink.flush_writer s
+    | None -> ());
     let sink = Dpa_obs.Sink.create () in
     Dpa_obs.Sink.set_global (Some sink);
     let engine = Engine.create machine in

@@ -103,6 +103,18 @@ let jsonl sink =
     (Sink.events sink);
   Buffer.contents buf
 
+let jsonl_line ev = Json.to_string (jsonl_event ev)
+
+let jsonl_writer oc =
+  {
+    Sink.write =
+      (fun ev ->
+        output_string oc (jsonl_line ev);
+        output_char oc '\n');
+    Sink.flush = (fun () -> flush oc);
+    Sink.close = (fun () -> close_out oc);
+  }
+
 let metrics_json sink =
   Json.Obj
     [
@@ -114,17 +126,41 @@ let metrics_json sink =
 
 (* --- per-phase profile ------------------------------------------------- *)
 
+type node_acc = {
+  mutable n_spans : int;  (* phase spans on this node *)
+  mutable n_wall : int;  (* sum of phase-span durations, sim-ns *)
+  mutable n_busy : int;  (* sum of the spans' busy_ns args, sim-ns *)
+  mutable n_bytes : int;  (* sum of the spans' bytes args *)
+  mutable n_strips : int;
+}
+
 type phase_acc = {
   mutable spans : int;
   mutable total_dur : int;
   mutable nodes : int list;
   mutable strips : int;
+  per_node : (int, node_acc) Hashtbl.t;
 }
 
 let strip_phase_label (ev : Sink.event) =
   match List.assoc_opt "phase" ev.Sink.args with
   | Some (Sink.Str label) -> Some label
   | _ -> None
+
+let int_arg key (ev : Sink.event) =
+  match List.assoc_opt key ev.Sink.args with
+  | Some (Sink.Int v) -> v
+  | _ -> 0
+
+let node_acc acc node =
+  match Hashtbl.find_opt acc.per_node node with
+  | Some na -> na
+  | None ->
+    let na =
+      { n_spans = 0; n_wall = 0; n_busy = 0; n_bytes = 0; n_strips = 0 }
+    in
+    Hashtbl.add acc.per_node node na;
+    na
 
 let profile sink =
   let events = Sink.events sink in
@@ -134,7 +170,15 @@ let profile sink =
     match Hashtbl.find_opt phases name with
     | Some acc -> acc
     | None ->
-      let acc = { spans = 0; total_dur = 0; nodes = []; strips = 0 } in
+      let acc =
+        {
+          spans = 0;
+          total_dur = 0;
+          nodes = [];
+          strips = 0;
+          per_node = Hashtbl.create 8;
+        }
+      in
       Hashtbl.add phases name acc;
       phase_order := name :: !phase_order;
       acc
@@ -148,10 +192,19 @@ let profile sink =
         acc.spans <- acc.spans + 1;
         acc.total_dur <- acc.total_dur + ev.Sink.dur;
         if not (List.mem ev.Sink.node acc.nodes) then
-          acc.nodes <- ev.Sink.node :: acc.nodes
+          acc.nodes <- ev.Sink.node :: acc.nodes;
+        let na = node_acc acc ev.Sink.node in
+        na.n_spans <- na.n_spans + 1;
+        na.n_wall <- na.n_wall + ev.Sink.dur;
+        na.n_busy <- na.n_busy + int_arg "busy_ns" ev;
+        na.n_bytes <- na.n_bytes + int_arg "bytes" ev
       | Sink.Span when ev.Sink.cat = "strip" -> (
         match strip_phase_label ev with
-        | Some label -> (phase label).strips <- (phase label).strips + 1
+        | Some label ->
+          let acc = phase label in
+          acc.strips <- acc.strips + 1;
+          let na = node_acc acc ev.Sink.node in
+          na.n_strips <- na.n_strips + 1
         | None -> ())
       | Sink.Span -> ()
       | Sink.Instant ->
@@ -160,6 +213,8 @@ let profile sink =
           (1 + Option.value ~default:0 (Hashtbl.find_opt instants key))
       | Sink.Counter -> ())
     events;
+  let ordered = List.rev !phase_order in
+  let ms ns = float_of_int ns *. 1e-6 in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "Per-phase profile (sim time)\n";
   Buffer.add_string buf
@@ -168,19 +223,73 @@ let profile sink =
   List.iter
     (fun name ->
       let acc = Hashtbl.find phases name in
-      let nnodes = List.length acc.nodes in
-      let runs = if nnodes = 0 then 0 else acc.spans / nnodes in
-      let mean_ms =
-        if acc.spans = 0 then 0.
-        else
-          float_of_int acc.total_dur
-          /. float_of_int (max 1 runs * max 1 nnodes)
-          *. 1e-6
-      in
-      Buffer.add_string buf
-        (Printf.sprintf "  %-24s %6d %6d %12.3f %8d\n" name runs nnodes
-           mean_ms acc.strips))
-    (List.rev !phase_order);
+      if acc.spans = 0 then
+        (* Strip spans whose phase label never produced a phase span (e.g.
+           the category filter kept "strip" but not "phase"): a strip-only
+           row, not a fabricated runs=0 nodes=0 mean=0.000 one. *)
+        Buffer.add_string buf
+          (Printf.sprintf "  %-24s %6s %6s %12s %8d\n" name "-" "-" "-"
+             acc.strips)
+      else begin
+        let nnodes = List.length acc.nodes in
+        let runs = acc.spans / nnodes in
+        let mean_ms = float_of_int acc.total_dur /. float_of_int acc.spans *. 1e-6 in
+        Buffer.add_string buf
+          (Printf.sprintf "  %-24s %6d %6d %12.3f %8d\n" name runs nnodes
+             mean_ms acc.strips)
+      end)
+    ordered;
+  (* Per-node skew: the balance breakdown the global rows average away.
+     wall is the node's phase-span time, busy its local+comm time inside
+     the phase (the busy_ns span arg), bytes its sent volume; the summary
+     line carries min/mean/max busy and the imbalance factor (max/mean). *)
+  if List.exists (fun n -> Hashtbl.length (Hashtbl.find phases n).per_node > 0)
+       ordered
+  then begin
+    Buffer.add_string buf "Per-node skew\n";
+    Buffer.add_string buf
+      (Printf.sprintf "  %-24s %6s %12s %12s %8s %12s\n" "phase" "node"
+         "wall ms" "busy ms" "strips" "bytes");
+    List.iter
+      (fun name ->
+        let acc = Hashtbl.find phases name in
+        let rows =
+          Hashtbl.fold (fun node na l -> (node, na) :: l) acc.per_node []
+          |> List.sort (fun (a, _) (b, _) -> compare a b)
+        in
+        List.iter
+          (fun (node, na) ->
+            if na.n_spans = 0 then
+              Buffer.add_string buf
+                (Printf.sprintf "  %-24s %6d %12s %12s %8d %12s\n" name node
+                   "-" "-" na.n_strips "-")
+            else
+              Buffer.add_string buf
+                (Printf.sprintf "  %-24s %6d %12.3f %12.3f %8d %12d\n" name
+                   node (ms na.n_wall) (ms na.n_busy) na.n_strips na.n_bytes))
+          rows;
+        if acc.spans > 0 then begin
+          let busies =
+            List.filter_map
+              (fun (_, na) -> if na.n_spans > 0 then Some na.n_busy else None)
+              rows
+          in
+          let bmin = List.fold_left min max_int busies
+          and bmax = List.fold_left max 0 busies
+          and bsum = List.fold_left ( + ) 0 busies in
+          let bmean = float_of_int bsum /. float_of_int (List.length busies) in
+          let imbalance =
+            if bmean <= 0. then 1. else float_of_int bmax /. bmean
+          in
+          Buffer.add_string buf
+            (Printf.sprintf
+               "  %-24s = wall %.3f ms over %d spans; busy min/mean/max \
+                %.3f/%.3f/%.3f ms; imbalance %.2fx\n"
+               name (ms acc.total_dur) acc.spans (ms bmin) (bmean *. 1e-6)
+               (ms bmax) imbalance)
+        end)
+      ordered
+  end;
   let tallies =
     Hashtbl.fold (fun k v acc -> (k, v) :: acc) instants []
     |> List.sort (fun (a, _) (b, _) -> compare a b)

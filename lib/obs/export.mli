@@ -4,16 +4,33 @@
       [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}. One track
       (tid) per simulated node, timestamps in microseconds of sim-time.
     - {!jsonl}: one JSON object per event per line, for ad-hoc analysis.
+    - {!jsonl_writer}: the streaming flavour of {!jsonl} — a
+      {!Sink.writer} over an [out_channel] for {!Sink.attach_writer}, so
+      the ring capacity stops bounding what an [--events] file can see.
     - {!metrics_json}: the metrics registry plus attached meta documents
       (per-phase [Dpa_stats]) as one JSON document.
     - {!profile}: human-readable per-phase profile (phase wall times, strip
-      counts, event tallies, histogram summaries). *)
+      counts, per-node skew tables, event tallies, histogram summaries). *)
 
 val chrome_trace : Sink.t -> string
 (** [{"traceEvents": [...], "displayTimeUnit": "ns", ...}]. *)
 
 val jsonl : Sink.t -> string
 
+val jsonl_line : Sink.event -> string
+(** One event as a single compact JSON line (no trailing newline). *)
+
+val jsonl_writer : out_channel -> Sink.writer
+(** Line-buffered JSONL writer: each event becomes one line at flush time,
+    [flush] pushes the channel buffer to the OS, [close] closes the
+    channel. Attach with {!Sink.attach_writer}. *)
+
 val metrics_json : Sink.t -> Json.t
 
 val profile : Sink.t -> string
+(** The global per-phase table (runs, nodes, mean wall ms — total span
+    time divided by the span count, correct for uneven node subsets —
+    and strip counts; labels whose strips never saw a phase span render
+    as strip-only rows), a per-node skew table (wall, busy = local+comm,
+    strips, bytes per node, with min/mean/max busy and the max/mean
+    imbalance factor per phase), instant tallies and metric summaries. *)

@@ -28,12 +28,28 @@ type event = {
   ts : int;  (** sim-ns *)
   dur : int;  (** sim-ns; 0 for instants and counters *)
   args : (string * arg) list;
+  seq : int;
+      (** per-sink emission order. Spans are recorded at close ([ts] is
+          the open time), so [ts] alone does not order the stream; [seq]
+          is the tie-break that makes merges stable. *)
 }
+
+type writer = {
+  write : event -> unit;  (** one accepted event, in time order at flush *)
+  flush : unit -> unit;  (** make everything written so far durable *)
+  close : unit -> unit;  (** release the underlying resource *)
+}
+(** A streaming consumer (see {!attach_writer}): typically a line-buffered
+    JSONL emitter over an [out_channel] ({!Export.jsonl_writer}). *)
 
 type t
 
 val create : ?capacity:int -> unit -> t
 (** [capacity] bounds the instant/counter ring (default [1 lsl 18]). *)
+
+val default_capacity : int
+
+val capacity : t -> int
 
 val metrics : t -> Metrics.t
 
@@ -98,7 +114,10 @@ val meta : t -> (string * Json.t) list
 (** Sorted by key. *)
 
 val events : t -> event list
-(** All live events (spans plus surviving ring entries) sorted by [ts]. *)
+(** All live events (spans plus surviving ring entries), stable-merged by
+    [ts] with emission order ([seq]) as the tie-break — spans recorded at
+    close interleave correctly with the instants emitted while they were
+    open. *)
 
 val nspans : t -> int
 
@@ -106,7 +125,33 @@ val emitted : t -> int
 (** Total events ever emitted, including overwritten ring entries. *)
 
 val dropped : t -> int
-(** Ring entries lost to overwriting. *)
+(** Ring entries lost to overwriting {e with no writer attached to capture
+    them}. While a writer is attached ({!attach_writer}) an overwritten
+    entry was already streamed at emission, so it is not a drop — the ring
+    is only the in-memory flight recorder, not the artifact. *)
+
+val attach_writer : t -> writer -> unit
+(** Stream every event accepted from now on (spans and ring events alike,
+    after the category/spans-only filters) to [writer], instead of relying
+    on the ring snapshot at exit. Events are buffered and handed to
+    [writer.write] in time order by {!flush_writer}; callers must flush at
+    quiescent points only (phase barriers — {!Dpa_sim.Engine.barrier} does
+    this automatically — or teardown), where no later event can carry an
+    earlier timestamp, so the stream stays time-ordered within one
+    engine's run. Raises [Invalid_argument] if a writer is already
+    attached. *)
+
+val flush_writer : t -> unit
+(** Sort the buffered events, hand them to the writer, and flush it.
+    No-op without an attached writer. *)
+
+val close_writer : t -> unit
+(** {!flush_writer}, then close and detach the writer, making everything
+    streamed so far durable — safe to call from an exception handler after
+    a mid-run crash, and idempotent. No-op without an attached writer. *)
+
+val streamed : t -> int
+(** Events handed to the attached writer so far (i.e. flushed). *)
 
 val set_global : t option -> unit
 val global : unit -> t option

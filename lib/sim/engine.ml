@@ -120,11 +120,17 @@ let start_sampler t ~period_ns ~name f =
        soon as no real event is pending — the phase has drained. *)
     let rec tick time =
       enqueue t ~time ~node:0 ~advance:false ~sampler:true (fun () ->
-          Array.iter
-            (fun (n : Node.t) ->
-              Dpa_obs.Sink.counter sink ~name ~node:n.Node.id ~ts:time (f n))
-            t.nodes;
-          if t.live > 0 then tick (time + period_ns))
+          (* Checked before emitting: once the phase has drained, a sample
+             at this tick's time would be stamped past the phase end —
+             fabricated, and out of order with the next phase's events in
+             a streamed JSONL export. *)
+          if t.live > 0 then begin
+            Array.iter
+              (fun (n : Node.t) ->
+                Dpa_obs.Sink.counter sink ~name ~node:n.Node.id ~ts:time (f n))
+              t.nodes;
+            tick (time + period_ns)
+          end)
     in
     tick (elapsed t + period_ns)
 
@@ -140,4 +146,9 @@ let barrier t =
       (fun n ->
         Dpa_obs.Sink.instant sink ~cat:"sim" ~name:"barrier" ~node:n.Node.id
           ~ts:m)
-      t.nodes
+      t.nodes;
+    (* A barrier is a quiescent point: every event emitted so far is
+       stamped at or before [m] and everything after starts at or past it,
+       so this is where a streaming event writer may safely sort and flush
+       its segment (no-op when none is attached). *)
+    Dpa_obs.Sink.flush_writer sink

@@ -16,6 +16,11 @@ let parse_ok s =
   | Ok v -> v
   | Error e -> Alcotest.failf "parse %S: %s" s e
 
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
+  at 0
+
 let test_json_roundtrip () =
   let v =
     Json.Obj
@@ -148,6 +153,97 @@ let test_sink_ring_overwrites () =
        (fun (e : Sink.event) -> e.Sink.kind = Sink.Span || e.Sink.ts > 6)
        evs)
 
+let test_sink_ring_wrap_boundaries () =
+  (* Exercise the wrap arithmetic at the exact boundaries: full to the
+     brim, one past, and an exact multiple of the capacity. *)
+  let instant_ts s =
+    List.filter_map
+      (fun (e : Sink.event) ->
+        if e.Sink.kind = Sink.Instant then Some e.Sink.ts else None)
+      (Sink.events s)
+  in
+  let s = Sink.create ~capacity:4 () in
+  for i = 1 to 4 do
+    Sink.instant s ~cat:"t" ~name:"i" ~node:0 ~ts:i
+  done;
+  Alcotest.(check (list int)) "written = capacity" [ 1; 2; 3; 4 ] (instant_ts s);
+  Alcotest.(check int) "no drops at exactly full" 0 (Sink.dropped s);
+  Sink.instant s ~cat:"t" ~name:"i" ~node:0 ~ts:5;
+  Alcotest.(check (list int)) "capacity + 1 evicts oldest" [ 2; 3; 4; 5 ]
+    (instant_ts s);
+  Alcotest.(check int) "one drop" 1 (Sink.dropped s);
+  for i = 6 to 8 do
+    Sink.instant s ~cat:"t" ~name:"i" ~node:0 ~ts:i
+  done;
+  Alcotest.(check (list int)) "exact multiple of capacity" [ 5; 6; 7; 8 ]
+    (instant_ts s);
+  Alcotest.(check int) "drops = written - capacity" 4 (Sink.dropped s);
+  Alcotest.(check int) "emitted counts overwritten" 8 (Sink.emitted s)
+
+let test_events_stable_merge () =
+  (* Spans are recorded at close, so the merged listing must order by ts
+     with emission order (seq) as the tie-break — not by kind or by the
+     order the two backing stores happen to be concatenated in. *)
+  let s = Sink.create () in
+  Sink.instant s ~cat:"t" ~name:"i1" ~node:0 ~ts:5;
+  Sink.instant s ~cat:"t" ~name:"i2" ~node:0 ~ts:5;
+  Sink.span s ~cat:"t" ~name:"late-close" ~node:0 ~ts:5 ~dur:1;
+  Sink.span s ~cat:"t" ~name:"early" ~node:0 ~ts:2 ~dur:1;
+  let evs = Sink.events s in
+  Alcotest.(check (list string)) "ts order, seq tie-break"
+    [ "early"; "i1"; "i2"; "late-close" ]
+    (List.map (fun (e : Sink.event) -> e.Sink.name) evs);
+  let sorted_pairs =
+    let pairs = List.map (fun (e : Sink.event) -> (e.Sink.ts, e.Sink.seq)) evs in
+    List.sort compare pairs = pairs
+  in
+  Alcotest.(check bool) "(ts, seq) nondecreasing" true sorted_pairs
+
+let collecting_writer () =
+  let evs = ref [] and flushes = ref 0 and closes = ref 0 in
+  let w =
+    {
+      Sink.write = (fun ev -> evs := ev :: !evs);
+      Sink.flush = (fun () -> incr flushes);
+      Sink.close = (fun () -> incr closes);
+    }
+  in
+  (w, evs, flushes, closes)
+
+let test_streaming_writer () =
+  let s = Sink.create ~capacity:4 () in
+  let w, evs, flushes, closes = collecting_writer () in
+  Sink.attach_writer s w;
+  let w2, _, _, _ = collecting_writer () in
+  Alcotest.check_raises "second attach rejected"
+    (Invalid_argument "Sink.attach_writer: a writer is already attached")
+    (fun () -> Sink.attach_writer s w2);
+  (* Out-of-order emission within a flush segment is sorted at flush. *)
+  Sink.instant s ~cat:"t" ~name:"i" ~node:0 ~ts:3;
+  Sink.instant s ~cat:"t" ~name:"i" ~node:0 ~ts:1;
+  Sink.instant s ~cat:"t" ~name:"i" ~node:0 ~ts:2;
+  Sink.flush_writer s;
+  Alcotest.(check (list int)) "segment sorted" [ 1; 2; 3 ]
+    (List.rev_map (fun (e : Sink.event) -> e.Sink.ts) !evs);
+  Alcotest.(check int) "flushed once" 1 !flushes;
+  (* Overflow the 4-entry ring: the writer already captured every event,
+     so nothing counts as dropped. *)
+  for i = 4 to 13 do
+    Sink.instant s ~cat:"t" ~name:"i" ~node:0 ~ts:i
+  done;
+  Sink.close_writer s;
+  Alcotest.(check int) "zero drops with writer attached" 0 (Sink.dropped s);
+  Alcotest.(check int) "streamed everything" 13 (Sink.streamed s);
+  Alcotest.(check int) "streamed past ring capacity" 13 (List.length !evs);
+  Alcotest.(check int) "closed" 1 !closes;
+  Sink.close_writer s (* idempotent *);
+  Alcotest.(check int) "close is idempotent" 1 !closes;
+  (* ...but overwrites after detach are real losses again. *)
+  for i = 14 to 18 do
+    Sink.instant s ~cat:"t" ~name:"i" ~node:0 ~ts:i
+  done;
+  Alcotest.(check int) "drops resume without writer" 5 (Sink.dropped s)
+
 let test_sink_meta () =
   let s = Sink.create () in
   Sink.set_meta s "b" (Json.Int 1);
@@ -249,16 +345,136 @@ let test_jsonl_and_profile () =
   Alcotest.(check bool) "has lines" true (lines <> []);
   List.iter (fun l -> ignore (parse_ok l)) lines;
   let profile = Export.profile sink in
-  let contains haystack needle =
-    let nh = String.length haystack and nn = String.length needle in
-    let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
-    at 0
-  in
   List.iter
     (fun needle ->
       Alcotest.(check bool) (needle ^ " in profile") true
         (contains profile needle))
     [ "bh-force"; "wait_ns" ]
+
+let test_jsonl_roundtrip_kinds () =
+  (* Every event kind, with every arg type, must survive the in-repo
+     parser — the same check `make obs-smoke` runs on a streamed file. *)
+  let s = Sink.create () in
+  Sink.span s ~cat:"phase" ~name:"sp" ~node:1 ~ts:5 ~dur:7
+    ~args:[ ("i", Sink.Int (-3)); ("f", Sink.Float 2.5); ("s", Sink.Str "x\"y") ];
+  Sink.instant s ~cat:"fault" ~name:"drop" ~node:0 ~ts:9
+    ~args:[ ("sev", Sink.Str "hi") ];
+  Sink.counter s ~name:"occ" ~node:2 ~ts:11 42;
+  let evs = Sink.events s in
+  Alcotest.(check int) "all three kinds" 3 (List.length evs);
+  List.iter
+    (fun (ev : Sink.event) ->
+      let j = parse_ok (Export.jsonl_line ev) in
+      let kind =
+        match ev.Sink.kind with
+        | Sink.Span -> "span"
+        | Sink.Instant -> "instant"
+        | Sink.Counter -> "counter"
+      in
+      Alcotest.(check bool) (kind ^ " kind") true
+        (Json.member "kind" j = Some (Json.Str kind));
+      Alcotest.(check bool) (kind ^ " name") true
+        (Json.member "name" j = Some (Json.Str ev.Sink.name));
+      Alcotest.(check bool) (kind ^ " node") true
+        (Json.member "node" j = Some (Json.Int ev.Sink.node));
+      Alcotest.(check bool) (kind ^ " ts") true
+        (Json.member "ts" j = Some (Json.Int ev.Sink.ts));
+      Alcotest.(check bool) (kind ^ " dur") true
+        (Json.member "dur" j = Some (Json.Int ev.Sink.dur));
+      let args = Option.get (Json.member "args" j) in
+      List.iter
+        (fun (k, v) ->
+          let expected =
+            match v with
+            | Sink.Int i -> Json.Int i
+            | Sink.Float f -> Json.Float f
+            | Sink.Str str -> Json.Str str
+          in
+          Alcotest.(check bool) (kind ^ " arg " ^ k) true
+            (Json.member k args = Some expected))
+        ev.Sink.args)
+    evs
+
+(* Tokenized rows of a profile whose first column is [name]. *)
+let profile_rows profile name =
+  String.split_on_char '\n' profile
+  |> List.filter_map (fun l ->
+         match String.split_on_char ' ' l |> List.filter (fun s -> s <> "") with
+         | n :: rest when n = name -> Some rest
+         | _ -> None)
+
+let phase_span ?(busy = 0) ?(bytes = 0) s ~node ~dur =
+  Sink.span s ~cat:"phase" ~name:"p" ~node ~ts:0 ~dur
+    ~args:[ ("busy_ns", Sink.Int busy); ("bytes", Sink.Int bytes) ]
+
+let test_profile_mean_uneven_nodes () =
+  (* Node 0 ran the phase twice, node 1 once: 3+5+4 = 12 ms over 3 spans
+     is a 4.000 ms mean. The old spans/nnodes*nnodes denominator (with
+     integer-division runs) divided 12 by 2 and printed 6.000. *)
+  let s = Sink.create () in
+  phase_span s ~node:0 ~dur:3_000_000 ~busy:2_000_000 ~bytes:10;
+  phase_span s ~node:0 ~dur:5_000_000 ~busy:4_000_000 ~bytes:20;
+  phase_span s ~node:1 ~dur:4_000_000 ~busy:2_000_000 ~bytes:30;
+  let rows = profile_rows (Export.profile s) "p" in
+  (match List.find_opt (fun r -> List.length r = 4) rows with
+  | Some [ runs; nodes; mean; strips ] ->
+    Alcotest.(check string) "runs" "1" runs;
+    Alcotest.(check string) "nodes" "2" nodes;
+    Alcotest.(check string) "mean = total/spans" "4.000" mean;
+    Alcotest.(check string) "strips" "0" strips
+  | _ -> Alcotest.fail "no global profile row for phase p");
+  (* The skew summary carries the real total and busy spread. *)
+  match List.find_opt (fun r -> List.nth_opt r 0 = Some "=") rows with
+  | Some ("=" :: "wall" :: wall :: "ms" :: "over" :: spans :: rest) ->
+    Alcotest.(check string) "summary wall" "12.000" wall;
+    Alcotest.(check string) "summary spans" "3" spans;
+    let rest = String.concat " " rest in
+    Alcotest.(check bool) "busy min/mean/max" true
+      (contains rest "2.000/4.000/6.000");
+    Alcotest.(check bool) "imbalance" true (contains rest "1.50x")
+  | _ -> Alcotest.fail "no skew summary line for phase p"
+
+let test_profile_strip_only_rows () =
+  (* Strip spans whose phase label never produced a phase-category span
+     (e.g. --trace-cats strip) must render as strip-only rows, not the old
+     ghost "runs=0 nodes=0 mean=0.000" ones. *)
+  let s = Sink.create () in
+  Sink.span s ~cat:"strip" ~name:"strip" ~node:2 ~ts:0 ~dur:5
+    ~args:[ ("phase", Sink.Str "ghost") ];
+  Sink.span s ~cat:"strip" ~name:"strip" ~node:2 ~ts:5 ~dur:5
+    ~args:[ ("phase", Sink.Str "ghost") ];
+  let profile = Export.profile s in
+  let rows = profile_rows profile "ghost" in
+  Alcotest.(check bool) "global row is strip-only" true
+    (List.mem [ "-"; "-"; "-"; "2" ] rows);
+  Alcotest.(check bool) "skew row is strip-only" true
+    (List.mem [ "2"; "-"; "-"; "2"; "-" ] rows);
+  Alcotest.(check bool) "no summary for a phase with no spans" true
+    (not (List.exists (fun r -> List.nth_opt r 0 = Some "=") rows))
+
+let test_writer_matches_snapshot_export () =
+  (* With no ring overflow, streaming a real phase (flushes at the
+     engine's barriers plus the final close) must produce exactly the
+     lines the one-shot snapshot exporter renders at the end. *)
+  let sink = Sink.create () in
+  let buf = Buffer.create 65536 in
+  Sink.attach_writer sink
+    {
+      Sink.write =
+        (fun ev ->
+          Buffer.add_string buf (Export.jsonl_line ev);
+          Buffer.add_char buf '\n');
+      Sink.flush = (fun () -> ());
+      Sink.close = (fun () -> ());
+    };
+  let (_ : Dpa_bh.Bh_run.phase_result) = run_bh ~sink:(Some sink) () in
+  Sink.close_writer sink;
+  Alcotest.(check int) "no drops" 0 (Sink.dropped sink);
+  Alcotest.(check int) "streamed everything emitted" (Sink.emitted sink)
+    (Sink.streamed sink);
+  Alcotest.(check bool) "nonempty" true (Sink.streamed sink > 0);
+  Alcotest.(check bool) "stream equals snapshot export" true
+    (Buffer.contents buf = Export.jsonl sink)
 
 let test_observing_is_transparent () =
   let off = run_bh ~sink:None () in
@@ -326,6 +542,11 @@ let suites =
       [
         Alcotest.test_case "ring overwrites oldest" `Quick
           test_sink_ring_overwrites;
+        Alcotest.test_case "ring wrap boundaries" `Quick
+          test_sink_ring_wrap_boundaries;
+        Alcotest.test_case "events merge is (ts, seq)-stable" `Quick
+          test_events_stable_merge;
+        Alcotest.test_case "streaming writer" `Quick test_streaming_writer;
         Alcotest.test_case "meta" `Quick test_sink_meta;
         Alcotest.test_case "global pickup by Engine.create" `Quick
           test_global_sink_pickup;
@@ -336,6 +557,14 @@ let suites =
         Alcotest.test_case "metrics export valid" `Quick
           test_metrics_export_valid;
         Alcotest.test_case "jsonl and profile" `Quick test_jsonl_and_profile;
+        Alcotest.test_case "jsonl round-trips every kind" `Quick
+          test_jsonl_roundtrip_kinds;
+        Alcotest.test_case "profile mean with uneven nodes" `Quick
+          test_profile_mean_uneven_nodes;
+        Alcotest.test_case "profile strip-only rows" `Quick
+          test_profile_strip_only_rows;
+        Alcotest.test_case "writer matches snapshot export" `Quick
+          test_writer_matches_snapshot_export;
         Alcotest.test_case "observing is transparent" `Quick
           test_observing_is_transparent;
       ] );

@@ -2,7 +2,7 @@
 
 BENCH := bin/dpa_bench.exe
 
-.PHONY: all build test fmt fmt-check smoke obs-smoke chaos-smoke adaptive-smoke clean
+.PHONY: all build test fmt fmt-check smoke obs-smoke chaos-smoke adaptive-smoke critpath-smoke bench-obs-overhead clean
 
 all: build
 
@@ -27,7 +27,7 @@ fmt-check:
 # End-to-end observability smoke test: run a small experiment with the
 # trace/metrics exporters on and make sure the artifacts appear and are
 # non-trivial. The test suite validates the JSON itself (test/test_obs.ml).
-smoke: build obs-smoke chaos-smoke adaptive-smoke
+smoke: build obs-smoke chaos-smoke adaptive-smoke critpath-smoke
 	dune exec $(BENCH) -- f1 --scale small \
 	  --trace /tmp/dpa_trace.json --metrics /tmp/dpa_metrics.json --profile
 	@test -s /tmp/dpa_trace.json && test -s /tmp/dpa_metrics.json \
@@ -77,6 +77,34 @@ adaptive-smoke: build
 	  && grep -cq bit-identical /tmp/dpa_adaptive.txt \
 	  && grep -q "^auto" /tmp/dpa_adaptive.txt \
 	  && echo "adaptive-smoke: auto strip ran; forces bit-identical under both RTO policies"
+
+# Causal-tracing smoke test: the BH sweep under the heavy fault preset
+# plus two crash windows, with --critical-path on, so every decomposition
+# bucket (retransmit and refetch included) can appear. obs_check then
+# validates the full chain: each causal parent arg in the event stream
+# resolves to an emitted span_id no later than its child, the report's
+# segments sum exactly to the path length, 0 <= max span <= path <= phase
+# wall, and actual bytes >= the communication lower bound in both the
+# report and the profile's optimality table. No --trace-cats/--spans-only
+# here: filters may drop the instants that define flight ids (see
+# docs/OBSERVABILITY.md).
+critpath-smoke: build
+	dune exec $(BENCH) -- t2 --scale small --bodies 512 \
+	  --faults heavy,crashes=2 --critical-path /tmp/dpa_critpath.json \
+	  --events /tmp/dpa_cp_events.jsonl --profile | tee /tmp/dpa_cp.txt
+	@grep -q "wrote critical-path report" /tmp/dpa_cp.txt \
+	  || { echo "critpath-smoke: report missing"; exit 1; }
+	dune exec bin/obs_check.exe -- --min-lines 1000 \
+	  --critpath /tmp/dpa_critpath.json \
+	  /tmp/dpa_cp_events.jsonl /tmp/dpa_cp.txt
+	@echo "critpath-smoke: causal edges resolve; path decomposition exact; comm ratio >= 1"
+
+# Observability-overhead benchmark: wall-clock time of t2 and f1 with
+# observability off, with event streaming only, and with causal tracing +
+# critical-path analysis on top. Writes BENCH_obs_overhead.json (the
+# committed copy documents the overhead on the reference machine).
+bench-obs-overhead: build
+	dune exec bin/bench_obs_overhead.exe -- BENCH_obs_overhead.json
 
 clean:
 	dune clean

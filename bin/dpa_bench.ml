@@ -12,6 +12,7 @@ type obs_opts = {
   trace : string option;
   metrics : string option;
   events : string option;
+  critpath : string option;
   profile : bool;
   cats : string list option;
   spans_only : bool;
@@ -49,6 +50,20 @@ let obs_term =
              phase barrier and on teardown, so a crashed run keeps \
              everything flushed before the crash and the file is not \
              bounded by the in-memory ring.")
+  in
+  let critpath =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "critical-path" ] ~docv:"FILE"
+          ~doc:
+            "Enable causal tracing and write a per-phase critical-path JSON \
+             report: the longest happens-before chain through each labeled \
+             phase, decomposed into compute / alignment-wait / wire / \
+             owner-queue / retransmit / refetch time, plus the phase's \
+             communication-optimality ratio. Also stamps span_id/parent \
+             args on emitted events and flow pairs on message flights (see \
+             docs/OBSERVABILITY.md).")
   in
   let profile =
     Arg.(
@@ -93,12 +108,23 @@ let obs_term =
              recorder). With $(b,--events) the ring only bounds the \
              in-memory snapshot, not the streamed file.")
   in
-  let combine trace metrics events profile cats spans_only sample_ns ring =
-    { trace; metrics; events; profile; cats; spans_only; sample_ns; ring }
+  let combine trace metrics events critpath profile cats spans_only sample_ns
+      ring =
+    {
+      trace;
+      metrics;
+      events;
+      critpath;
+      profile;
+      cats;
+      spans_only;
+      sample_ns;
+      ring;
+    }
   in
   Term.(
-    const combine $ trace $ metrics $ events $ profile $ cats $ spans_only
-    $ sample_ns $ ring)
+    const combine $ trace $ metrics $ events $ critpath $ profile $ cats
+    $ spans_only $ sample_ns $ ring)
 
 let with_obs obs f conf =
   (if obs.ring <= 0 then begin
@@ -107,7 +133,7 @@ let with_obs obs f conf =
    end);
   if
     obs.trace = None && obs.metrics = None && obs.events = None
-    && not obs.profile
+    && obs.critpath = None && not obs.profile
   then f conf
   else begin
     (* Open every output file before the (possibly long) run so a bad path
@@ -121,7 +147,10 @@ let with_obs obs f conf =
     let trace_out = Option.map open_or_die obs.trace in
     let metrics_out = Option.map open_or_die obs.metrics in
     let events_out = Option.map open_or_die obs.events in
+    let critpath_out = Option.map open_or_die obs.critpath in
     let sink = Dpa_obs.Sink.create ~capacity:obs.ring () in
+    if obs.critpath <> None then
+      Dpa_obs.Sink.set_causal sink (Some (Dpa_obs.Causal.create ()));
     Dpa_obs.Sink.set_categories sink obs.cats;
     Dpa_obs.Sink.set_spans_only sink obs.spans_only;
     (if obs.sample_ns < 0 then begin
@@ -160,6 +189,15 @@ let with_obs obs f conf =
       (* Already streamed and closed by the [Fun.protect] finaliser. *)
       Printf.printf "wrote event log to %s (%d events)\n" path
         (Dpa_obs.Sink.streamed sink));
+    (match (critpath_out, Dpa_obs.Sink.causal sink) with
+    | Some (path, oc), Some c ->
+      let report = Dpa_obs.Critpath.report_json c in
+      output_string oc (Dpa_obs.Json.to_string report);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "wrote critical-path report to %s (%d phases)\n" path
+        (List.length (Dpa_obs.Causal.results c))
+    | _ -> ());
     if obs.profile then print_string (Dpa_obs.Export.profile sink);
     let nfiltered = Dpa_obs.Sink.filtered sink in
     if nfiltered > 0 then

@@ -1,9 +1,14 @@
-(* CI validator for the observability artifacts (see `make obs-smoke`):
-   checks that a streamed --events JSONL file is well-formed and
-   time-ordered, and that the --profile per-node skew tables are
-   internally consistent with the global per-phase rows.
+(* CI validator for the observability artifacts (see `make obs-smoke` and
+   `make critpath-smoke`): checks that a streamed --events JSONL file is
+   well-formed and time-ordered, that its causal annotations form a valid
+   happens-before relation (every parent arg resolves to an emitted
+   span_id with an earlier-or-equal open timestamp; dangling references
+   fail), that the --profile per-node skew and communication-optimality
+   tables are internally consistent, and (with --critpath) that a
+   --critical-path report's invariants hold: segments sum exactly to the
+   path, 0 <= max span <= path <= wall, and actual bytes >= bound >= 0.
 
-   Usage: obs_check [--min-lines N] EVENTS.jsonl PROFILE.txt *)
+   Usage: obs_check [--min-lines N] [--critpath FILE] EVENTS.jsonl PROFILE.txt *)
 
 let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("obs_check: " ^ s); exit 1) fmt
 
@@ -39,6 +44,12 @@ let int_field name j =
 let check_events path =
   let lines = read_lines path in
   let prev_ts = ref min_int in
+  (* Causal annotations: span_id args define ids (with the event's open
+     timestamp), parent args reference them. Ids are process-unique (the
+     allocator is never reset), and parents never cross engines, so the
+     resolution pass can run over the whole file at once. *)
+  let defs : (int, int) Hashtbl.t = Hashtbl.create 4096 in
+  let refs = ref [] in
   List.iteri
     (fun i line ->
       let lineno = i + 1 in
@@ -56,7 +67,16 @@ let check_events path =
       ignore (int_field "node" j);
       ignore (int_field "dur" j);
       (match Dpa_obs.Json.member "args" j with
-      | Some (Dpa_obs.Json.Obj _) -> ()
+      | Some (Dpa_obs.Json.Obj fields) ->
+        (match List.assoc_opt "span_id" fields with
+        | Some (Dpa_obs.Json.Int id) ->
+          if Hashtbl.mem defs id then
+            fail "%s:%d: span_id %d defined twice" path lineno id;
+          Hashtbl.replace defs id ts
+        | _ -> ());
+        (match List.assoc_opt "parent" fields with
+        | Some (Dpa_obs.Json.Int p) -> refs := (p, ts, lineno) :: !refs
+        | _ -> ())
       | _ -> fail "%s:%d: missing args object" path lineno);
       if ts < !prev_ts
          && not (kind = "instant" && cat = "sim" && name = "barrier")
@@ -65,7 +85,24 @@ let check_events path =
           ts !prev_ts kind cat name;
       prev_ts := ts)
     lines;
-  List.length lines
+  let dangling = ref 0 in
+  List.iter
+    (fun (p, ts, lineno) ->
+      match Hashtbl.find_opt defs p with
+      | None ->
+        incr dangling;
+        (* Report the first few individually, then just the count. *)
+        if !dangling <= 3 then
+          Printf.eprintf "obs_check: %s:%d: parent %d matches no span_id\n"
+            path lineno p
+      | Some pts ->
+        if pts > ts then
+          fail "%s:%d: parent %d opens at %d, after its child's ts %d" path
+            lineno p pts ts)
+    !refs;
+  if !dangling > 0 then
+    fail "%s: %d dangling causal parent reference(s)" path !dangling;
+  (List.length lines, Hashtbl.length defs, List.length !refs)
 
 (* ---- profile text ----------------------------------------------------- *)
 
@@ -92,11 +129,19 @@ let float_tok name t =
   | Some f -> f
   | None -> fail "profile: bad %s field %S" name t
 
+type opt_acc = {
+  mutable o_rows : int;
+  mutable o_actual : int;
+  mutable o_bound : int;
+}
+
 let check_profile path =
   let lines = read_lines path in
   let globals : (string, global_row) Hashtbl.t = Hashtbl.create 8 in
   let skews : (string, skew_acc) Hashtbl.t = Hashtbl.create 8 in
   let summaries : (string, summary) Hashtbl.t = Hashtbl.create 8 in
+  let opts : (string, opt_acc) Hashtbl.t = Hashtbl.create 8 in
+  let opt_summaries : (string, int * int) Hashtbl.t = Hashtbl.create 8 in
   let skew name =
     match Hashtbl.find_opt skews name with
     | Some a -> a
@@ -105,11 +150,20 @@ let check_profile path =
       Hashtbl.add skews name a;
       a
   in
+  let opt name =
+    match Hashtbl.find_opt opts name with
+    | Some a -> a
+    | None ->
+      let a = { o_rows = 0; o_actual = 0; o_bound = 0 } in
+      Hashtbl.add opts name a;
+      a
+  in
   let section = ref `None in
   List.iter
     (fun line ->
       if line = "Per-phase profile (sim time)" then section := `Global
       else if line = "Per-node skew" then section := `Skew
+      else if line = "Per-phase communication optimality" then section := `Opt
       else if String.length line = 0 || line.[0] <> ' ' then section := `None
       else
         match (!section, tokens line) with
@@ -140,8 +194,36 @@ let check_profile path =
             a.s_rows <- a.s_rows + 1;
             a.s_wall <- a.s_wall +. float_tok "wall" wall
           end
+        | `Opt, [ "phase"; "node"; "actual"; "B"; "bound"; "B"; "ratio" ] -> ()
+        | `Opt, name :: "=" :: "actual" :: actual :: "B," :: "bound" :: bound
+                :: "B," :: _ ->
+          Hashtbl.replace opt_summaries name
+            (int_tok "opt actual" actual, int_tok "opt bound" bound)
+        | `Opt, [ name; _node; actual; bound; _ratio ] ->
+          let a = opt name in
+          let av = int_tok "opt actual" actual
+          and bv = int_tok "opt bound" bound in
+          if bv < 0 || av < bv then
+            fail
+              "%s: phase %S: optimality row has actual %d < bound %d (or a \
+               negative bound)"
+              path name av bv;
+          a.o_rows <- a.o_rows + 1;
+          a.o_actual <- a.o_actual + av;
+          a.o_bound <- a.o_bound + bv
         | _ -> ())
     lines;
+  Hashtbl.iter
+    (fun name (s_actual, s_bound) ->
+      match Hashtbl.find_opt opts name with
+      | None ->
+        fail "%s: phase %S: optimality summary without any rows" path name
+      | Some a ->
+        if a.o_actual <> s_actual || a.o_bound <> s_bound then
+          fail
+            "%s: phase %S: optimality rows sum to %d/%d B, summary says %d/%d"
+            path name a.o_actual a.o_bound s_actual s_bound)
+    opt_summaries;
   if Hashtbl.length globals = 0 then
     fail "%s: no per-phase profile rows found" path;
   Hashtbl.iter
@@ -177,14 +259,77 @@ let check_profile path =
     globals;
   Hashtbl.length globals
 
+(* ---- critical-path report --------------------------------------------- *)
+
+let json_int path name j =
+  match Dpa_obs.Json.member name j with
+  | Some (Dpa_obs.Json.Int i) -> i
+  | _ -> fail "%s: missing int field %S" path name
+
+(* The report's defining invariants, checked per phase instance: the
+   decomposition is exact (buckets sum to the path length with no
+   remainder), the path is bounded by the phase wall and bounds the
+   longest single span, and the communication accounting never reports
+   moving fewer bytes than its own lower bound. *)
+let check_critpath path =
+  let j =
+    match Dpa_obs.Json.parse (String.concat "\n" (read_lines path)) with
+    | Ok j -> j
+    | Error e -> fail "%s: parse error: %s" path e
+  in
+  let phases =
+    match Dpa_obs.Json.member "phases" j with
+    | Some (Dpa_obs.Json.List l) -> l
+    | _ -> fail "%s: missing phases list" path
+  in
+  if phases = [] then fail "%s: no analyzed phases in the report" path;
+  if json_int path "nphases" j <> List.length phases then
+    fail "%s: nphases disagrees with the phases list" path;
+  List.iteri
+    (fun i p ->
+      let ctxt = Printf.sprintf "%s: phase %d" path i in
+      let wall = json_int ctxt "wall_ns" p
+      and path_ns = json_int ctxt "path_ns" p
+      and max_span = json_int ctxt "max_span_ns" p
+      and actual = json_int ctxt "opt_actual_bytes" p
+      and bound = json_int ctxt "opt_bound_bytes" p in
+      let segs =
+        match Dpa_obs.Json.member "segments" p with
+        | Some (Dpa_obs.Json.Obj fields) ->
+          List.map
+            (fun (k, v) ->
+              match v with
+              | Dpa_obs.Json.Int n -> (k, n)
+              | _ -> fail "%s: segment %S is not an int" ctxt k)
+            fields
+        | _ -> fail "%s: missing segments object" ctxt
+      in
+      List.iter
+        (fun (k, v) -> if v < 0 then fail "%s: segment %S is negative" ctxt k)
+        segs;
+      let segsum = List.fold_left (fun a (_, v) -> a + v) 0 segs in
+      if segsum <> path_ns then
+        fail "%s: segments sum to %d ns, path_ns is %d" ctxt segsum path_ns;
+      if not (0 <= max_span && max_span <= path_ns && path_ns <= wall) then
+        fail "%s: expected 0 <= max_span (%d) <= path (%d) <= wall (%d)" ctxt
+          max_span path_ns wall;
+      if bound < 0 || actual < bound then
+        fail "%s: expected actual (%d) >= bound (%d) >= 0" ctxt actual bound)
+    phases;
+  List.length phases
+
 let () =
   let min_lines = ref 1 in
+  let critpath = ref None in
   let positional = ref [] in
   let rec parse = function
     | "--min-lines" :: n :: rest ->
       (match int_of_string_opt n with
       | Some i -> min_lines := i
       | None -> fail "--min-lines expects an integer, got %S" n);
+      parse rest
+    | "--critpath" :: p :: rest ->
+      critpath := Some p;
       parse rest
     | arg :: rest ->
       positional := arg :: !positional;
@@ -195,12 +340,28 @@ let () =
   let events_path, profile_path =
     match List.rev !positional with
     | [ e; p ] -> (e, p)
-    | _ -> fail "usage: obs_check [--min-lines N] EVENTS.jsonl PROFILE.txt"
+    | _ ->
+      fail
+        "usage: obs_check [--min-lines N] [--critpath FILE] EVENTS.jsonl \
+         PROFILE.txt"
   in
-  let nlines = check_events events_path in
+  let nlines, ndefs, nrefs = check_events events_path in
   if nlines < !min_lines then
     fail "%s: only %d event lines, expected at least %d" events_path nlines
       !min_lines;
   let nphases = check_profile profile_path in
-  Printf.printf "obs_check: OK (%d event lines, %d profiled phase(s))\n" nlines
-    nphases
+  let extra =
+    match !critpath with
+    | None -> ""
+    | Some p ->
+      (* A critical-path report implies causal tracing was on, so the
+         event stream must actually carry the annotations it validates. *)
+      if ndefs = 0 || nrefs = 0 then
+        fail "%s: --critpath given but no causal span_id/parent args in %s" p
+          events_path;
+      Printf.sprintf ", %d critical-path phase(s)" (check_critpath p)
+  in
+  Printf.printf
+    "obs_check: OK (%d event lines, %d causal spans, %d causal refs, %d \
+     profiled phase(s)%s)\n"
+    nlines ndefs nrefs nphases extra

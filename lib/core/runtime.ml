@@ -22,6 +22,21 @@ type obs = {
   mutable strip_start : int;
   mutable strip_id : int;
   mutable strip_items : int;
+  (* Communication-optimality accounting (Export.profile): bytes the node
+     actually put on the wire for this phase vs. the surface/volume-style
+     lower bound — each unique remote object it touched, fetched exactly
+     once at its footprint, plus each unique accumulation target, sent
+     exactly once at one update-entry. *)
+  touched : int Gptr.Tbl.t;  (* unique remote objects -> footprint bytes *)
+  upd_touched : (Gptr.t * int, unit) Hashtbl.t;  (* unique update targets *)
+  mutable opt_actual : int;  (* request+update+reply+app-ack bytes *)
+  (* Causal tracing (Sink.set_causal): the per-ctx cursor state linking
+     scheduler activities into the happens-before DAG. *)
+  cau : Dpa_obs.Causal.t option;
+  mutable last_act : int;  (* previous quantum/marker on this node, -1 *)
+  mutable wake_parents : int list;  (* wake markers awaiting the next quantum *)
+  mutable strip_span : int;  (* causal span id of the open strip, -1 *)
+  mutable prev_strip_span : int;
 }
 
 (* Adaptive strip-size controller, allocated only under [Config.auto].
@@ -99,22 +114,39 @@ let obs_outstanding o (n : Node.t) pending =
 let obs_strip_end o (n : Node.t) =
   if o.strip_open then begin
     o.strip_open <- false;
+    (* Strip spans chain in the event stream only (span_id/parent args,
+       previous strip as parent) — the causal DAG stays
+       activity-granular. *)
+    let cargs =
+      if o.strip_span < 0 then []
+      else
+        ("span_id", Dpa_obs.Sink.Int o.strip_span)
+        :: (if o.prev_strip_span >= 0 then
+              [ ("parent", Dpa_obs.Sink.Int o.prev_strip_span) ]
+            else [])
+    in
     Dpa_obs.Sink.span
       ~args:
-        [
-          ("strip", Dpa_obs.Sink.Int o.strip_id);
-          ("items", Dpa_obs.Sink.Int o.strip_items);
-          ("phase", Dpa_obs.Sink.Str o.label);
-        ]
+        (("strip", Dpa_obs.Sink.Int o.strip_id)
+        :: ("items", Dpa_obs.Sink.Int o.strip_items)
+        :: ("phase", Dpa_obs.Sink.Str o.label)
+        :: cargs)
       o.sink ~cat:"strip" ~name:"strip" ~node:n.Node.id ~ts:o.strip_start
-      ~dur:(n.Node.clock - o.strip_start)
+      ~dur:(n.Node.clock - o.strip_start);
+    if o.strip_span >= 0 then begin
+      o.prev_strip_span <- o.strip_span;
+      o.strip_span <- -1
+    end
   end
 
 let obs_strip_begin o ~start ~items =
   o.strip_open <- true;
   o.strip_id <- o.strip_id + 1;
   o.strip_start <- start;
-  o.strip_items <- items
+  o.strip_items <- items;
+  match o.cau with
+  | None -> ()
+  | Some c -> o.strip_span <- Dpa_obs.Causal.fresh c
 
 let obs_align_clear o (n : Node.t) ~size =
   if size > 0 then
@@ -127,6 +159,66 @@ let obs_wait o (n : Node.t) token =
   | Some t0 ->
     Hashtbl.remove o.issued token;
     Dpa_obs.Metrics.observe o.h_wait (n.Node.clock - t0)
+
+(* --- causal-tracing helpers -------------------------------------------- *)
+
+(* Record a completed activity in the happens-before DAG and emit its span
+   (cat "act") with span_id/parent args, so the JSONL stream and the DAG
+   tell one story. Edges are the caller's business — an activity may have
+   several (its Seq predecessor plus any number of Wake parents). *)
+let obs_act o c ~id ~parent ~name ~seg (n : Node.t) ~ts ~dur =
+  Dpa_obs.Causal.node ~seg c ~id ~name ~node:n.Node.id ~ts ~dur;
+  let args =
+    ("span_id", Dpa_obs.Sink.Int id)
+    :: (if parent >= 0 then [ ("parent", Dpa_obs.Sink.Int parent) ] else [])
+  in
+  Dpa_obs.Sink.span ~args o.sink ~cat:"act" ~name ~node:n.Node.id ~ts ~dur
+
+(* Zero-duration marker node (wakes, timer re-issues, restart walks):
+   records the DAG node and its incoming edge, and returns the id plus the
+   span_id/parent args the caller splices into the instant it was already
+   emitting. [(-1, [])] with tracing off. *)
+let causal_marker o (n : Node.t) ~name ~seg ~kind ~parent =
+  match o.cau with
+  | None -> (-1, [])
+  | Some c ->
+    let id = Dpa_obs.Causal.fresh c in
+    Dpa_obs.Causal.node ~seg c ~id ~name ~node:n.Node.id ~ts:n.Node.clock
+      ~dur:0;
+    Dpa_obs.Causal.edge c ~kind ~parent ~child:id;
+    ( id,
+      ("span_id", Dpa_obs.Sink.Int id)
+      :: (if parent >= 0 then [ ("parent", Dpa_obs.Sink.Int parent) ] else [])
+    )
+
+(* Run [f] with the causal cursor on [id], so any flight it puts on the
+   wire parents there. Transparent when tracing is off. *)
+let with_causal o id f =
+  match o.cau with
+  | Some c when id >= 0 -> Dpa_obs.Causal.with_current c id f
+  | _ -> f ()
+
+(* Open a handler-side activity (owner service, update apply) as the child
+   of the delivering flight — the causal cursor, set by the transport
+   around handler execution — and leave the cursor on it so replies sent
+   from the handler parent there; [close_handler_act] records it once the
+   handler has charged its work. *)
+let open_handler_act ctx (owner : Node.t) =
+  match ctx.obs with
+  | Some ({ cau = Some c; _ } as o) ->
+    let fid = Dpa_obs.Causal.current c in
+    let sid = Dpa_obs.Causal.fresh c in
+    Dpa_obs.Causal.edge c ~kind:Dpa_obs.Causal.Deliver ~parent:fid ~child:sid;
+    Dpa_obs.Causal.set_current c sid;
+    Some (o, c, sid, fid, owner.Node.clock)
+  | _ -> None
+
+let close_handler_act ~name (owner : Node.t) = function
+  | None -> ()
+  | Some (o, c, sid, fid, t0) ->
+    obs_act o c ~id:sid ~parent:fid ~name ~seg:Dpa_obs.Causal.Compute owner
+      ~ts:t0
+      ~dur:(owner.Node.clock - t0)
 
 (* Every suspension counts toward the outstanding-thread peak: a thread is
    outstanding from the moment its spawn site runs until the scheduler
@@ -227,6 +319,31 @@ and run_quantum ctx =
     Node.wait_until ctx.node ctx.down_until;
   let quantum = ctx.machine.Machine.poll_quantum_ns in
   let start = ctx.node.Node.clock in
+  (* Open the quantum activity: chained in program order (Seq) from this
+     node's previous activity, plus one Wake edge per reply delivered
+     since — those edge gaps are what the critical path charges as
+     alignment wait. Recorded even at zero duration: the next activity's
+     Seq parent and any flight sent from here must resolve in the stream,
+     or obs_check would count a dangling edge. *)
+  let act =
+    match ctx.obs with
+    | Some ({ cau = Some c; _ } as o) ->
+      let aid = Dpa_obs.Causal.fresh c in
+      let primary =
+        if o.last_act >= 0 then o.last_act
+        else match o.wake_parents with w :: _ -> w | [] -> -1
+      in
+      Dpa_obs.Causal.edge c ~kind:Dpa_obs.Causal.Seq ~parent:o.last_act
+        ~child:aid;
+      List.iter
+        (fun w ->
+          Dpa_obs.Causal.edge c ~kind:Dpa_obs.Causal.Wake ~parent:w ~child:aid)
+        o.wake_parents;
+      o.wake_parents <- [];
+      Dpa_obs.Causal.set_current c aid;
+      Some (o, c, aid, primary)
+    | _ -> None
+  in
   let rec loop () =
     if Queue.is_empty ctx.ready then after_drain ()
     else if ctx.node.Node.clock - start >= quantum then ensure_scheduled ctx
@@ -251,7 +368,15 @@ and run_quantum ctx =
       next_strip ctx
     end
   in
-  loop ()
+  loop ();
+  match act with
+  | None -> ()
+  | Some (o, c, aid, primary) ->
+    Dpa_obs.Causal.set_current c (-1);
+    obs_act o c ~id:aid ~parent:primary ~name:"quantum"
+      ~seg:Dpa_obs.Causal.Compute ctx.node ~ts:start
+      ~dur:(ctx.node.Node.clock - start);
+    o.last_act <- aid
 
 (* Strip boundary: discard the alignment buffer (renamed copies die with
    the strip) and inject the next strip of work items. *)
@@ -310,7 +435,9 @@ and deliver ctx pairs =
       | Some (ptr, ks) ->
         (match ctx.obs with
         | None -> ()
-        | Some o -> obs_wait o ctx.node req.token);
+        | Some o ->
+          obs_wait o ctx.node req.token;
+          Gptr.Tbl.replace o.touched ptr (Obj_repr.bytes view));
         if ctx.cfg.Config.reuse then Align_buffer.add ctx.buffer ptr view;
         List.iter (fun k -> Queue.push (ptr, view, k) ctx.ready) ks)
     pairs;
@@ -321,8 +448,18 @@ and deliver ctx pairs =
   | None -> ()
   | Some o ->
     Dpa_obs.Metrics.observe o.h_dbuf (Align_buffer.size ctx.buffer);
+    (* Wake marker: child of the flight that carried the replies (the
+       cursor — deliver runs inside the transport's handler wrapper),
+       parent of the next quantum on this node. *)
+    let wid, cargs =
+      causal_marker o ctx.node ~name:"wake" ~seg:Dpa_obs.Causal.Other
+        ~kind:Dpa_obs.Causal.Deliver
+        ~parent:
+          (match o.cau with Some c -> Dpa_obs.Causal.current c | None -> -1)
+    in
+    if wid >= 0 then o.wake_parents <- wid :: o.wake_parents;
     obs_instant
-      ~args:[ ("replies", Dpa_obs.Sink.Int (List.length pairs)) ]
+      ~args:(("replies", Dpa_obs.Sink.Int (List.length pairs)) :: cargs)
       o ctx.node ~name:"wake";
     obs_outstanding o ctx.node ctx.pending);
   ensure_scheduled ctx
@@ -367,18 +504,30 @@ and arm_request_timer ctx ~dst (req : request) ~rto =
       | Some _ ->
         Node.wait_until ctx.node deadline;
         ctx.stats.Dpa_stats.rt_retries <- ctx.stats.Dpa_stats.rt_retries + 1;
+        let rid =
+          match ctx.obs with
+          | None -> -1
+          | Some o ->
+            Dpa_obs.Metrics.add o.c_retry 1;
+            (* Timer firings run outside any quantum: the marker keeps the
+               re-issued flight's chain grounded in this node's activity
+               history instead of dangling. *)
+            let rid, cargs =
+              causal_marker o ctx.node ~name:"rt_retry"
+                ~seg:Dpa_obs.Causal.Retransmit ~kind:Dpa_obs.Causal.Retry
+                ~parent:o.last_act
+            in
+            obs_instant
+              ~args:
+                (("token", Dpa_obs.Sink.Int req.token)
+                :: ("dst", Dpa_obs.Sink.Int dst)
+                :: cargs)
+              o ctx.node ~name:"retry";
+            rid
+        in
         (match ctx.obs with
-        | None -> ()
-        | Some o ->
-          Dpa_obs.Metrics.add o.c_retry 1;
-          obs_instant
-            ~args:
-              [
-                ("token", Dpa_obs.Sink.Int req.token);
-                ("dst", Dpa_obs.Sink.Int dst);
-              ]
-            o ctx.node ~name:"retry");
-        send_request_batch ctx ~dst [ req ];
+        | Some o -> with_causal o rid (fun () -> send_request_batch ctx ~dst [ req ])
+        | None -> send_request_batch ctx ~dst [ req ]);
         let cap = 1024 * rt_rto ctx ~bytes:(Dpa_msg.Am.request_bytes ctx.machine ~nreqs:1) in
         arm_request_timer ctx ~dst req ~rto:(min (2 * rto) cap))
 
@@ -411,10 +560,16 @@ and flush_requests ctx ~dst batch =
 and send_request_batch ctx ~dst batch =
   let nreqs = List.length batch in
   let bytes = Dpa_msg.Am.request_bytes ctx.machine ~nreqs in
+  (* Optimality numerator: every wire-out counts, wheel re-issues
+     included — that surplus is exactly what the ratio exposes. *)
+  (match ctx.obs with
+  | None -> ()
+  | Some o -> o.opt_actual <- o.opt_actual + bytes);
   Dpa_msg.Am.send ctx.engine ~src:ctx.node ~dst ~bytes (fun owner ->
       (* Owner-side service handler: look the objects up and ship them back
          in one bulk reply. This steals owner CPU, as an FM handler does. *)
       let m = ctx.machine in
+      let svc = open_handler_act ctx owner in
       Node.charge_comm owner
         (m.Machine.request_service_ns
         + (nreqs * m.Machine.request_service_per_obj_ns));
@@ -432,6 +587,7 @@ and send_request_batch ctx ~dst batch =
       (match ctx.obs with
       | None -> ()
       | Some o ->
+        o.opt_actual <- o.opt_actual + reply;
         Dpa_obs.Metrics.add o.c_reply reply;
         Dpa_obs.Sink.instant
           ~args:
@@ -443,7 +599,8 @@ and send_request_batch ctx ~dst batch =
           o.sink ~cat:"msg" ~name:"bulk_reply" ~node:owner.Node.id
           ~ts:owner.Node.clock);
       Dpa_msg.Am.send ctx.engine ~src:owner ~dst:ctx.node.Node.id ~bytes:reply
-        (fun _self -> deliver ctx pairs))
+        (fun _self -> deliver ctx pairs);
+      close_handler_act ~name:"service" owner svc)
 
 and flush_updates ctx ~dst batch =
   let n = List.length batch in
@@ -477,22 +634,32 @@ and flush_updates ctx ~dst batch =
     send_update_batch ctx ~dst ~id batch;
     arm_update_timer ctx ~id ~rto:(rt_rto ctx ~bytes)
   end
-  else
+  else begin
+    (match ctx.obs with
+    | None -> ()
+    | Some o -> o.opt_actual <- o.opt_actual + bytes);
     Dpa_msg.Am.send ctx.engine ~src:ctx.node ~dst ~bytes (fun owner ->
         let m = ctx.machine in
+        let svc = open_handler_act ctx owner in
         Node.charge_comm owner (n * m.Machine.update_apply_ns);
         let owner_heap = ctx.heaps.(dst) in
         List.iter
           (fun { Update_buffer.ptr; idx; value } ->
             Heap.bump_float owner_heap ptr ~idx value)
-          batch)
+          batch;
+        close_handler_act ~name:"upd_apply" owner svc)
+  end
 
 and send_update_batch ctx ~dst ~id batch =
   let n = List.length batch in
   let bytes = Dpa_msg.Am.update_bytes ctx.machine ~nupdates:n in
   let src_id = node_id ctx in
+  (match ctx.obs with
+  | None -> ()
+  | Some o -> o.opt_actual <- o.opt_actual + bytes);
   Dpa_msg.Am.send ctx.engine ~src:ctx.node ~dst ~bytes (fun owner ->
       let m = ctx.machine in
+      let svc = open_handler_act ctx owner in
       (* The apply cost is charged whether or not the batch is fresh: a
          journal hit still parses the message and probes the journal. *)
       Node.charge_comm owner (n * m.Machine.update_apply_ns);
@@ -509,8 +676,12 @@ and send_update_batch ctx ~dst ~id batch =
       (* Application-level ack, re-sent for journaled duplicates too: a
          lost ack is repaired by the next timer-driven re-send. *)
       let ack = m.Machine.msg_header_bytes in
+      (match ctx.obs with
+      | None -> ()
+      | Some o -> o.opt_actual <- o.opt_actual + ack);
       Dpa_msg.Am.send ctx.engine ~src:owner ~dst:src_id ~bytes:ack
-        (fun _self -> Hashtbl.remove ctx.out_updates id))
+        (fun _self -> Hashtbl.remove ctx.out_updates id);
+      close_handler_act ~name:"upd_apply" owner svc)
 
 and arm_update_timer ctx ~id ~rto =
   let deadline = ctx.node.Node.clock + rto in
@@ -525,16 +696,27 @@ and arm_update_timer ctx ~id ~rto =
         Node.wait_until ctx.node deadline;
         ctx.stats.Dpa_stats.upd_reissues <-
           ctx.stats.Dpa_stats.upd_reissues + 1;
+        let rid =
+          match ctx.obs with
+          | None -> -1
+          | Some o ->
+            let rid, cargs =
+              causal_marker o ctx.node ~name:"upd_retry"
+                ~seg:Dpa_obs.Causal.Retransmit ~kind:Dpa_obs.Causal.Retry
+                ~parent:o.last_act
+            in
+            obs_instant
+              ~args:
+                (("id", Dpa_obs.Sink.Int id)
+                :: ("dst", Dpa_obs.Sink.Int dst)
+                :: cargs)
+              o ctx.node ~name:"upd_retry";
+            rid
+        in
         (match ctx.obs with
-        | None -> ()
         | Some o ->
-          obs_instant
-            ~args:
-              [
-                ("id", Dpa_obs.Sink.Int id); ("dst", Dpa_obs.Sink.Int dst);
-              ]
-            o ctx.node ~name:"upd_retry");
-        send_update_batch ctx ~dst ~id batch;
+          with_causal o rid (fun () -> send_update_batch ctx ~dst ~id batch)
+        | None -> send_update_batch ctx ~dst ~id batch);
         let cap =
           1024
           * rt_rto ctx
@@ -571,7 +753,9 @@ let read ctx ptr k =
       ctx.stats.Dpa_stats.align_hits <- ctx.stats.Dpa_stats.align_hits + 1;
       (match ctx.obs with
       | None -> ()
-      | Some o -> obs_instant o ctx.node ~name:"align_hit");
+      | Some o ->
+        Gptr.Tbl.replace o.touched ptr (Obj_repr.bytes view);
+        obs_instant o ctx.node ~name:"align_hit");
       note_outstanding ctx;
       Queue.push (ptr, view, k) ctx.ready;
       ensure_scheduled ctx
@@ -606,6 +790,9 @@ let accumulate ctx ptr ~idx value =
   end
   else begin
     Node.charge_comm ctx.node ctx.machine.Machine.spawn_overhead_ns;
+    (match ctx.obs with
+    | None -> ()
+    | Some o -> Hashtbl.replace o.upd_touched (ptr, idx) ());
     let before = Update_buffer.combined ctx.updates in
     Update_buffer.add ctx.updates ~dst:ptr.Gptr.node ptr ~idx value;
     if Update_buffer.combined ctx.updates > before then
@@ -640,6 +827,14 @@ let make_obs ~engine ~heaps ~label =
         strip_start = 0;
         strip_id = 0;
         strip_items = 0;
+        touched = Gptr.Tbl.create 256;
+        upd_touched = Hashtbl.create 256;
+        opt_actual = 0;
+        cau = Dpa_obs.Sink.causal sink;
+        last_act = -1;
+        wake_parents = [];
+        strip_span = -1;
+        prev_strip_span = -1;
       }
 
 let make_ctx ~engine ~heaps ~config ~items ~label ~journals node =
@@ -770,18 +965,35 @@ let restart_node ctx ~restart_at =
   in
   ctx.stats.Dpa_stats.crash_refetches <-
     ctx.stats.Dpa_stats.crash_refetches + List.length outstanding;
+  let rid =
+    match ctx.obs with
+    | None -> -1
+    | Some o ->
+      (* Restart marker: chained from the last pre-crash activity so the
+         transparent re-fetch chain stays connected across the outage, and
+         adopted as [last_act] so post-restart quanta chain from it. *)
+      let rid, cargs =
+        causal_marker o n ~name:"restart" ~seg:Dpa_obs.Causal.Refetch
+          ~kind:Dpa_obs.Causal.Refetch_start ~parent:o.last_act
+      in
+      obs_instant
+        ~args:
+          (("refetches", Dpa_obs.Sink.Int (List.length outstanding)) :: cargs)
+        o n ~name:"restart";
+      if rid >= 0 then o.last_act <- rid;
+      rid
+  in
+  let reissue () =
+    List.iter
+      (fun (token, ptr) ->
+        Dpa_msg.Aggregator.add ctx.agg ~dst:ptr.Gptr.node { token; ptr })
+      outstanding;
+    if Dpa_msg.Aggregator.pending ctx.agg > 0 then
+      Dpa_msg.Aggregator.flush_all ctx.agg
+  in
   (match ctx.obs with
-  | None -> ()
-  | Some o ->
-    obs_instant
-      ~args:[ ("refetches", Dpa_obs.Sink.Int (List.length outstanding)) ]
-      o n ~name:"restart");
-  List.iter
-    (fun (token, ptr) ->
-      Dpa_msg.Aggregator.add ctx.agg ~dst:ptr.Gptr.node { token; ptr })
-    outstanding;
-  if Dpa_msg.Aggregator.pending ctx.agg > 0 then
-    Dpa_msg.Aggregator.flush_all ctx.agg;
+  | Some o -> with_causal o rid reissue
+  | None -> reissue ());
   ensure_scheduled ctx
 
 (* Post one background event per crash window not yet behind us. The
@@ -871,15 +1083,52 @@ let run_phase_labeled ~label ~engine ~heaps ~config ~items =
   (match Engine.sink engine with
   | None -> ()
   | Some sink ->
+    (* Per-node communication optimality: bytes the node actually moved
+       for this phase vs. its surface/volume-style lower bound — each
+       unique remote object fetched once at its footprint, each unique
+       accumulation target sent once at one update-entry (DESIGN.md §14).
+       Attached to the phase spans for the profile's optimality table, and
+       summed into the causal window's metadata for the critical-path
+       report. *)
+    let opt =
+      Array.map
+        (fun ctx ->
+          match ctx.obs with
+          | None -> (0, 0)
+          | Some o ->
+            let bound =
+              Gptr.Tbl.fold (fun _ b acc -> acc + b) o.touched 0
+              + (Hashtbl.length o.upd_touched
+                * ctx.machine.Machine.update_entry_bytes)
+            in
+            (o.opt_actual, bound))
+        ctxs
+    in
+    let cau = Dpa_obs.Sink.causal sink in
+    (match cau with
+    | None -> ()
+    | Some c ->
+      let actual = Array.fold_left (fun a (x, _) -> a + x) 0 opt in
+      let bound = Array.fold_left (fun a (_, x) -> a + x) 0 opt in
+      Dpa_obs.Causal.set_meta c ~label ~wall_ns:elapsed_ns ~opt_actual:actual
+        ~opt_bound:bound);
     Array.iter
       (fun (n : Node.t) ->
+        let actual, bound = opt.(n.Node.id) in
+        let cargs =
+          match cau with
+          | None -> []
+          | Some c ->
+            [ ("span_id", Dpa_obs.Sink.Int (Dpa_obs.Causal.fresh c)) ]
+        in
         Dpa_obs.Sink.span
           ~args:
-            [
-              ("elapsed_ns", Dpa_obs.Sink.Int elapsed_ns);
-              ("busy_ns", Dpa_obs.Sink.Int (n.Node.local_ns + n.Node.comm_ns));
-              ("bytes", Dpa_obs.Sink.Int n.Node.bytes_sent);
-            ]
+            (("elapsed_ns", Dpa_obs.Sink.Int elapsed_ns)
+            :: ("busy_ns", Dpa_obs.Sink.Int (n.Node.local_ns + n.Node.comm_ns))
+            :: ("bytes", Dpa_obs.Sink.Int n.Node.bytes_sent)
+            :: ("opt_actual_bytes", Dpa_obs.Sink.Int actual)
+            :: ("opt_bound_bytes", Dpa_obs.Sink.Int bound)
+            :: cargs)
           sink ~cat:"phase" ~name:label ~node:n.Node.id ~ts:start
           ~dur:elapsed_ns)
       nodes);

@@ -37,15 +37,88 @@ let injected_arrival engine (m : Machine.t) ~(src : Node.t) ~dst ~bytes =
   end
   else src.Node.clock + Machine.transfer_ns m ~bytes
 
+(* --- causal tracing hooks ----------------------------------------------- *)
+
+let causal engine =
+  match Engine.sink engine with
+  | None -> None
+  | Some s -> Dpa_obs.Sink.causal s
+
+(* Chrome-trace flow arrows: one "s"/"f" instant pair per delivered copy,
+   bound by an id derived from (src, dst, seq, incarnation) — retransmitted
+   copies of one envelope share the id, so Perfetto draws every arrow of
+   the recovery. The span_id/parent args double as the streamed form of the
+   causal edges that bin/obs_check validates. *)
+let emit_flow engine ~fid ~parent ~src ~dst ~seq ~inc ~sent ~at =
+  match Engine.sink engine with
+  | None -> ()
+  | Some sink ->
+    let flow_id = Printf.sprintf "%d/%d/%d/%d" src dst seq inc in
+    let common =
+      [
+        ("id", Dpa_obs.Sink.Str flow_id);
+        ("src", Dpa_obs.Sink.Int src);
+        ("dst", Dpa_obs.Sink.Int dst);
+        ("seq", Dpa_obs.Sink.Int seq);
+        ("inc", Dpa_obs.Sink.Int inc);
+      ]
+    in
+    let s_args =
+      ("span_id", Dpa_obs.Sink.Int fid)
+      ::
+      (if parent >= 0 then ("parent", Dpa_obs.Sink.Int parent) :: common
+       else common)
+    in
+    Dpa_obs.Sink.instant ~args:s_args sink ~cat:"flow" ~name:"flow_s"
+      ~node:src ~ts:sent;
+    Dpa_obs.Sink.instant
+      ~args:(("parent", Dpa_obs.Sink.Int fid) :: common)
+      sink ~cat:"flow" ~name:"flow_f" ~node:dst ~ts:at
+
+(* Record one delivered copy as a flight node parented at the sender's
+   activity ([cparent], read at wire-out and frozen for the envelope's
+   lifetime), and emit its flow pair. Returns the flight id. *)
+let record_flight engine c ~cparent ~attempt ~src ~dst ?seq ~inc ~sent ~at () =
+  let fid = Dpa_obs.Causal.fresh c in
+  (* Envelope-less (perfect-network) flights use their own id as the flow
+     sequence, keeping flow ids unique per conversation. *)
+  let seq = match seq with Some s -> s | None -> fid in
+  let seg =
+    if attempt > 1 then Dpa_obs.Causal.Retransmit else Dpa_obs.Causal.Wire
+  in
+  let kind =
+    if attempt > 1 then Dpa_obs.Causal.Retry else Dpa_obs.Causal.Send
+  in
+  Dpa_obs.Causal.node ~seg c ~id:fid ~name:"flight" ~node:src ~ts:sent
+    ~dur:(at - sent);
+  Dpa_obs.Causal.edge c ~kind ~parent:cparent ~child:fid;
+  emit_flow engine ~fid ~parent:cparent ~src ~dst ~seq ~inc ~sent ~at;
+  fid
+
 let plain_send engine ~src ~dst ~bytes handler =
   let m = Engine.machine engine in
+  let cau = causal engine in
+  let cparent =
+    match cau with Some c -> Dpa_obs.Causal.current c | None -> -1
+  in
+  let sent_at = src.Node.clock in
+  let src_id = src.Node.id in
   let arrival = injected_arrival engine m ~src ~dst ~bytes in
+  let fid =
+    match cau with
+    | Some c ->
+      record_flight engine c ~cparent ~attempt:1 ~src:src_id ~dst ~inc:0
+        ~sent:sent_at ~at:arrival ()
+    | None -> -1
+  in
   Engine.post engine ~time:arrival ~node:dst (fun () ->
       let d = Engine.node engine dst in
       Node.charge_comm d m.Machine.recv_overhead_ns;
       d.Node.msgs_recv <- d.Node.msgs_recv + 1;
       d.Node.bytes_recv <- d.Node.bytes_recv + bytes;
-      handler d)
+      match cau with
+      | Some c -> Dpa_obs.Causal.with_current c fid (fun () -> handler d)
+      | None -> handler d)
 
 (* --- reliable delivery over a faulty network ----------------------------- *)
 
@@ -63,6 +136,11 @@ type pending = {
   p_first_sent : int;  (* for the recovery-latency histogram *)
   mutable p_attempts : int;
   mutable p_rto_ns : int;
+  p_causal : int;
+      (* causal parent stamped at wire-out of the FIRST attempt (-1 when
+         tracing is off). Retransmissions re-read this, never the cursor —
+         the timeout handler runs outside any activity, and causally the
+         retry still stems from whatever first sent the envelope. *)
 }
 
 type state = {
@@ -251,11 +329,13 @@ let obs_observe engine name v =
    handler. The sender's retransmission re-stamps at the next attempt, so
    the first attempt after the restart goes through; stale replies and
    requests can never act on the new incarnation's state. *)
-let transmit engine f ~(src : Node.t) ~dst ~bytes deliver =
+let transmit engine f ~(src : Node.t) ~dst ~bytes ~seq ~cparent ~attempt
+    deliver =
   let m = Engine.machine engine in
   let sent_at = src.Node.clock in
   let src_id = src.Node.id in
   let dst_inc = (Engine.node engine dst).Node.incarnation in
+  let cau = causal engine in
   let arrival = injected_arrival engine m ~src ~dst ~bytes in
   match
     Fault.judge f ~now:sent_at ~arrival ~src:src_id ~dst
@@ -279,6 +359,17 @@ let transmit engine f ~(src : Node.t) ~dst ~bytes deliver =
     List.iter
       (fun extra ->
         let at = arrival + extra in
+        (* One flight node per surviving copy — a duplicated envelope is
+           two wire traversals, each a possible handler parent. Dropped
+           attempts record nothing: the timeout wait they cause shows up
+           as the gap on the Retry edge into the next attempt's flight. *)
+        let fid =
+          match cau with
+          | Some c ->
+            record_flight engine c ~cparent ~attempt ~src:src_id ~dst ~seq
+              ~inc:dst_inc ~sent:sent_at ~at ()
+          | None -> -1
+        in
         Engine.post engine ~time:at ~node:dst (fun () ->
             let d = Engine.node engine dst in
             if d.Node.incarnation <> dst_inc then begin
@@ -300,7 +391,10 @@ let transmit engine f ~(src : Node.t) ~dst ~bytes deliver =
               Node.charge_comm d m.Machine.recv_overhead_ns;
               d.Node.msgs_recv <- d.Node.msgs_recv + 1;
               d.Node.bytes_recv <- d.Node.bytes_recv + bytes;
-              deliver ~at d
+              match cau with
+              | Some c ->
+                Dpa_obs.Causal.with_current c fid (fun () -> deliver ~at ~fid d)
+              | None -> deliver ~at ~fid d
             end))
       delays
 
@@ -316,6 +410,10 @@ let reliable_send engine f ~(src : Node.t) ~dst ~bytes handler =
       p_first_sent = src.Node.clock;
       p_attempts = 0;
       p_rto_ns = rto_for st m ~src:src_id ~dst ~bytes;
+      p_causal =
+        (match causal engine with
+        | Some c -> Dpa_obs.Causal.current c
+        | None -> -1);
     }
   in
   Hashtbl.replace st.pending seq p;
@@ -341,7 +439,8 @@ let reliable_send engine f ~(src : Node.t) ~dst ~bytes handler =
           ("dst", Dpa_obs.Sink.Int dst);
         ]
     end;
-    transmit engine f ~src ~dst ~bytes on_deliver;
+    transmit engine f ~src ~dst ~bytes ~seq ~cparent:p.p_causal
+      ~attempt:p.p_attempts on_deliver;
     (* Arm the timeout. Soft event: if the ack beats the deadline this is
        a pure no-op that leaves the sender's clock untouched. *)
     obs_observe engine "am.rto_ns" p.p_rto_ns;
@@ -356,7 +455,7 @@ let reliable_send engine f ~(src : Node.t) ~dst ~bytes handler =
             [ ("seq", Dpa_obs.Sink.Int seq); ("dst", Dpa_obs.Sink.Int dst) ];
           attempt ()
         end)
-  and on_deliver ~at d =
+  and on_deliver ~at ~fid d =
     let dup = Hashtbl.mem st.seen.(dst) seq in
     if dup then begin
       st.dups_suppressed <- st.dups_suppressed + 1;
@@ -365,9 +464,9 @@ let reliable_send engine f ~(src : Node.t) ~dst ~bytes handler =
     else Hashtbl.replace st.seen.(dst) seq ();
     (* Ack every arriving copy — the sender may have missed an earlier
        ack — then run the handler exactly once. *)
-    send_ack ~at d;
+    send_ack ~at ~fid d;
     if not dup then handler d
-  and send_ack ~at (d : Node.t) =
+  and send_ack ~at ~fid (d : Node.t) =
     (* NIC-level ack: generated at the wire the moment the copy arrives
        ([at]), not when the receiver's software gets around to it. A
        backlogged owner's clock can run whole seconds ahead of message
@@ -397,6 +496,18 @@ let reliable_send engine f ~(src : Node.t) ~dst ~bytes handler =
     | Fault.Deliver delays ->
       List.iter
         (fun extra ->
+          (* Ack flights join the DAG (leaf nodes off the delivered copy)
+             but are path-ineligible: they advance no node clock, so a
+             late ack must not become the path tail. *)
+          (match causal engine with
+          | Some c ->
+            let aid = Dpa_obs.Causal.fresh c in
+            Dpa_obs.Causal.node ~seg:Dpa_obs.Causal.Wire ~on_path:false c
+              ~id:aid ~name:"ack" ~node:d.Node.id ~ts:at
+              ~dur:(arrival + extra - at);
+            Dpa_obs.Causal.edge c ~kind:Dpa_obs.Causal.Ack ~parent:fid
+              ~child:aid
+          | None -> ());
           Engine.post_soft engine ~time:(arrival + extra) ~node:src_id
             (fun () ->
               let s = Engine.node engine src_id in

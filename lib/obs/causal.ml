@@ -1,0 +1,142 @@
+(* Happens-before recording for one observed run. The graph lives beside
+   the sink (Sink.set_causal) and is filled in by the producers — the DPA
+   runtime records activities (scheduler quanta, owner service, update
+   application, wakes, restart markers) and the message layer records
+   flights and acks — connected by typed edges. The window accumulated
+   since the last barrier is consumed by Critpath.at_barrier, which turns
+   it into one critical-path instance per phase and clears it, so memory
+   stays bounded by the largest single phase.
+
+   Everything here is host-side bookkeeping: recording charges no
+   simulated time, so a causally-traced run produces bit-identical
+   simulation results to an untraced one. *)
+
+type seg = Compute | Wire | Retransmit | Refetch | Other
+
+type edge_kind = Seq | Send | Deliver | Ack | Wake | Retry | Refetch_start
+
+type cnode = {
+  cn_id : int;
+  cn_name : string;
+  cn_node : int;  (* simulated node id *)
+  cn_ts : int;  (* sim-ns start *)
+  cn_dur : int;
+  cn_seg : seg;
+  cn_on_path : bool;
+      (* eligible as a critical-path member. Acks are recorded (the DAG
+         answers "what acknowledged what") but excluded: they are pure
+         bookkeeping that advances no node clock, so a late ack must not
+         become the path tail and push the path past the phase wall. *)
+}
+
+type cedge = { ce_kind : edge_kind; ce_parent : int; ce_child : int }
+
+type phase_meta = {
+  pm_label : string;
+  pm_wall_ns : int;
+  pm_opt_actual : int;  (* bytes actually moved by the phase, all nodes *)
+  pm_opt_bound : int;  (* surface/volume-style lower bound, all nodes *)
+}
+
+(* One analyzed phase window (produced by Critpath, stored here so the
+   two modules need no mutual recursion). [i_segments] always sums to
+   [i_path_ns] — the decomposition is exact by construction. *)
+type instance = {
+  i_label : string;
+  i_wall_ns : int;
+  i_path_ns : int;
+  i_path_nodes : int;
+  i_max_span_ns : int;  (* longest single on-path DAG node in the window *)
+  i_dag_nodes : int;
+  i_dag_edges : int;
+  i_segments : (string * int) list;
+  i_opt_actual : int;
+  i_opt_bound : int;
+}
+
+type t = {
+  mutable next_id : int;
+  mutable nodes : cnode list;  (* current window, reverse recording order *)
+  mutable edges : cedge list;
+  mutable nnodes : int;
+  mutable nedges : int;
+  mutable cursor : int;  (* causal context: the running activity, -1 none *)
+  mutable meta : phase_meta option;
+  mutable results : instance list;  (* analyzed instances, reverse order *)
+}
+
+let create () =
+  {
+    next_id = 0;
+    nodes = [];
+    edges = [];
+    nnodes = 0;
+    nedges = 0;
+    cursor = -1;
+    meta = None;
+    results = [];
+  }
+
+(* Ids are allocated at span open and never reused, across every engine
+   the process runs — the stability that lets a retransmission carry its
+   original parent and lets streamed span_id/parent args resolve without
+   per-engine scoping. *)
+let fresh t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  id
+
+let node ?(seg = Other) ?(on_path = true) t ~id ~name ~node ~ts ~dur =
+  t.nodes <-
+    {
+      cn_id = id;
+      cn_name = name;
+      cn_node = node;
+      cn_ts = ts;
+      cn_dur = dur;
+      cn_seg = seg;
+      cn_on_path = on_path;
+    }
+    :: t.nodes;
+  t.nnodes <- t.nnodes + 1
+
+let edge t ~kind ~parent ~child =
+  if parent >= 0 then begin
+    t.edges <- { ce_kind = kind; ce_parent = parent; ce_child = child } :: t.edges;
+    t.nedges <- t.nedges + 1
+  end
+
+let current t = t.cursor
+let set_current t id = t.cursor <- id
+
+let with_current t id f =
+  let saved = t.cursor in
+  t.cursor <- id;
+  Fun.protect ~finally:(fun () -> t.cursor <- saved) f
+
+let set_meta t ~label ~wall_ns ~opt_actual ~opt_bound =
+  t.meta <-
+    Some
+      {
+        pm_label = label;
+        pm_wall_ns = wall_ns;
+        pm_opt_actual = opt_actual;
+        pm_opt_bound = opt_bound;
+      }
+
+let meta t = t.meta
+
+let window_nodes t = t.nodes
+let window_edges t = t.edges
+let window_size t = (t.nnodes, t.nedges)
+
+let reset_window t =
+  t.nodes <- [];
+  t.edges <- [];
+  t.nnodes <- 0;
+  t.nedges <- 0;
+  t.cursor <- -1;
+  t.meta <- None
+
+let add_result t inst = t.results <- inst :: t.results
+let results t = List.rev t.results

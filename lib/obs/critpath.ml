@@ -1,0 +1,228 @@
+(* Critical-path extraction over one phase window of the happens-before
+   graph (Causal). The path is the chain that sets the phase wall clock:
+   starting from the node with the latest end time, walk backwards always
+   taking the latest-ending predecessor, then walk the chain forward with
+   a cursor and charge every nanosecond of [end(tail) - start(head)] to
+   exactly one bucket — a node's own duration to its segment class, the
+   idle gap before a node to the class its incoming edge implies. The
+   decomposition is exact by construction: the cursor only moves forward
+   and finishes at the tail's end, so the buckets sum to the path length
+   with no remainder. *)
+
+let buckets =
+  [
+    "compute"; "align_wait"; "wire"; "owner_queue"; "retransmit"; "refetch";
+    "other";
+  ]
+
+let bucket_of_seg = function
+  | Causal.Compute -> "compute"
+  | Causal.Wire -> "wire"
+  | Causal.Retransmit -> "retransmit"
+  | Causal.Refetch -> "refetch"
+  | Causal.Other -> "other"
+
+(* An idle gap crossed by an edge is time the child spent waiting for a
+   reason the edge kind names: program order with nothing to run is the
+   alignment wait (the runtime is parked until replies arrive), a
+   flight-to-handler gap is queueing behind the destination's CPU, the
+   stretch from an original send to its retransmission is the timeout
+   wait, and the window between the last pre-crash activity and the
+   restart marker is the crash outage. *)
+let bucket_of_gap = function
+  | Causal.Seq | Causal.Wake -> "align_wait"
+  | Causal.Deliver -> "owner_queue"
+  | Causal.Send | Causal.Ack -> "wire"
+  | Causal.Retry -> "retransmit"
+  | Causal.Refetch_start -> "refetch"
+
+let cend (n : Causal.cnode) = n.Causal.cn_ts + n.Causal.cn_dur
+
+(* Deterministic "later" ordering: end time, then id. *)
+let later (a : Causal.cnode) b =
+  let ea = cend a and eb = cend b in
+  if ea <> eb then ea > eb else a.Causal.cn_id > b.Causal.cn_id
+
+let analyze_window c (pm : Causal.phase_meta) =
+  let nodes = Causal.window_nodes c in
+  let eligible = List.filter (fun n -> n.Causal.cn_on_path) nodes in
+  match eligible with
+  | [] -> None
+  | first :: rest ->
+    let by_id = Hashtbl.create 1024 in
+    List.iter (fun n -> Hashtbl.replace by_id n.Causal.cn_id n) eligible;
+    (* Predecessors of each eligible node, edges between eligible
+       endpoints only. *)
+    let preds = Hashtbl.create 1024 in
+    List.iter
+      (fun (e : Causal.cedge) ->
+        match
+          (Hashtbl.find_opt by_id e.Causal.ce_parent, Hashtbl.mem by_id e.Causal.ce_child)
+        with
+        | Some p, true ->
+          Hashtbl.replace preds e.Causal.ce_child
+            ((p, e.Causal.ce_kind)
+            :: Option.value ~default:[] (Hashtbl.find_opt preds e.Causal.ce_child))
+        | _ -> ())
+      (Causal.window_edges c);
+    let tail = List.fold_left (fun acc n -> if later n acc then n else acc) first rest in
+    let max_span =
+      List.fold_left (fun acc n -> max acc n.Causal.cn_dur) 0 eligible
+    in
+    (* Backward walk: latest-ending predecessor wins; ties break on id so
+       the path is deterministic. Each path element is paired with the
+       kind of the edge INTO it (None for the head). The visited set
+       guards against a recording bug creating a cycle — better a
+       truncated path than a hung analyzer. *)
+    let visited = Hashtbl.create 64 in
+    let rec walk n =
+      Hashtbl.replace visited n.Causal.cn_id ();
+      let best =
+        match Hashtbl.find_opt preds n.Causal.cn_id with
+        | None | Some [] -> None
+        | Some (p0 :: ps) ->
+          Some
+            (List.fold_left
+               (fun (bp, bk) (p, k) -> if later p bp then (p, k) else (bp, bk))
+               p0 ps)
+      in
+      match best with
+      | Some (p, kind) when not (Hashtbl.mem visited p.Causal.cn_id) ->
+        (n, Some kind) :: walk p
+      | _ -> [ (n, None) ]
+    in
+    let path = List.rev (walk tail) in
+    let head = fst (List.hd path) in
+    let tally = Hashtbl.create 8 in
+    let add b ns =
+      if ns > 0 then
+        Hashtbl.replace tally b (ns + Option.value ~default:0 (Hashtbl.find_opt tally b))
+    in
+    let cursor = ref head.Causal.cn_ts in
+    List.iter
+      (fun ((n : Causal.cnode), kind) ->
+        (match kind with
+        | Some k when n.Causal.cn_ts > !cursor ->
+          add (bucket_of_gap k) (n.Causal.cn_ts - !cursor);
+          cursor := n.Causal.cn_ts
+        | _ -> ());
+        let e = cend n in
+        if e > !cursor then begin
+          add (bucket_of_seg n.Causal.cn_seg) (e - max !cursor n.Causal.cn_ts);
+          cursor := e
+        end)
+      path;
+    let path_ns = cend tail - head.Causal.cn_ts in
+    let segments =
+      List.map
+        (fun b -> (b, Option.value ~default:0 (Hashtbl.find_opt tally b)))
+        buckets
+    in
+    let nnodes, nedges = Causal.window_size c in
+    Some
+      {
+        Causal.i_label = pm.Causal.pm_label;
+        i_wall_ns = pm.Causal.pm_wall_ns;
+        i_path_ns = path_ns;
+        i_path_nodes = List.length path;
+        i_max_span_ns = max_span;
+        i_dag_nodes = nnodes;
+        i_dag_edges = nedges;
+        i_segments = segments;
+        i_opt_actual = pm.Causal.pm_opt_actual;
+        i_opt_bound = pm.Causal.pm_opt_bound;
+      }
+
+(* Consume the window at an engine barrier. Only labeled windows (the DPA
+   runtime's phases set metadata) are analyzed; a window recorded by an
+   unlabeled producer is discarded — its flights have no activity chain
+   to ground the path at the phase start, so no invariant would hold. *)
+let at_barrier c =
+  (match Causal.meta c with
+  | Some pm -> (
+    match analyze_window c pm with
+    | Some inst -> Causal.add_result c inst
+    | None -> ())
+  | None -> ());
+  Causal.reset_window c
+
+let ratio ~actual ~bound =
+  if bound <= 0 then if actual = 0 then 1.0 else infinity
+  else float_of_int actual /. float_of_int bound
+
+let instance_json (i : Causal.instance) =
+  Json.Obj
+    [
+      ("label", Json.Str i.Causal.i_label);
+      ("wall_ns", Json.Int i.Causal.i_wall_ns);
+      ("path_ns", Json.Int i.Causal.i_path_ns);
+      ("path_nodes", Json.Int i.Causal.i_path_nodes);
+      ("max_span_ns", Json.Int i.Causal.i_max_span_ns);
+      ("dag_nodes", Json.Int i.Causal.i_dag_nodes);
+      ("dag_edges", Json.Int i.Causal.i_dag_edges);
+      ( "segments",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) i.Causal.i_segments)
+      );
+      ("opt_actual_bytes", Json.Int i.Causal.i_opt_actual);
+      ("opt_bound_bytes", Json.Int i.Causal.i_opt_bound);
+      ( "opt_ratio",
+        Json.Float (ratio ~actual:i.Causal.i_opt_actual ~bound:i.Causal.i_opt_bound)
+      );
+    ]
+
+let report_json c =
+  let insts = Causal.results c in
+  (* Aggregate by label: repeated phases (multi-step simulations) fold
+     into one summary row per label. *)
+  let order = ref [] in
+  let totals = Hashtbl.create 8 in
+  List.iter
+    (fun (i : Causal.instance) ->
+      let key = i.Causal.i_label in
+      let acc =
+        match Hashtbl.find_opt totals key with
+        | Some a -> a
+        | None ->
+          let a = Hashtbl.create 8 in
+          Hashtbl.replace totals key a;
+          order := key :: !order;
+          a
+      in
+      let bump k v =
+        Hashtbl.replace acc k (v + Option.value ~default:0 (Hashtbl.find_opt acc k))
+      in
+      bump "instances" 1;
+      bump "wall_ns" i.Causal.i_wall_ns;
+      bump "path_ns" i.Causal.i_path_ns;
+      bump "opt_actual_bytes" i.Causal.i_opt_actual;
+      bump "opt_bound_bytes" i.Causal.i_opt_bound;
+      List.iter (fun (b, ns) -> bump ("seg_" ^ b) ns) i.Causal.i_segments)
+    insts;
+  let summary =
+    List.rev_map
+      (fun key ->
+        let acc = Hashtbl.find totals key in
+        let g k = Option.value ~default:0 (Hashtbl.find_opt acc k) in
+        ( key,
+          Json.Obj
+            ([
+               ("instances", Json.Int (g "instances"));
+               ("wall_ns", Json.Int (g "wall_ns"));
+               ("path_ns", Json.Int (g "path_ns"));
+               ("opt_actual_bytes", Json.Int (g "opt_actual_bytes"));
+               ("opt_bound_bytes", Json.Int (g "opt_bound_bytes"));
+               ( "opt_ratio",
+                 Json.Float
+                   (ratio ~actual:(g "opt_actual_bytes")
+                      ~bound:(g "opt_bound_bytes")) );
+             ]
+            @ List.map (fun b -> ("seg_" ^ b, Json.Int (g ("seg_" ^ b)))) buckets
+            ) ))
+      !order
+  in
+  Json.Obj
+    [
+      ("phases", Json.List (List.map instance_json insts));
+      ("summary", Json.Obj summary);
+      ("nphases", Json.Int (List.length insts));
+    ]

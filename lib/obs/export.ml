@@ -27,6 +27,35 @@ let chrome_event (ev : Sink.event) =
           ("dur", ts_us ev.Sink.dur);
           ("args", args_json ev.Sink.args);
         ])
+  | Sink.Instant when ev.Sink.cat = "flow" ->
+    (* Message flights render as Chrome flow events: a "flow_s" instant at
+       wire-out becomes the flow start ("s") on the sender track, the
+       matching "flow_f" at delivery the finish ("f") on the receiver
+       track, bound by the flight's (src,dst,seq,incarnation) id — the
+       viewer draws the arrow between the two node tracks. [bp:"e"] binds
+       the finish to its enclosing slice so the arrow lands on the handler
+       activity. *)
+    let fid =
+      match List.assoc_opt "id" ev.Sink.args with
+      | Some (Sink.Str s) -> s
+      | _ -> ""
+    in
+    let ph, bind =
+      if ev.Sink.name = "flow_s" then ("s", [])
+      else ("f", [ ("bp", Json.Str "e") ])
+    in
+    Json.Obj
+      ([
+         ("name", Json.Str "flight");
+         ("cat", Json.Str "flow");
+         ("ts", ts_us ev.Sink.ts);
+         ("pid", Json.Int 0);
+         ("tid", Json.Int ev.Sink.node);
+         ("ph", Json.Str ph);
+         ("id", Json.Str fid);
+       ]
+      @ bind
+      @ [ ("args", args_json ev.Sink.args) ])
   | Sink.Instant ->
     Json.Obj
       (common
@@ -132,6 +161,8 @@ type node_acc = {
   mutable n_busy : int;  (* sum of the spans' busy_ns args, sim-ns *)
   mutable n_bytes : int;  (* sum of the spans' bytes args *)
   mutable n_strips : int;
+  mutable n_opt_actual : int;  (* opt_actual_bytes phase-span args *)
+  mutable n_opt_bound : int;  (* opt_bound_bytes phase-span args *)
 }
 
 type phase_acc = {
@@ -139,6 +170,7 @@ type phase_acc = {
   mutable total_dur : int;
   mutable nodes : int list;
   mutable strips : int;
+  mutable has_opt : bool;  (* some phase span carried optimality args *)
   per_node : (int, node_acc) Hashtbl.t;
 }
 
@@ -157,7 +189,15 @@ let node_acc acc node =
   | Some na -> na
   | None ->
     let na =
-      { n_spans = 0; n_wall = 0; n_busy = 0; n_bytes = 0; n_strips = 0 }
+      {
+        n_spans = 0;
+        n_wall = 0;
+        n_busy = 0;
+        n_bytes = 0;
+        n_strips = 0;
+        n_opt_actual = 0;
+        n_opt_bound = 0;
+      }
     in
     Hashtbl.add acc.per_node node na;
     na
@@ -176,6 +216,7 @@ let profile sink =
           total_dur = 0;
           nodes = [];
           strips = 0;
+          has_opt = false;
           per_node = Hashtbl.create 8;
         }
       in
@@ -197,7 +238,12 @@ let profile sink =
         na.n_spans <- na.n_spans + 1;
         na.n_wall <- na.n_wall + ev.Sink.dur;
         na.n_busy <- na.n_busy + int_arg "busy_ns" ev;
-        na.n_bytes <- na.n_bytes + int_arg "bytes" ev
+        na.n_bytes <- na.n_bytes + int_arg "bytes" ev;
+        if List.mem_assoc "opt_actual_bytes" ev.Sink.args then begin
+          acc.has_opt <- true;
+          na.n_opt_actual <- na.n_opt_actual + int_arg "opt_actual_bytes" ev;
+          na.n_opt_bound <- na.n_opt_bound + int_arg "opt_bound_bytes" ev
+        end
       | Sink.Span when ev.Sink.cat = "strip" -> (
         match strip_phase_label ev with
         | Some label ->
@@ -287,6 +333,49 @@ let profile sink =
                 %.3f/%.3f/%.3f ms; imbalance %.2fx\n"
                name (ms acc.total_dur) acc.spans (ms bmin) (bmean *. 1e-6)
                (ms bmax) imbalance)
+        end)
+      ordered
+  end;
+  (* Per-phase communication optimality: each node's actually-moved bytes
+     against its lower bound (unique remote objects at their footprints
+     plus unique accumulation targets — see DESIGN.md §14). A ratio of
+     1.00 is a run that fetched every remote object exactly once with no
+     protocol overhead; the surplus decomposes into headers, retransmits
+     and boundary-evicted refetches. *)
+  if List.exists (fun n -> (Hashtbl.find phases n).has_opt) ordered then begin
+    Buffer.add_string buf "Per-phase communication optimality\n";
+    Buffer.add_string buf
+      (Printf.sprintf "  %-24s %6s %12s %12s %8s\n" "phase" "node" "actual B"
+         "bound B" "ratio");
+    let pr_ratio actual bound =
+      if bound <= 0 then if actual = 0 then "1.00" else "inf"
+      else Printf.sprintf "%.2f" (float_of_int actual /. float_of_int bound)
+    in
+    List.iter
+      (fun name ->
+        let acc = Hashtbl.find phases name in
+        if acc.has_opt then begin
+          let rows =
+            Hashtbl.fold (fun node na l -> (node, na) :: l) acc.per_node []
+            |> List.sort (fun (a, _) (b, _) -> compare a b)
+          in
+          List.iter
+            (fun (node, na) ->
+              if na.n_spans > 0 then
+                Buffer.add_string buf
+                  (Printf.sprintf "  %-24s %6d %12d %12d %8s\n" name node
+                     na.n_opt_actual na.n_opt_bound
+                     (pr_ratio na.n_opt_actual na.n_opt_bound)))
+            rows;
+          let actual =
+            List.fold_left (fun a (_, na) -> a + na.n_opt_actual) 0 rows
+          and bound =
+            List.fold_left (fun a (_, na) -> a + na.n_opt_bound) 0 rows
+          in
+          Buffer.add_string buf
+            (Printf.sprintf
+               "  %-24s = actual %d B, bound %d B, ratio %s\n" name actual
+               bound (pr_ratio actual bound))
         end)
       ordered
   end;

@@ -13,7 +13,11 @@
       counts, per-node skew tables, event tallies, histogram summaries). *)
 
 val chrome_trace : Sink.t -> string
-(** [{"traceEvents": [...], "displayTimeUnit": "ns", ...}]. *)
+(** [{"traceEvents": [...], "displayTimeUnit": "ns", ...}]. Flow instants
+    (cat ["flow"], emitted by the transport when causal tracing is on)
+    render as Chrome flow-event pairs ([ph:"s"]/[ph:"f"] named "flight",
+    id = the flight's [src/dst/seq/incarnation]), so Perfetto draws
+    message arrows between the node tracks. *)
 
 val jsonl : Sink.t -> string
 
@@ -33,4 +37,7 @@ val profile : Sink.t -> string
     and strip counts; labels whose strips never saw a phase span render
     as strip-only rows), a per-node skew table (wall, busy = local+comm,
     strips, bytes per node, with min/mean/max busy and the max/mean
-    imbalance factor per phase), instant tallies and metric summaries. *)
+    imbalance factor per phase), a per-phase communication-optimality
+    table (actual vs lower-bound bytes and their ratio, per node and
+    summed — present when the phase spans carry the optimality args),
+    instant tallies and metric summaries. *)

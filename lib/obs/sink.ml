@@ -36,6 +36,7 @@ type t = {
   mutable writer : writer option;
   pending : event Dpa_util.Dynarray.t;  (* accepted but not yet flushed *)
   mutable streamed : int;  (* events handed to the writer so far *)
+  mutable causal : Causal.t option;  (* happens-before recording, opt-in *)
 }
 
 let default_capacity = 1 lsl 18
@@ -59,6 +60,7 @@ let create ?(capacity = default_capacity) () =
     writer = None;
     pending = Dpa_util.Dynarray.create ();
     streamed = 0;
+    causal = None;
   }
 
 let metrics t = t.metrics
@@ -191,6 +193,9 @@ let close_writer t =
     flush_writer t;
     t.writer <- None;
     w.close ()
+
+let set_causal t c = t.causal <- c
+let causal t = t.causal
 
 let global_sink : t option ref = ref None
 let set_global s = global_sink := s

@@ -153,5 +153,14 @@ val close_writer : t -> unit
 val streamed : t -> int
 (** Events handed to the attached writer so far (i.e. flushed). *)
 
+val set_causal : t -> Causal.t option -> unit
+(** Attach a happens-before graph ({!Causal.t}). When present, the
+    producers additionally record causal DAG nodes and edges, stamp
+    span_id/parent args on their events, and emit flow instants; the
+    engine's barrier runs {!Critpath.at_barrier} over each phase window.
+    [None] (the default) keeps all of that at a single [match] per hook. *)
+
+val causal : t -> Causal.t option
+
 val set_global : t option -> unit
 val global : unit -> t option

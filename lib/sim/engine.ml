@@ -151,4 +151,11 @@ let barrier t =
        stamped at or before [m] and everything after starts at or past it,
        so this is where a streaming event writer may safely sort and flush
        its segment (no-op when none is attached). *)
-    Dpa_obs.Sink.flush_writer sink
+    Dpa_obs.Sink.flush_writer sink;
+    (* Same quiescence argument for the happens-before window: nothing can
+       extend it past the barrier, so this is where the critical-path
+       analyzer consumes it (one instance per labeled phase) and the graph
+       memory is reclaimed. *)
+    (match Dpa_obs.Sink.causal sink with
+    | Some c -> Dpa_obs.Critpath.at_barrier c
+    | None -> ())

@@ -90,7 +90,9 @@ val events_processed : t -> int
 val barrier : t -> unit
 (** Synchronize: advance every node's clock to the global maximum,
     accounting the gaps as idle. The queue must be empty. Emits one
-    "barrier" instant per node when a sink is attached. *)
+    "barrier" instant per node when a sink is attached, flushes the
+    sink's stream writer, and — when the sink carries a causal graph —
+    runs {!Dpa_obs.Critpath.at_barrier} over the phase window. *)
 
 val elapsed : t -> int
 (** Maximum node clock. *)

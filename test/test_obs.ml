@@ -59,6 +59,20 @@ let test_json_rejects () =
   bad "\"unterminated";
   bad "01"
 
+(* Satellite to the causal-tracing PR: escaping is byte-exact for every
+   string, control characters (emitted as \u00XX) included — event names
+   and phase labels flow into JSONL unfiltered, so the encoder must
+   round-trip arbitrary bytes. *)
+let qcheck_json_string_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"json: escape/parse round-trips any string"
+    QCheck.(string_gen_of_size Gen.small_nat (Gen.char_range '\x00' '\xff'))
+    (fun s ->
+      match Json.parse (Json.to_string (Json.Str s)) with
+      | Ok (Json.Str s') when s' = s -> true
+      | Ok v ->
+        QCheck.Test.fail_reportf "round-trip of %S gave %s" s (Json.to_string v)
+      | Error e -> QCheck.Test.fail_reportf "round-trip of %S failed: %s" s e)
+
 let test_json_member () =
   let v = Json.Obj [ ("a", Json.Int 1) ] in
   Alcotest.(check bool) "hit" true (Json.member "a" v = Some (Json.Int 1));
@@ -530,6 +544,7 @@ let suites =
           test_json_numbers_and_unicode;
         Alcotest.test_case "rejects malformed" `Quick test_json_rejects;
         Alcotest.test_case "member" `Quick test_json_member;
+        QCheck_alcotest.to_alcotest qcheck_json_string_roundtrip;
       ] );
     ( "obs.metrics",
       [

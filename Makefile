@@ -2,7 +2,7 @@
 
 BENCH := bin/dpa_bench.exe
 
-.PHONY: all build test fmt fmt-check smoke obs-smoke chaos-smoke adaptive-smoke critpath-smoke bench-obs-overhead clean
+.PHONY: all build test fmt fmt-check smoke obs-smoke chaos-smoke adaptive-smoke critpath-smoke integrity-smoke bench-obs-overhead clean
 
 all: build
 
@@ -27,7 +27,7 @@ fmt-check:
 # End-to-end observability smoke test: run a small experiment with the
 # trace/metrics exporters on and make sure the artifacts appear and are
 # non-trivial. The test suite validates the JSON itself (test/test_obs.ml).
-smoke: build obs-smoke chaos-smoke adaptive-smoke critpath-smoke
+smoke: build obs-smoke chaos-smoke adaptive-smoke critpath-smoke integrity-smoke
 	dune exec $(BENCH) -- f1 --scale small \
 	  --trace /tmp/dpa_trace.json --metrics /tmp/dpa_metrics.json --profile
 	@test -s /tmp/dpa_trace.json && test -s /tmp/dpa_metrics.json \
@@ -98,6 +98,29 @@ critpath-smoke: build
 	  --critpath /tmp/dpa_critpath.json \
 	  /tmp/dpa_cp_events.jsonl /tmp/dpa_cp.txt
 	@echo "critpath-smoke: causal edges resolve; path decomposition exact; comm ratio >= 1"
+
+# End-to-end integrity smoke test: the a14 matrix at reduced scale. Wire
+# corruption must actually fire (nonzero corruptions dropped) and torn
+# WAL tails must actually be cut and recovered, with every schedule
+# still bit-identical to the fault-free reference. Then a BH run under
+# the full fault cocktail streams its events so obs_check can validate
+# the per-phase integrity tables (per-node rows summing to the "=" line,
+# no negative counters) alongside the usual stream invariants.
+integrity-smoke: build
+	dune exec $(BENCH) -- a14 --scale small --bodies 512 | tee /tmp/dpa_integrity.txt
+	@! grep -q DIVERGED /tmp/dpa_integrity.txt \
+	  && grep -q "a14 summary" /tmp/dpa_integrity.txt \
+	  && ! grep -q "a14 summary: 0 corruptions" /tmp/dpa_integrity.txt \
+	  && ! grep -q "0 wal records truncated" /tmp/dpa_integrity.txt \
+	  && grep -q "0 schedule(s) diverged" /tmp/dpa_integrity.txt \
+	  && echo "integrity-smoke: corruption fenced and torn tails recovered bit for bit"
+	dune exec $(BENCH) -- t2 --scale small --bodies 512 \
+	  --faults heavy,crashes=2,corrupt=0.05,torn-wal=1 \
+	  --events /tmp/dpa_integ_events.jsonl --profile | tee /tmp/dpa_integ.txt
+	dune exec bin/obs_check.exe -- --min-lines 1000 \
+	  /tmp/dpa_integ_events.jsonl /tmp/dpa_integ.txt
+	@grep -q "Per-phase integrity" /tmp/dpa_integ.txt \
+	  && echo "integrity-smoke: integrity tables consistent across nodes"
 
 # Observability-overhead benchmark: wall-clock time of t2 and f1 with
 # observability off, with event streaming only, and with causal tracing +

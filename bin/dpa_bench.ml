@@ -221,12 +221,17 @@ let fault_term =
              $(b,light), $(b,heavy)) or a comma list of knobs \
              (drop=P, dup=P, delay=P, jitter=NS, outages=N, outage=NS, \
              crashes=N, crash=NS, horizon=NS, slow-node=ID, \
-             slow-factor=F). A preset may lead the list and the knobs \
-             override it, e.g. $(b,heavy,crashes=1). Enables the \
-             reliable-delivery protocol (acks, dedup, retransmission); \
-             $(b,crashes) additionally fail-stops each node N times \
-             inside the horizon, wiping its volatile state for crash=NS \
-             before it restarts and re-fetches (see docs/FAULTS.md).")
+             slow-factor=F, corrupt=P, torn-wal=P). A preset may lead the \
+             list and the knobs override it, e.g. $(b,heavy,crashes=1). \
+             Enables the reliable-delivery protocol (acks, dedup, \
+             retransmission); $(b,crashes) additionally fail-stops each \
+             node N times inside the horizon, wiping its volatile state \
+             for crash=NS before it restarts and re-fetches; \
+             $(b,corrupt) flips a bit in that fraction of wire copies \
+             (fenced by the frame checksum at the NIC); $(b,torn-wal) \
+             makes each crash damage the victim's durable-log tails with \
+             that probability, repaired at restart from the doublewrite \
+             slot (see docs/FAULTS.md).")
   in
   let seed =
     Arg.(
@@ -409,6 +414,9 @@ let run_a12 conf =
 
 let run_a13 conf = Experiment.print_crash_matrix (Experiment.crash_matrix conf)
 
+let run_a14 conf =
+  Experiment.print_integrity_matrix (Experiment.integrity_matrix conf)
+
 let run_timeline ?(csv = None) conf =
   let nnodes = conf.Runconf.breakdown_procs in
   let show variant =
@@ -492,7 +500,8 @@ let run_all conf =
   run_a10 conf;
   run_a11 conf;
   run_a12 conf;
-  run_a13 conf
+  run_a13 conf;
+  run_a14 conf
 
 let cmd name doc f =
   Cmd.v (Cmd.info name ~doc)
@@ -536,6 +545,10 @@ let () =
             cmd "a11" "Chaos sweep: faults vs goodput and correctness" run_a11;
             cmd "a12" "Adaptive strip size and adaptive RTO vs static" run_a12;
             cmd "a13" "Crash-restart chaos matrix across workloads" run_a13;
+            cmd "a14"
+              "End-to-end integrity matrix: wire corruption and torn WAL \
+               writes across workloads"
+              run_a14;
             (let csv =
                Arg.(
                  value

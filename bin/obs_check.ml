@@ -3,8 +3,9 @@
    well-formed and time-ordered, that its causal annotations form a valid
    happens-before relation (every parent arg resolves to an emitted
    span_id with an earlier-or-equal open timestamp; dangling references
-   fail), that the --profile per-node skew and communication-optimality
-   tables are internally consistent, and (with --critpath) that a
+   fail), that the --profile per-node skew, communication-optimality and
+   integrity (corrupt-dropped / WAL truncated / WAL repaired) tables are
+   internally consistent, and (with --critpath) that a
    --critical-path report's invariants hold: segments sum exactly to the
    path, 0 <= max span <= path <= wall, and actual bytes >= bound >= 0.
 
@@ -135,6 +136,13 @@ type opt_acc = {
   mutable o_bound : int;
 }
 
+type integ_acc = {
+  mutable i_rows : int;
+  mutable i_corrupt : int;
+  mutable i_trunc : int;
+  mutable i_repair : int;
+}
+
 let check_profile path =
   let lines = read_lines path in
   let globals : (string, global_row) Hashtbl.t = Hashtbl.create 8 in
@@ -142,6 +150,10 @@ let check_profile path =
   let summaries : (string, summary) Hashtbl.t = Hashtbl.create 8 in
   let opts : (string, opt_acc) Hashtbl.t = Hashtbl.create 8 in
   let opt_summaries : (string, int * int) Hashtbl.t = Hashtbl.create 8 in
+  let integs : (string, integ_acc) Hashtbl.t = Hashtbl.create 8 in
+  let integ_summaries : (string, int * int * int) Hashtbl.t =
+    Hashtbl.create 8
+  in
   let skew name =
     match Hashtbl.find_opt skews name with
     | Some a -> a
@@ -158,12 +170,21 @@ let check_profile path =
       Hashtbl.add opts name a;
       a
   in
+  let integ name =
+    match Hashtbl.find_opt integs name with
+    | Some a -> a
+    | None ->
+      let a = { i_rows = 0; i_corrupt = 0; i_trunc = 0; i_repair = 0 } in
+      Hashtbl.add integs name a;
+      a
+  in
   let section = ref `None in
   List.iter
     (fun line ->
       if line = "Per-phase profile (sim time)" then section := `Global
       else if line = "Per-node skew" then section := `Skew
       else if line = "Per-phase communication optimality" then section := `Opt
+      else if line = "Per-phase integrity" then section := `Integ
       else if String.length line = 0 || line.[0] <> ' ' then section := `None
       else
         match (!section, tokens line) with
@@ -211,6 +232,33 @@ let check_profile path =
           a.o_rows <- a.o_rows + 1;
           a.o_actual <- a.o_actual + av;
           a.o_bound <- a.o_bound + bv
+        | ( `Integ,
+            [ "phase"; "node"; "corrupt"; "wal"; "trunc"; "wal"; "repair" ] )
+          ->
+          ()
+        | ( `Integ,
+            [
+              name; "="; c; "corrupt"; "dropped,"; t; "wal"; "truncated,"; r;
+              "repaired";
+            ] ) ->
+          Hashtbl.replace integ_summaries name
+            ( int_tok "integrity corrupt" c,
+              int_tok "integrity truncated" t,
+              int_tok "integrity repaired" r )
+        | `Integ, [ name; _node; corrupt; trunc; repair ] ->
+          let a = integ name in
+          let cv = int_tok "integrity corrupt" corrupt
+          and tv = int_tok "integrity trunc" trunc
+          and rv = int_tok "integrity repair" repair in
+          (* No truncated >= repaired cross-check: a truncation tear that
+             cuts exactly at a record boundary leaves nothing to truncate
+             yet still repairs the lost record from the doublewrite slot. *)
+          if cv < 0 || tv < 0 || rv < 0 then
+            fail "%s: phase %S: negative integrity counter" path name;
+          a.i_rows <- a.i_rows + 1;
+          a.i_corrupt <- a.i_corrupt + cv;
+          a.i_trunc <- a.i_trunc + tv;
+          a.i_repair <- a.i_repair + rv
         | _ -> ())
     lines;
   Hashtbl.iter
@@ -224,6 +272,27 @@ let check_profile path =
             "%s: phase %S: optimality rows sum to %d/%d B, summary says %d/%d"
             path name a.o_actual a.o_bound s_actual s_bound)
     opt_summaries;
+  Hashtbl.iter
+    (fun name (s_corrupt, s_trunc, s_repair) ->
+      match Hashtbl.find_opt integs name with
+      | None ->
+        fail "%s: phase %S: integrity summary without any rows" path name
+      | Some a ->
+        if
+          a.i_corrupt <> s_corrupt || a.i_trunc <> s_trunc
+          || a.i_repair <> s_repair
+        then
+          fail
+            "%s: phase %S: integrity rows sum to %d/%d/%d, summary says \
+             %d/%d/%d"
+            path name a.i_corrupt a.i_trunc a.i_repair s_corrupt s_trunc
+            s_repair)
+    integ_summaries;
+  Hashtbl.iter
+    (fun name (_ : integ_acc) ->
+      if not (Hashtbl.mem integ_summaries name) then
+        fail "%s: phase %S: integrity rows without a summary line" path name)
+    integs;
   if Hashtbl.length globals = 0 then
     fail "%s: no per-phase profile rows found" path;
   Hashtbl.iter

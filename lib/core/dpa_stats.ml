@@ -19,6 +19,8 @@ type t = {
   mutable crashes : int;
   mutable crash_refetches : int;
   mutable upd_reissues : int;
+  mutable wal_truncated : int;
+  mutable wal_repaired : int;
 }
 
 let create () =
@@ -43,6 +45,8 @@ let create () =
     crashes = 0;
     crash_refetches = 0;
     upd_reissues = 0;
+    wal_truncated = 0;
+    wal_repaired = 0;
   }
 
 let merge ts =
@@ -68,7 +72,9 @@ let merge ts =
       acc.rt_retries <- acc.rt_retries + t.rt_retries;
       acc.crashes <- acc.crashes + t.crashes;
       acc.crash_refetches <- acc.crash_refetches + t.crash_refetches;
-      acc.upd_reissues <- acc.upd_reissues + t.upd_reissues)
+      acc.upd_reissues <- acc.upd_reissues + t.upd_reissues;
+      acc.wal_truncated <- acc.wal_truncated + t.wal_truncated;
+      acc.wal_repaired <- acc.wal_repaired + t.wal_repaired)
     ts;
   acc
 
@@ -99,6 +105,8 @@ let to_json t =
          ("crashes", t.crashes);
          ("crash_refetches", t.crash_refetches);
          ("upd_reissues", t.upd_reissues);
+         ("wal_truncated", t.wal_truncated);
+         ("wal_repaired", t.wal_repaired);
          ("total_reads", total_reads t);
        ])
 
@@ -124,4 +132,9 @@ let pp ppf t =
     Format.fprintf ppf
       "@ @[crash-restarts: %d (%d requests re-fetched, %d update batches \
        re-sent)@]"
-      t.crashes t.crash_refetches t.upd_reissues
+      t.crashes t.crash_refetches t.upd_reissues;
+  if t.wal_truncated + t.wal_repaired > 0 then
+    Format.fprintf ppf
+      "@ @[wal integrity: %d record(s) truncated, %d repaired from the \
+       doublewrite slot@]"
+      t.wal_truncated t.wal_repaired

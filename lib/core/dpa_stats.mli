@@ -27,9 +27,18 @@ type t = {
       (** outstanding requests re-issued through the alignment path at a
           restart (orphaned by the crash wiping their conversations) *)
   mutable upd_reissues : int;
-      (** accumulate batches re-sent by the update timer because no
-          application-level ack arrived (journal-deduplicated at the
-          owner, so re-sends never double-apply) *)
+      (** accumulate batches re-sent because no application-level ack
+          arrived — by the update timer or by the restart walk re-driving
+          batches rebuilt from the checksum-scanned WAL
+          (journal-deduplicated at the owner, so re-sends never
+          double-apply) *)
+  mutable wal_truncated : int;
+      (** damaged tail records cut by a crash-recovery WAL integrity scan
+          ({!Wal.scan}) across this node's durable logs *)
+  mutable wal_repaired : int;
+      (** truncated tails restored from the doublewrite slot by the same
+          scan — recovery is lossless whenever a crash tears at most one
+          of (slot, tail) per log, which the fault model guarantees *)
 }
 
 val create : unit -> t

@@ -87,10 +87,21 @@ type ctx = {
          the durable WAL pointer the update timer re-sends from *)
   upd_journal : (int * int, unit) Hashtbl.t array;
       (* per owner node, shared by every ctx of the phase: (src, batch id)
-         pairs already applied to that owner's heap. Durable by contract —
-         the journal entry and the heap mutation are one atomic action —
-         so a re-sent batch is recognized across the owner's crashes and
-         never double-applied. *)
+         pairs already applied to that owner's heap — the in-memory image
+         of [jwal], rebuilt from it at restart. A re-sent batch is
+         recognized across the owner's crashes and never double-applied. *)
+  wal : Wal.t;
+      (* this node's durable update-WAL: one Batch record per unacked
+         batch in [out_updates], one Acked record per application-level
+         ack. [out_updates] is only the in-memory image; a crash clears it
+         and the restart walk rebuilds it from the checksum-scanned WAL. *)
+  jwal : Wal.t array;
+      (* per owner node, shared by every ctx of the phase: the durable
+         image of [upd_journal] — one Applied record per fresh batch.
+         Crash clears the owner's hashtable; restart rebuilds it here. *)
+  mutable wal_scanned : bool;
+      (* the restart walk ran its WAL integrity scan — asserted by the
+         quiescence certificate for every node that crashed *)
   ctrl : ctrl option;
   obs : obs option;
 }
@@ -230,6 +241,92 @@ let note_outstanding ctx =
   ctx.pending <- ctx.pending + 1;
   if ctx.pending > ctx.stats.Dpa_stats.max_outstanding then
     ctx.stats.Dpa_stats.max_outstanding <- ctx.pending
+
+(* --- durable-log codecs ------------------------------------------------- *)
+
+(* Byte codecs for the WAL record payloads ({!Wal}). Every record leads
+   with a tag byte; integers are 64-bit little-endian; floats travel as
+   their IEEE bits. Ids are monotone per sender/owner, so no two
+   consecutive records of one log are ever byte-identical — the property
+   Wal's doublewrite repair relies on. *)
+
+let tag_batch = 'B'
+let tag_acked = 'A'
+let tag_applied = 'J'
+
+let put_i64 b ~pos v = Bytes.set_int64_le b pos (Int64.of_int v)
+let get_i64 b ~pos = Int64.to_int (Bytes.get_int64_le b pos)
+
+let encode_batch ~id ~dst batch =
+  let n = List.length batch in
+  let b = Bytes.create (1 + (8 * 3) + (n * 8 * 4)) in
+  Bytes.set b 0 tag_batch;
+  put_i64 b ~pos:1 id;
+  put_i64 b ~pos:9 dst;
+  put_i64 b ~pos:17 n;
+  List.iteri
+    (fun i { Update_buffer.ptr; idx; value } ->
+      let base = 25 + (i * 32) in
+      put_i64 b ~pos:base ptr.Gptr.node;
+      put_i64 b ~pos:(base + 8) ptr.Gptr.slot;
+      put_i64 b ~pos:(base + 16) idx;
+      Bytes.set_int64_le b (base + 24) (Int64.bits_of_float value))
+    batch;
+  b
+
+let encode_acked ~id =
+  let b = Bytes.create 9 in
+  Bytes.set b 0 tag_acked;
+  put_i64 b ~pos:1 id;
+  b
+
+let encode_applied ~src ~id =
+  let b = Bytes.create 17 in
+  Bytes.set b 0 tag_applied;
+  put_i64 b ~pos:1 src;
+  put_i64 b ~pos:9 id;
+  b
+
+(* Decoding only ever sees records [Wal.scan] has already checksum-
+   verified, so a malformed record here is a codec bug, not damage. *)
+let decode_upd b =
+  match Bytes.get b 0 with
+  | t when t = tag_acked -> `Acked (get_i64 b ~pos:1)
+  | t when t = tag_batch ->
+    let id = get_i64 b ~pos:1 in
+    let dst = get_i64 b ~pos:9 in
+    let n = get_i64 b ~pos:17 in
+    let batch =
+      List.init n (fun i ->
+          let base = 25 + (i * 32) in
+          {
+            Update_buffer.ptr =
+              Gptr.make ~node:(get_i64 b ~pos:base)
+                ~slot:(get_i64 b ~pos:(base + 8));
+            idx = get_i64 b ~pos:(base + 16);
+            value = Int64.float_of_bits (Bytes.get_int64_le b (base + 24));
+          })
+    in
+    `Batch (id, dst, batch)
+  | t -> invalid_arg (Printf.sprintf "Runtime: bad update-WAL tag %C" t)
+
+let decode_applied b =
+  if Bytes.get b 0 <> tag_applied then
+    invalid_arg "Runtime: bad journal tag";
+  (get_i64 b ~pos:1, get_i64 b ~pos:9)
+
+(* Batches appended but not yet acknowledged, straight from the durable
+   log — must agree with [out_updates] and be empty at the phase barrier
+   (the "WAL drained" side of the quiescence certificate). *)
+let wal_live_batches wal =
+  let live = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      match decode_upd r with
+      | `Batch (id, _, _) -> Hashtbl.replace live id ()
+      | `Acked id -> Hashtbl.remove live id)
+    (Wal.records wal);
+  Hashtbl.length live
 
 (* --- adaptive strip-size controller ------------------------------------ *)
 
@@ -630,6 +727,10 @@ and flush_updates ctx ~dst batch =
        batch from [out_updates]. *)
     let id = ctx.upd_next_id in
     ctx.upd_next_id <- id + 1;
+    (* Write-ahead: the Batch record is durable before the first copy hits
+       the wire, so a crash between here and the ack can always rebuild
+       the batch from the scanned WAL. *)
+    Wal.append ctx.wal (encode_batch ~id ~dst batch);
     Hashtbl.replace ctx.out_updates id (dst, batch);
     send_update_batch ctx ~dst ~id batch;
     arm_update_timer ctx ~id ~rto:(rt_rto ctx ~bytes)
@@ -666,6 +767,9 @@ and send_update_batch ctx ~dst ~id batch =
       let journal = ctx.upd_journal.(dst) in
       let key = (src_id, id) in
       if not (Hashtbl.mem journal key) then begin
+        (* Journal entry and heap mutation are one atomic action; the
+           durable Applied record is what survives the owner's crash. *)
+        Wal.append ctx.jwal.(dst) (encode_applied ~src:src_id ~id);
         Hashtbl.replace journal key ();
         let owner_heap = ctx.heaps.(dst) in
         List.iter
@@ -680,16 +784,28 @@ and send_update_batch ctx ~dst ~id batch =
       | None -> ()
       | Some o -> o.opt_actual <- o.opt_actual + ack);
       Dpa_msg.Am.send ctx.engine ~src:owner ~dst:src_id ~bytes:ack
-        (fun _self -> Hashtbl.remove ctx.out_updates id);
+        (fun _self ->
+          (* Acked is only journaled for a live batch: a duplicate ack
+             (journal-hit re-send, or one racing a crash rebuild) must not
+             write consecutive identical records. *)
+          if Hashtbl.mem ctx.out_updates id then begin
+            Wal.append ctx.wal (encode_acked ~id);
+            Hashtbl.remove ctx.out_updates id
+          end);
       close_handler_act ~name:"upd_apply" owner svc)
 
 and arm_update_timer ctx ~id ~rto =
   let deadline = ctx.node.Node.clock + rto in
-  (* Unlike request timers this one is NOT incarnation-fenced:
-     [out_updates] is the durable write-ahead record of unacknowledged
-     batches, and after a sender crash (which wipes the transport envelope)
-     this timer is exactly the mechanism that re-drives them. *)
+  (* Fenced to the arming incarnation, like request timers: after a sender
+     crash the restart walk rebuilds [out_updates] from the checksum-
+     scanned WAL and re-sends every surviving batch with fresh timers, so
+     a pre-crash timer firing on the new incarnation would only double the
+     wheel. (Before the WAL existed, [out_updates] itself was declared
+     durable and the unfenced timer was the re-drive mechanism.) *)
+  let incarnation = ctx.node.Node.incarnation in
   Engine.post_soft ctx.engine ~time:deadline ~node:(node_id ctx) (fun () ->
+      if ctx.node.Node.incarnation <> incarnation then ()
+      else
       match Hashtbl.find_opt ctx.out_updates id with
       | None -> ()  (* acked in time: pure no-op, clock untouched *)
       | Some (dst, batch) ->
@@ -837,7 +953,7 @@ let make_obs ~engine ~heaps ~label =
         prev_strip_span = -1;
       }
 
-let make_ctx ~engine ~heaps ~config ~items ~label ~journals node =
+let make_ctx ~engine ~heaps ~config ~items ~label ~journals ~jwals node =
   let dummy =
     Dpa_msg.Aggregator.create ~ndest:1 ~max_batch:1 ~flush:(fun ~dst:_ _ ->
         assert false)
@@ -870,6 +986,9 @@ let make_ctx ~engine ~heaps ~config ~items ~label ~journals node =
       upd_next_id = 0;
       out_updates = Hashtbl.create 16;
       upd_journal = journals;
+      wal = Wal.create ();
+      jwal = jwals;
+      wal_scanned = false;
       ctrl =
         (match config.Config.auto with
         | None -> None
@@ -916,10 +1035,14 @@ let make_ctx ~engine ~heaps ~config ~items ~label ~journals node =
      entries re-read the durable heap, remote entries re-register in M.
 
    Durable by contract (see DESIGN.md §13): the heap, the result arrays,
-   the pointer map M (spawn records, no partial execution), the
-   update buffer and [out_updates] (write-ahead log), and the owner-side
-   applied-batch journal. *)
-let crash_node ctx ~restart_at =
+   the pointer map M (spawn records, no partial execution), the update
+   buffer, and the checksummed WALs — the sender-side update-WAL behind
+   [out_updates] and the owner-side applied-batch journal behind
+   [upd_journal]. The in-memory hashtable images of both die with the
+   crash and are rebuilt from the checksum-scanned logs; under [torn_wal]
+   the crash may additionally tear the tail record of either log, which
+   the recovery scan detects and repairs ({!Wal}). *)
+let crash_node ctx ~plan ~restart_at =
   let n = ctx.node in
   n.Node.incarnation <- n.Node.incarnation + 1;
   ctx.down_until <- max ctx.down_until restart_at;
@@ -927,6 +1050,61 @@ let crash_node ctx ~restart_at =
   ignore (Dpa_msg.Am.on_crash ctx.engine ~node:n.Node.id);
   Align_buffer.clear ctx.buffer;
   ignore (Dpa_msg.Aggregator.clear ctx.agg);
+  (* The in-memory images of the durable logs are volatile: they die with
+     the crash and are rebuilt below from the scanned WALs. *)
+  Hashtbl.reset ctx.out_updates;
+  Hashtbl.reset ctx.upd_journal.(n.Node.id);
+  (* Torn writes: the crash may damage the tail of the victim's durable
+     logs mid-write. [draw_tears] is empty (no stream access) when the
+     knob is off, so legacy crash schedules replay unchanged. *)
+  let torn =
+    List.fold_left
+      (fun acc (tear : Fault.tear) ->
+        let target =
+          match tear.Fault.tear_log with
+          | `Update_wal -> ctx.wal
+          | `Journal -> ctx.jwal.(n.Node.id)
+        in
+        if
+          Wal.tear target ~slot:tear.Fault.tear_slot ~flip:tear.Fault.tear_flip
+            ~pos:tear.Fault.tear_pos
+        then acc + 1
+        else acc)
+      0 (Fault.draw_tears plan)
+  in
+  (* Integrity scan + image rebuild, atomically at the crash: the scan
+     must complete before the node touches either log again, and "again"
+     can be earlier than the restart event — a pre-crash quantum popping
+     inside the down window resumes at the restart instant and may flush
+     fresh batches (each append overwrites the doublewrite slot, which
+     would strand a still-unrepaired torn tail), and a peer's retransmit
+     can reach the new incarnation before the restart event runs (the
+     journal image must already dedup it, or an applied batch would
+     double-apply). In wall-clock terms this IS restart-time recovery —
+     first thing on the new incarnation, before any post-crash append or
+     delivery; the sim just anchors it to the crash event to make that
+     ordering airtight. *)
+  let scan wal =
+    let r = Wal.scan wal in
+    ctx.stats.Dpa_stats.wal_truncated <-
+      ctx.stats.Dpa_stats.wal_truncated + r.Wal.truncated;
+    ctx.stats.Dpa_stats.wal_repaired <-
+      ctx.stats.Dpa_stats.wal_repaired + r.Wal.repaired;
+    r.Wal.records
+  in
+  let upd_records = scan ctx.wal in
+  List.iter
+    (fun r ->
+      let src, id = decode_applied r in
+      Hashtbl.replace ctx.upd_journal.(n.Node.id) (src, id) ())
+    (scan ctx.jwal.(n.Node.id));
+  List.iter
+    (fun r ->
+      match decode_upd r with
+      | `Batch (id, dst, batch) -> Hashtbl.replace ctx.out_updates id (dst, batch)
+      | `Acked id -> Hashtbl.remove ctx.out_updates id)
+    upd_records;
+  ctx.wal_scanned <- true;
   let entries = Queue.length ctx.ready in
   for _ = 1 to entries do
     let (ptr, _view, k) as entry = Queue.pop ctx.ready in
@@ -942,21 +1120,34 @@ let crash_node ctx ~restart_at =
   | Some o ->
     obs_instant
       ~args:
-        [
-          ("incarnation", Dpa_obs.Sink.Int n.Node.incarnation);
-          ("restart_at", Dpa_obs.Sink.Int restart_at);
-        ]
+        (("incarnation", Dpa_obs.Sink.Int n.Node.incarnation)
+        :: ("restart_at", Dpa_obs.Sink.Int restart_at)
+        ::
+        (* Only stamped when a tear actually landed, so crash events of
+           torn-wal-free runs are byte-identical to the pre-WAL stream. *)
+        (if torn > 0 then [ ("torn", Dpa_obs.Sink.Int torn) ] else []))
       o n ~name:"crash"
 
-(* Rejoin at the restart instant: idle up to it, then push every
-   outstanding token in M back through the normal alignment path — the
-   "transparent re-fetch" of orphaned requests. Token order keeps the walk
-   deterministic. Unacked update batches need no walk: their timers
-   ([arm_update_timer]) survive the crash because [out_updates] is
-   durable. *)
+(* Rejoin at the restart instant: idle up to it, then re-drive. The
+   integrity scan and the image rebuild already ran at the crash event
+   (see [crash_node] — they must precede any post-crash append or
+   delivery, which can beat the restart event); what remains here is the
+   active half of recovery:
+
+   1. re-send every still-unacked batch in [out_updates] (rebuilt from
+      the checksum-scanned WAL, plus anything flushed since) with fresh
+      (fenced) timers, in batch-id order — a torn-and-repaired tail
+      re-issued through the normal path;
+   2. push every outstanding token in M back through the normal
+      alignment path — the "transparent re-fetch" of orphaned requests.
+      Token order keeps the walk deterministic. *)
 let restart_node ctx ~restart_at =
   let n = ctx.node in
   Node.wait_until n restart_at;
+  let unacked =
+    List.sort compare
+      (Hashtbl.fold (fun id v acc -> (id, v) :: acc) ctx.out_updates [])
+  in
   let outstanding =
     List.sort compare
       (Pointer_map.fold_outstanding ctx.map
@@ -978,12 +1169,28 @@ let restart_node ctx ~restart_at =
       in
       obs_instant
         ~args:
-          (("refetches", Dpa_obs.Sink.Int (List.length outstanding)) :: cargs)
+          (("refetches", Dpa_obs.Sink.Int (List.length outstanding))
+          ::
+          (match unacked with
+          | [] -> cargs
+          | l -> ("upd_resends", Dpa_obs.Sink.Int (List.length l)) :: cargs))
         o n ~name:"restart";
       if rid >= 0 then o.last_act <- rid;
       rid
   in
   let reissue () =
+    List.iter
+      (fun (id, (dst, batch)) ->
+        ctx.stats.Dpa_stats.upd_reissues <-
+          ctx.stats.Dpa_stats.upd_reissues + 1;
+        send_update_batch ctx ~dst ~id batch;
+        arm_update_timer ctx ~id
+          ~rto:
+            (rt_rto ctx
+               ~bytes:
+                 (Dpa_msg.Am.update_bytes ctx.machine
+                    ~nupdates:(List.length batch))))
+      unacked;
     List.iter
       (fun (token, ptr) ->
         Dpa_msg.Aggregator.add ctx.agg ~dst:ptr.Gptr.node { token; ptr })
@@ -1011,7 +1218,7 @@ let post_crash_events ~engine ~plan ctxs =
           if crash_at >= phase_start then
             Engine.post_background engine ~time:crash_at ~node:id (fun () ->
                 if Engine.live_events engine > 0 then begin
-                  crash_node ctx ~restart_at;
+                  crash_node ctx ~plan ~restart_at;
                   Engine.post_background engine ~time:restart_at ~node:id
                     (fun () -> restart_node ctx ~restart_at)
                 end))
@@ -1026,13 +1233,18 @@ let run_phase_labeled ~label ~engine ~heaps ~config ~items =
   let journals =
     Array.init (Array.length nodes) (fun _ -> Hashtbl.create 32)
   in
+  let jwals = Array.init (Array.length nodes) (fun _ -> Wal.create ()) in
   let ctxs =
     Array.map
       (fun node ->
         make_ctx ~engine ~heaps ~config ~items:(items node.Node.id) ~label
-          ~journals node)
+          ~journals ~jwals node)
       nodes
   in
+  (* Corruption drops attributed to this phase: the transport's per-node
+     counters persist across phases, so snapshot at the start and diff at
+     the end. Empty until the first reliable send instantiates the state. *)
+  let corrupt0 = Dpa_msg.Am.corrupt_dropped_per_node engine in
   Array.iter ensure_scheduled ctxs;
   (match Engine.fault engine with
   | Some plan when Fault.has_crashes plan ->
@@ -1071,7 +1283,24 @@ let run_phase_labeled ~label ~engine ~heaps ~config ~items =
           && Pointer_map.is_empty ctx.map
           && Update_buffer.pending ctx.updates = 0
           && Hashtbl.length ctx.out_updates = 0)
-      then failwith "Runtime.run_phase: node did not quiesce")
+      then failwith "Runtime.run_phase: node did not quiesce";
+      (* Integrity side of the certificate: every node that crashed ran
+         its crash-anchored WAL recovery scan, and the durable log agrees
+         with the drained in-memory image — no Batch record without its
+         Acked. *)
+      if Engine.fault engine <> None then begin
+        if ctx.stats.Dpa_stats.crashes > 0 && not ctx.wal_scanned then
+          failwith
+            "Runtime.run_phase: crashed node reached the barrier without a \
+             WAL integrity scan";
+        let live = wal_live_batches ctx.wal in
+        if live > 0 then
+          failwith
+            (Printf.sprintf
+               "Runtime.run_phase: %d unacknowledged update batch(es) in the \
+                WAL at barrier"
+               live)
+      end)
     ctxs;
   let elapsed_ns = Engine.elapsed engine - start in
   (* Per-node phase spans carry the node's own busy time (local+comm since
@@ -1112,6 +1341,22 @@ let run_phase_labeled ~label ~engine ~heaps ~config ~items =
       let bound = Array.fold_left (fun a (_, x) -> a + x) 0 opt in
       Dpa_obs.Causal.set_meta c ~label ~wall_ns:elapsed_ns ~opt_actual:actual
         ~opt_bound:bound);
+    (* Per-node integrity tallies, stamped only under a fault plan so the
+       faults-off event stream stays byte-identical: corruption drops this
+       phase (snapshot delta — the transport counters outlive phases) and
+       the WAL truncation/repair counts of the restart scans. *)
+    let corrupt1 = Dpa_msg.Am.corrupt_dropped_per_node engine in
+    let integrity_args (n : Node.t) =
+      if Engine.fault engine = None then []
+      else
+        let at a = if n.Node.id < Array.length a then a.(n.Node.id) else 0 in
+        let stats = ctxs.(n.Node.id).stats in
+        [
+          ("corrupt_dropped", Dpa_obs.Sink.Int (at corrupt1 - at corrupt0));
+          ("wal_truncated", Dpa_obs.Sink.Int stats.Dpa_stats.wal_truncated);
+          ("wal_repaired", Dpa_obs.Sink.Int stats.Dpa_stats.wal_repaired);
+        ]
+    in
     Array.iter
       (fun (n : Node.t) ->
         let actual, bound = opt.(n.Node.id) in
@@ -1128,7 +1373,7 @@ let run_phase_labeled ~label ~engine ~heaps ~config ~items =
             :: ("bytes", Dpa_obs.Sink.Int n.Node.bytes_sent)
             :: ("opt_actual_bytes", Dpa_obs.Sink.Int actual)
             :: ("opt_bound_bytes", Dpa_obs.Sink.Int bound)
-            :: cargs)
+            :: (integrity_args n @ cargs))
           sink ~cat:"phase" ~name:label ~node:n.Node.id ~ts:start
           ~dur:elapsed_ns)
       nodes);

@@ -60,18 +60,28 @@
     delivery: counted, but no handler runs and no ack is sent.
 
     Durable by contract: the heap, result arrays, the pointer map [M]
-    (thread records register before any partial execution), the update
-    buffer and its unacked-batch write-ahead log, and the owner-side
-    applied-batch journal that makes remote accumulates exactly-once
-    across crashes on either end.
+    (thread records register before any partial execution), the
+    unacked-batch write-ahead log and the owner-side applied-batch
+    journal that together make remote accumulates exactly-once across
+    crashes on either end. The two logs are checksummed record images
+    with a doublewrite slot ({!Wal}): the torn-write fault class
+    ([torn-wal]) may damage one tail copy per crash, so recovery starts
+    with an integrity scan ({!Wal.scan}) that truncates the damage and
+    repairs the lost record from the slot — counted by
+    [Dpa_stats.wal_truncated] / [wal_repaired]. The scan and the rebuild
+    of the in-memory log images run atomically at the crash event,
+    before the new incarnation can append (each append overwrites the
+    slot) or accept a delivery (the journal image must already dedup) —
+    in wall-clock terms this is the first thing restart-time recovery
+    does.
 
     At the restart instant the node rejoins cold: it idles until then,
     and every token still outstanding in [M] is pushed back through the
     normal aggregation/alignment path — the transparent re-fetch counted
-    by [Dpa_stats.crash_refetches]. Unacked update batches re-send off
-    their own (deliberately unfenced) timers. Results remain
-    bit-identical to the fault-free run; DESIGN.md §13 states the full
-    per-fault-class contract. *)
+    by [Dpa_stats.crash_refetches]. Update batches rebuilt from the
+    scanned WAL re-send off their own (deliberately unfenced) timers.
+    Results remain bit-identical to the fault-free run; DESIGN.md §13
+    states the full per-fault-class contract. *)
 
 type ctx
 

@@ -1212,15 +1212,14 @@ module Em3d_interp = Dpa_compiler.Interp.Make (Dpa.Runtime)
    sum stays far inside the 2^(53-36) exactness bound. *)
 let em3d_accum_grid = Dpa_util.Det.grid ~bits:36
 
-(* Cross-workload crash matrix. Workload phase lengths differ by an order
-   of magnitude, so each workload derives its own crash schedule from its
-   fault-free run: one crash per node, drawn inside the first half of the
-   reference duration, with a restart delay of an eighth of it — long
-   enough that peers retransmit into the fence, short enough that the
-   phase completes. The last column is the point of the table: results
-   must be bit-identical to the fault-free reference under every
-   schedule, including the ones that lose whole nodes mid-phase. *)
-let crash_matrix ?(fault_seed = 0xC4A5) (conf : Runconf.t) =
+(* Shared chaos-matrix workload runners (A13 crash matrix, A14 integrity
+   matrix). Each runs one phase under an optional fault plan and returns
+   the phase result (the bit-identity witness), the engine (transport
+   counters), the elapsed sim seconds and the merged runtime stats.
+   Workload phase lengths differ by an order of magnitude, so matrix
+   cells that need a crash schedule derive it from the workload's own
+   fault-free duration (see [crash_matrix]). *)
+let chaos_workloads ~fault_seed (conf : Runconf.t) =
   let procs = conf.Runconf.breakdown_procs in
   let mk_engine ~nodes faults =
     let machine = Machine.make ~nodes ?faults ~fault_seed () in
@@ -1319,6 +1318,20 @@ let crash_matrix ?(fault_seed = 0xC4A5) (conf : Runconf.t) =
     in
     (`Em3d (Em3d_interp.accumulator c "sum"), engine, Breakdown.elapsed_s b, s)
   in
+  [
+    (Printf.sprintf "BH force (%d nodes)" procs, bh);
+    (Printf.sprintf "FMM upward (%d nodes)" (max 3 (procs - 1)), fmm);
+    (Printf.sprintf "EM3D via compiler IR (%d nodes)" procs, em3d);
+  ]
+
+(* Cross-workload crash matrix: one crash per node, drawn inside the
+   first half of the reference duration, with a restart delay of an
+   eighth of it — long enough that peers retransmit into the fence,
+   short enough that the phase completes. The last column is the point
+   of the table: results must be bit-identical to the fault-free
+   reference under every schedule, including the ones that lose whole
+   nodes mid-phase. *)
+let crash_matrix ?(fault_seed = 0xC4A5) (conf : Runconf.t) =
   let cells run =
     let ref_res, ref_engine, ref_time, ref_stats = run None in
     let am_counters engine =
@@ -1363,21 +1376,9 @@ let crash_matrix ?(fault_seed = 0xC4A5) (conf : Runconf.t) =
            crash_knobs);
     ]
   in
-  [
-    {
-      cw_workload = Printf.sprintf "BH force (%d nodes)" procs;
-      cw_cells = cells bh;
-    };
-    {
-      cw_workload =
-        Printf.sprintf "FMM upward (%d nodes)" (max 3 (procs - 1));
-      cw_cells = cells fmm;
-    };
-    {
-      cw_workload = Printf.sprintf "EM3D via compiler IR (%d nodes)" procs;
-      cw_cells = cells em3d;
-    };
-  ]
+  List.map
+    (fun (label, run) -> { cw_workload = label; cw_cells = cells run })
+    (chaos_workloads ~fault_seed conf)
 
 let print_crash_matrix rows =
   print_endline
@@ -1416,3 +1417,167 @@ let print_crash_matrix rows =
   Printf.printf "a13 summary: %d crash-restarts executed, %d schedule(s) diverged\n\n"
     (total (fun a c -> a + c.cc_crashes))
     (total (fun a c -> a + if c.cc_ok then 0 else 1))
+
+(* -------------------------------------------------------------------- A14 *)
+
+type integrity_cell = {
+  ic_schedule : string;
+  ic_time_s : float;
+  ic_retransmits : int;
+  ic_corrupt : int;
+  ic_crashes : int;
+  ic_wal_truncated : int;
+  ic_wal_repaired : int;
+  ic_ok : bool;
+}
+
+type integrity_row = {
+  iw_workload : string;
+  iw_cells : integrity_cell list;
+}
+
+(* Cross-workload integrity matrix: the corruption and torn-write fault
+   classes, alone and stacked on the heavy preset plus a crash schedule
+   derived from the reference duration (the [crash_matrix] recipe). A
+   corrupted copy is fenced at the NIC by its checksum and recovered by
+   retransmission; a torn WAL tail is truncated by the restart scan and
+   repaired from the doublewrite slot — so the last column must read
+   bit-identical in every cell, with the CORRUPT / WAL TRUNC / REPAIR
+   columns proving the fault classes actually executed. *)
+let integrity_matrix ?(fault_seed = 0x14C5) (conf : Runconf.t) =
+  (* A fourth, accumulate-heavy workload: the shared trio barely exercises
+     the durable logs (BH and EM3D accumulate host-side; FMM's remote M2M
+     contributions cluster at the top of the upward pass, after the crash
+     windows), so torn-write tears would land on empty WALs and absorb
+     harmlessly. Here every node streams remote accumulates from its very
+     first strip, so a mid-phase crash tears real Batch/Applied records —
+     the WAL TRUNC and REPAIR columns of this row witness the recovery
+     path end to end. *)
+  let accum_reduce =
+    let procs = conf.Runconf.breakdown_procs in
+    let run faults =
+      let heaps = Dpa_heap.Heap.cluster ~nnodes:procs in
+      let counters =
+        Array.init (2 * procs) (fun i ->
+            Dpa_heap.Heap.alloc
+              heaps.(i mod procs)
+              ~floats:(Array.make 2 0.) ~ptrs:[||])
+      in
+      let nctr = Array.length counters in
+      let items node =
+        Array.init 64 (fun i ->
+            fun ctx ->
+              Dpa.Runtime.charge ctx 2_000;
+              Dpa.Runtime.accumulate ctx
+                counters.((node + (3 * i)) mod nctr)
+                ~idx:(i mod 2)
+                (float_of_int ((node * 64) + i + 1)))
+      in
+      let machine = Machine.make ~nodes:procs ?faults ~fault_seed () in
+      let engine = Engine.create machine in
+      if faults = None then Engine.set_fault engine None;
+      let b, s =
+        Dpa.Runtime.run_phase_labeled ~label:"accum-reduce" ~engine ~heaps
+          ~config:(Dpa.Config.dpa ~strip_size:8 ())
+          ~items
+      in
+      let vals =
+        Array.map
+          (fun p ->
+            Array.copy (Dpa_heap.Heap.deref heaps p).Dpa_heap.Obj_repr.floats)
+          counters
+      in
+      (`Accum vals, engine, Breakdown.elapsed_s b, s)
+    in
+    (Printf.sprintf "Accumulate reduction (%d nodes)" procs, run)
+  in
+  let cells run =
+    let ref_res, ref_engine, ref_time, ref_stats = run None in
+    let am_counters engine =
+      match Dpa_msg.Am.stats engine with
+      | None -> (0, 0)
+      | Some s -> (s.Dpa_msg.Am.retransmits, s.Dpa_msg.Am.corrupt_dropped)
+    in
+    let mk label (engine, time_s, (stats : Dpa.Dpa_stats.t)) ~ok =
+      let retransmits, corrupt = am_counters engine in
+      {
+        ic_schedule = label;
+        ic_time_s = time_s;
+        ic_retransmits = retransmits;
+        ic_corrupt = corrupt;
+        ic_crashes = stats.Dpa.Dpa_stats.crashes;
+        ic_wal_truncated = stats.Dpa.Dpa_stats.wal_truncated;
+        ic_wal_repaired = stats.Dpa.Dpa_stats.wal_repaired;
+        ic_ok = ok;
+      }
+    in
+    let elapsed = Engine.elapsed ref_engine in
+    let crash_knobs =
+      Printf.sprintf "crashes=1,crash-ns=%d,horizon-ns=%d"
+        (max 1_000 (elapsed / 8))
+        (max 1_000 (elapsed / 2))
+    in
+    let faulted label spec_str =
+      let faults =
+        match Fault.spec_of_string spec_str with
+        | Ok s -> s
+        | Error msg -> invalid_arg ("integrity_matrix: " ^ msg)
+      in
+      let res, engine, time_s, stats = run (Some faults) in
+      mk label (engine, time_s, stats) ~ok:(res = ref_res)
+    in
+    [
+      mk "off" (ref_engine, ref_time, ref_stats) ~ok:true;
+      faulted "corrupt" "corrupt=0.05";
+      faulted "torn-wal" (Printf.sprintf "torn-wal=1,%s" crash_knobs);
+      faulted "heavy+corrupt+crash"
+        (Printf.sprintf "heavy,corrupt=0.02,torn-wal=1,%s" crash_knobs);
+    ]
+  in
+  List.map
+    (fun (label, run) -> { iw_workload = label; iw_cells = cells run })
+    (chaos_workloads ~fault_seed conf @ [ accum_reduce ])
+
+let print_integrity_matrix rows =
+  print_endline
+    "A14: end-to-end integrity matrix — corruption is fenced by checksums, \
+     torn WAL tails repair from the doublewrite slot";
+  List.iter
+    (fun row ->
+      Printf.printf "%s\n" row.iw_workload;
+      let t =
+        Table.make
+          ~header:
+            [
+              "SCHEDULE"; "TIME(s)"; "RETRANS"; "CORRUPT"; "CRASHES";
+              "WAL TRUNC"; "REPAIR"; "RESULT";
+            ]
+      in
+      List.iter
+        (fun c ->
+          Table.add_row t
+            [
+              c.ic_schedule;
+              Table.sec c.ic_time_s;
+              string_of_int c.ic_retransmits;
+              string_of_int c.ic_corrupt;
+              string_of_int c.ic_crashes;
+              string_of_int c.ic_wal_truncated;
+              string_of_int c.ic_wal_repaired;
+              (if c.ic_ok then "bit-identical" else "DIVERGED");
+            ])
+        row.iw_cells;
+      Table.print t;
+      print_newline ())
+    rows;
+  (* A machine-checkable summary line: the integrity-smoke target asserts
+     that corruptions actually executed and nothing diverged. *)
+  let total f =
+    List.fold_left (fun a r -> List.fold_left f a r.iw_cells) 0 rows
+  in
+  Printf.printf
+    "a14 summary: %d corruptions dropped, %d wal records truncated, %d \
+     schedule(s) diverged\n\n"
+    (total (fun a c -> a + c.ic_corrupt))
+    (total (fun a c -> a + c.ic_wal_truncated))
+    (total (fun a c -> a + if c.ic_ok then 0 else 1))

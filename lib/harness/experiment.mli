@@ -297,3 +297,38 @@ val crash_matrix : ?fault_seed:int -> Runconf.t -> crash_row list
     DESIGN.md §13). *)
 
 val print_crash_matrix : crash_row list -> unit
+
+type integrity_cell = {
+  ic_schedule : string;  (** schedule label (["off"], ["corrupt"], ...) *)
+  ic_time_s : float;
+  ic_retransmits : int;  (** transport-level timeout re-sends *)
+  ic_corrupt : int;
+      (** checksum-failed copies fenced (counted and dropped) at the NIC *)
+  ic_crashes : int;  (** crash-restarts executed *)
+  ic_wal_truncated : int;
+      (** damaged WAL tail records cut by restart integrity scans *)
+  ic_wal_repaired : int;
+      (** truncated tails restored from the doublewrite slot *)
+  ic_ok : bool;
+      (** results bit-identical to the fault-free reference run *)
+}
+
+type integrity_row = {
+  iw_workload : string;
+  iw_cells : integrity_cell list;
+}
+
+val integrity_matrix : ?fault_seed:int -> Runconf.t -> integrity_row list
+(** A14: the cross-workload end-to-end integrity matrix — the same three
+    workloads as {!crash_matrix}, each under a fault-free reference, a
+    wire-corruption schedule ([corrupt=0.05]: every copy's CRC-32 frame
+    risks a seeded bit-flip, fenced at the NIC and recovered by
+    retransmission), a torn-write schedule ([torn-wal=1] on a derived
+    crash schedule: every crash damages a durable-log tail, which the
+    restart scan truncates and repairs from the doublewrite slot), and
+    all of it stacked on the heavy preset. Certifies that every schedule
+    reproduces the reference result bit for bit, and that the fault
+    classes actually executed (the corrupt / truncated columns are the
+    smoke target's witness — see DESIGN.md §13). *)
+
+val print_integrity_matrix : integrity_row list -> unit

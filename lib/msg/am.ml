@@ -160,6 +160,10 @@ type state = {
   mutable pruned : int;  (* dedup entries reclaimed at phase barriers *)
   mutable fenced : int;  (* copies rejected by incarnation fencing *)
   mutable crash_wiped : int;  (* envelopes lost with their sender's crash *)
+  corrupt_dropped : int array;
+      (* per node: copies whose frame failed checksum verification at that
+         node's NIC — kept per node so the profile's integrity table can
+         show the sum-across-nodes breakdown *)
 }
 
 type stats = {
@@ -172,6 +176,7 @@ type stats = {
   pruned : int;
   fenced : int;
   crash_wiped : int;
+  corrupt_dropped : int;
 }
 
 type Engine.ext += Reliable of state
@@ -196,6 +201,7 @@ let state engine =
         pruned = 0;
         fenced = 0;
         crash_wiped = 0;
+        corrupt_dropped = Array.make nnodes 0;
       }
     in
     Engine.set_ext engine (Some (Reliable s));
@@ -203,6 +209,8 @@ let state engine =
 
 let seen_entries s =
   Array.fold_left (fun acc tbl -> acc + Hashtbl.length tbl) 0 s.seen
+
+let corrupt_total (s : state) = Array.fold_left ( + ) 0 s.corrupt_dropped
 
 let stats engine =
   match Engine.ext engine with
@@ -218,8 +226,14 @@ let stats engine =
         pruned = s.pruned;
         fenced = s.fenced;
         crash_wiped = s.crash_wiped;
+        corrupt_dropped = corrupt_total s;
       }
   | _ -> None
+
+let corrupt_dropped_per_node engine =
+  match Engine.ext engine with
+  | Some (Reliable s) -> Array.copy s.corrupt_dropped
+  | _ -> [||]
 
 let in_flight engine =
   match Engine.ext engine with
@@ -296,6 +310,25 @@ let rto_for (st : state) (m : Machine.t) ~src ~dst ~bytes =
    many attempts is a configuration error, not bad luck. *)
 let max_attempts = 64
 
+(* Checksum fencing (DESIGN.md §13): materialize one copy's frame, seal it
+   at wire-out, and let the fault plan flip a bit; [true] iff the frame
+   then fails CRC verification — the NIC's cue to count and drop the copy
+   with no ack and no handler. With the corruption class off no frame is
+   ever built, so those runs replay bit-identically to a build without the
+   integrity layer. CRC-32 catches every single-bit flip, so a drawn
+   corruption is always detected (the test suite holds this exhaustively);
+   the [verify] of a clean copy models the always-on NIC check. *)
+let copy_corrupted f ~src ~dst ~seq ~inc ~bytes =
+  Fault.corruption_enabled f
+  && begin
+       let fr = Wire.frame ~src ~dst ~seq ~inc ~bytes in
+       Wire.seal fr;
+       (match Fault.corrupt_copy f with
+       | None -> ()
+       | Some r -> Wire.flip_bit fr r);
+       not (Wire.verify fr)
+     end
+
 let obs_instant engine ~cat ~name ~node ~ts args =
   match Engine.sink engine with
   | None -> ()
@@ -314,6 +347,28 @@ let obs_observe engine name v =
     Dpa_obs.Metrics.observe
       (Dpa_obs.Metrics.histogram (Dpa_obs.Sink.metrics sink) name)
       v
+
+(* Corruption marker: a zero-duration, path-ineligible DAG node hanging
+   off the corrupted copy's flight (the ack pattern), so refetch and
+   retransmit chains in the critical-path report stay exact while the
+   corruption still shows as an explicit happens-before vertex. Returns
+   span_id/parent args for the instant the caller emits. *)
+let corrupt_marker engine ~kind ~fid ~node ~ts =
+  match causal engine with
+  | None -> []
+  | Some c ->
+    let id = Dpa_obs.Causal.fresh c in
+    Dpa_obs.Causal.node ~seg:Dpa_obs.Causal.Wire ~on_path:false c ~id
+      ~name:"corrupt" ~node ~ts ~dur:0;
+    if fid >= 0 then Dpa_obs.Causal.edge c ~kind ~parent:fid ~child:id;
+    ("span_id", Dpa_obs.Sink.Int id)
+    :: (if fid >= 0 then [ ("parent", Dpa_obs.Sink.Int fid) ] else [])
+
+let note_corrupt engine (st : state) ~node ~src ~bytes ~ts cargs =
+  st.corrupt_dropped.(node) <- st.corrupt_dropped.(node) + 1;
+  obs_count engine "am.corrupt_dropped" 1;
+  obs_instant engine ~cat:"fault" ~name:"corrupt" ~node ~ts
+    (("src", Dpa_obs.Sink.Int src) :: ("bytes", Dpa_obs.Sink.Int bytes) :: cargs)
 
 (* One physical transmission attempt through the fault plan: charges the
    sender, occupies the links, then posts zero, one or two delivery events
@@ -359,6 +414,13 @@ let transmit engine f ~(src : Node.t) ~dst ~bytes ~seq ~cparent ~attempt
     List.iter
       (fun extra ->
         let at = arrival + extra in
+        (* Corruption is drawn here, at wire-out of the copy, not inside
+           the delivery event: transmission order is the deterministic
+           order, so the corruption stream stays independent of how the
+           event queue interleaves deliveries. *)
+        let corrupted =
+          copy_corrupted f ~src:src_id ~dst ~seq ~inc:dst_inc ~bytes
+        in
         (* One flight node per surviving copy — a duplicated envelope is
            two wire traversals, each a possible handler parent. Dropped
            attempts record nothing: the timeout wait they cause shows up
@@ -372,7 +434,21 @@ let transmit engine f ~(src : Node.t) ~dst ~bytes ~seq ~cparent ~attempt
         in
         Engine.post engine ~time:at ~node:dst (fun () ->
             let d = Engine.node engine dst in
-            if d.Node.incarnation <> dst_inc then begin
+            if corrupted then begin
+              (* The frame failed its CRC at the destination NIC: the wire
+                 carried the bytes, but the copy is fenced before software
+                 extraction — no recv overhead, no ack, no handler. The
+                 sender's retransmission timer recovers it as a loss. *)
+              d.Node.msgs_recv <- d.Node.msgs_recv + 1;
+              d.Node.bytes_recv <- d.Node.bytes_recv + bytes;
+              let st = state engine in
+              let cargs =
+                corrupt_marker engine ~kind:Dpa_obs.Causal.Deliver ~fid
+                  ~node:dst ~ts:at
+              in
+              note_corrupt engine st ~node:dst ~src:src_id ~bytes ~ts:at cargs
+            end
+            else if d.Node.incarnation <> dst_inc then begin
               (* Addressed to a pre-crash incarnation: the wire carried it,
                  but the NIC rejects it before software extraction — no
                  recv overhead, no ack, no handler. *)
@@ -496,6 +572,15 @@ let reliable_send engine f ~(src : Node.t) ~dst ~bytes handler =
     | Fault.Deliver delays ->
       List.iter
         (fun extra ->
+          (* Acks get the same checksum fence as data: a corrupted ack is
+             counted and discarded at the sender's NIC, the envelope stays
+             pending, and a later duplicate ack (or a spurious retransmit
+             absorbed by the dedup) completes it. The ack frame reuses the
+             data sequence number; acks carry no incarnation. *)
+          let ack_corrupt =
+            copy_corrupted f ~src:d.Node.id ~dst:src_id ~seq ~inc:0
+              ~bytes:ack_bytes
+          in
           (* Ack flights join the DAG (leaf nodes off the delivered copy)
              but are path-ineligible: they advance no node clock, so a
              late ack must not become the path tail. *)
@@ -513,7 +598,15 @@ let reliable_send engine f ~(src : Node.t) ~dst ~bytes handler =
               let s = Engine.node engine src_id in
               s.Node.msgs_recv <- s.Node.msgs_recv + 1;
               s.Node.bytes_recv <- s.Node.bytes_recv + ack_bytes;
-              if Hashtbl.mem st.pending seq then begin
+              if ack_corrupt then begin
+                let cargs =
+                  corrupt_marker engine ~kind:Dpa_obs.Causal.Ack ~fid
+                    ~node:src_id ~ts:(arrival + extra)
+                in
+                note_corrupt engine st ~node:src_id ~src:d.Node.id
+                  ~bytes:ack_bytes ~ts:(arrival + extra) cargs
+              end
+              else if Hashtbl.mem st.pending seq then begin
                 Hashtbl.remove st.pending seq;
                 let latency = (arrival + extra) - p.p_first_sent in
                 (* Full delivery latency, recovery included, feeds the

@@ -35,7 +35,22 @@
     the exactly-once guarantee then holds {e per incarnation}, and
     cross-crash effect deduplication is the application layer's job (the
     runtime keeps a durable applied-journal for accumulate batches — see
-    DESIGN.md §13). *)
+    DESIGN.md §13).
+
+    {2 Checksum fencing}
+
+    When the fault plan carries a positive [corrupt] rate, every physical
+    copy — data and ack alike — is materialized as a checksum-fenced frame
+    ({!Wire}): sealed with a CRC-32 at wire-out, verified at the
+    destination NIC. A copy the plan corrupts (one seeded bit flipped)
+    fails verification and is counted and dropped {e wire-silently}: its
+    bytes land on the NIC but no ack is generated and no handler runs, so
+    a corrupted copy is indistinguishable from a loss to the sender and
+    the ordinary retransmission machinery recovers it. A corrupted ack
+    leaves the envelope pending; a duplicate ack or one spurious
+    retransmit (absorbed by the dedup table) completes it. With
+    [corrupt = 0] no frame is ever built and the run replays
+    bit-identically to a build without the integrity layer. *)
 
 open Dpa_sim
 
@@ -67,11 +82,20 @@ type stats = {
   pruned : int;  (** dedup entries reclaimed by {!prune_seen} so far *)
   fenced : int;  (** copies rejected because addressed to a dead incarnation *)
   crash_wiped : int;  (** unacked envelopes destroyed by their sender's crash *)
+  corrupt_dropped : int;
+      (** copies (data or ack) whose frame failed CRC verification at the
+          destination NIC and were dropped wire-silently *)
 }
 
 val stats : Engine.t -> stats option
 (** Reliable-transport counters; [None] until the first [send] under a
     fault plan instantiates the protocol state. *)
+
+val corrupt_dropped_per_node : Engine.t -> int array
+(** Per-node breakdown of [stats.corrupt_dropped] — how many corrupted
+    copies each node's NIC fenced. The runtime snapshots this at phase
+    boundaries to attribute corruption drops to phases in the profile's
+    integrity table. Empty array without protocol state. *)
 
 val in_flight : Engine.t -> int
 (** Unacknowledged envelopes right now ([0] without protocol state). The

@@ -1,0 +1,81 @@
+(* Checksum-fenced wire framing for the corruption fault class.
+
+   The simulator never serializes application payloads — [bytes] is an
+   accounting quantity — so a frame is a deterministic materialization of
+   the envelope: the header fields packed little-endian, a synthetic
+   payload image derived from them (capped at [max_payload_image] so
+   framing cost stays O(1) per transmission however large the bulk
+   reply), and a CRC-32 trailer sealed at first wire-out. The image is a
+   pure function of the header, which is all the fault class needs: a
+   seeded bit-flip anywhere in the frame must be detectable at NIC
+   delivery, and CRC-32 guarantees detection of any single-bit error. *)
+
+let header_fields = 5 (* src, dst, seq, inc, bytes *)
+let field_bytes = 8
+let crc_bytes = 4
+let max_payload_image = 64
+
+let put_u64 b ~pos v =
+  for i = 0 to 7 do
+    Bytes.unsafe_set b (pos + i) (Char.unsafe_chr ((v lsr (8 * i)) land 0xFF))
+  done
+
+(* splitmix64-style finalizer over native ints: cheap, and every header
+   bit diffuses into every image byte. *)
+let mix z =
+  let z = (z lxor (z lsr 30)) * 0x4be98134a5976fd3 in
+  let z = (z lxor (z lsr 27)) * 0x3bd4b2cfa9a275ab in
+  z lxor (z lsr 31)
+
+let frame ~src ~dst ~seq ~inc ~bytes =
+  let image = min (max 0 bytes) max_payload_image in
+  let total = (header_fields * field_bytes) + image + crc_bytes in
+  let b = Bytes.create total in
+  put_u64 b ~pos:0 src;
+  put_u64 b ~pos:8 dst;
+  put_u64 b ~pos:16 seq;
+  put_u64 b ~pos:24 inc;
+  put_u64 b ~pos:32 bytes;
+  let seed = mix (src lxor (dst lsl 16) lxor (seq lsl 32) lxor (inc lsl 48) lxor bytes) in
+  for i = 0 to image - 1 do
+    Bytes.unsafe_set b
+      (40 + i)
+      (Char.unsafe_chr (mix (seed + i) land 0xFF))
+  done;
+  (* CRC field starts zeroed ([Bytes.create] contents are unspecified);
+     [seal] fills it. *)
+  Bytes.set b (total - 4) '\000';
+  Bytes.set b (total - 3) '\000';
+  Bytes.set b (total - 2) '\000';
+  Bytes.set b (total - 1) '\000';
+  b
+
+let body_len b = Bytes.length b - crc_bytes
+
+let seal b =
+  let crc = Dpa_util.Crc.digest_sub b ~pos:0 ~len:(body_len b) in
+  let base = body_len b in
+  for i = 0 to crc_bytes - 1 do
+    Bytes.set b (base + i) (Char.chr ((crc lsr (8 * i)) land 0xFF))
+  done
+
+let stored_crc b =
+  let base = body_len b in
+  let v = ref 0 in
+  for i = crc_bytes - 1 downto 0 do
+    v := (!v lsl 8) lor Char.code (Bytes.get b (base + i))
+  done;
+  !v
+
+let verify b =
+  Bytes.length b > crc_bytes
+  && Dpa_util.Crc.digest_sub b ~pos:0 ~len:(body_len b) = stored_crc b
+
+let bits b = 8 * Bytes.length b
+
+let flip_bit b k =
+  let nbits = bits b in
+  if nbits = 0 then invalid_arg "Wire.flip_bit: empty frame";
+  let k = ((k mod nbits) + nbits) mod nbits in
+  let byte = k / 8 and bit = k mod 8 in
+  Bytes.set b byte (Char.chr (Char.code (Bytes.get b byte) lxor (1 lsl bit)))

@@ -1,0 +1,32 @@
+(** Checksum-fenced framing of transport envelopes.
+
+    The simulated network carries no real payload bytes, so the corruption
+    fault class materializes each physical transmission as a {e frame}: the
+    envelope header (src, dst, seq, incarnation, byte count) packed
+    little-endian, a deterministic payload image derived from the header
+    (capped, so framing cost is O(1) regardless of message size), and a
+    CRC-32 trailer ({!Dpa_util.Crc}). {!seal} computes the checksum at
+    first wire-out; {!verify} re-computes it at NIC delivery. A frame that
+    fails verification models a corrupted copy: the transport counts and
+    drops it — no ack, no handler — and the retransmission machinery
+    recovers it as a loss (DESIGN.md §13).
+
+    CRC-32 detects every single-bit error, so {!flip_bit} followed by
+    {!verify} is [false] for {e any} bit position — the avalanche property
+    test/test_integrity.ml checks exhaustively. *)
+
+val frame : src:int -> dst:int -> seq:int -> inc:int -> bytes:int -> Bytes.t
+(** Materialize one envelope copy, checksum field zeroed. *)
+
+val seal : Bytes.t -> unit
+(** Compute the CRC of everything before the trailer and store it there. *)
+
+val verify : Bytes.t -> bool
+(** Recompute and compare the trailer checksum. *)
+
+val bits : Bytes.t -> int
+(** Total bits in the frame (header + image + trailer), the range
+    corruption draws index into. *)
+
+val flip_bit : Bytes.t -> int -> unit
+(** Flip bit [k mod bits] of the frame — the injected wire corruption. *)

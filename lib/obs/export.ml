@@ -163,6 +163,9 @@ type node_acc = {
   mutable n_strips : int;
   mutable n_opt_actual : int;  (* opt_actual_bytes phase-span args *)
   mutable n_opt_bound : int;  (* opt_bound_bytes phase-span args *)
+  mutable n_corrupt : int;  (* corrupt_dropped phase-span args *)
+  mutable n_wal_trunc : int;  (* wal_truncated phase-span args *)
+  mutable n_wal_repair : int;  (* wal_repaired phase-span args *)
 }
 
 type phase_acc = {
@@ -171,6 +174,7 @@ type phase_acc = {
   mutable nodes : int list;
   mutable strips : int;
   mutable has_opt : bool;  (* some phase span carried optimality args *)
+  mutable has_integrity : bool;  (* some phase span carried integrity args *)
   per_node : (int, node_acc) Hashtbl.t;
 }
 
@@ -197,6 +201,9 @@ let node_acc acc node =
         n_strips = 0;
         n_opt_actual = 0;
         n_opt_bound = 0;
+        n_corrupt = 0;
+        n_wal_trunc = 0;
+        n_wal_repair = 0;
       }
     in
     Hashtbl.add acc.per_node node na;
@@ -217,6 +224,7 @@ let profile sink =
           nodes = [];
           strips = 0;
           has_opt = false;
+          has_integrity = false;
           per_node = Hashtbl.create 8;
         }
       in
@@ -243,6 +251,12 @@ let profile sink =
           acc.has_opt <- true;
           na.n_opt_actual <- na.n_opt_actual + int_arg "opt_actual_bytes" ev;
           na.n_opt_bound <- na.n_opt_bound + int_arg "opt_bound_bytes" ev
+        end;
+        if List.mem_assoc "corrupt_dropped" ev.Sink.args then begin
+          acc.has_integrity <- true;
+          na.n_corrupt <- na.n_corrupt + int_arg "corrupt_dropped" ev;
+          na.n_wal_trunc <- na.n_wal_trunc + int_arg "wal_truncated" ev;
+          na.n_wal_repair <- na.n_wal_repair + int_arg "wal_repaired" ev
         end
       | Sink.Span when ev.Sink.cat = "strip" -> (
         match strip_phase_label ev with
@@ -376,6 +390,43 @@ let profile sink =
             (Printf.sprintf
                "  %-24s = actual %d B, bound %d B, ratio %s\n" name actual
                bound (pr_ratio actual bound))
+        end)
+      ordered
+  end;
+  (* Per-phase integrity: corrupted copies each node's NIC fenced during
+     the phase (checksum-failed frames, counted and dropped wire-silently)
+     and the WAL records the restart scans truncated and repaired. Rows
+     sum to the "=" line; bin/obs_check re-adds them as a consistency
+     gate. Only present when a fault plan stamped the integrity args. *)
+  if List.exists (fun n -> (Hashtbl.find phases n).has_integrity) ordered
+  then begin
+    Buffer.add_string buf "Per-phase integrity\n";
+    Buffer.add_string buf
+      (Printf.sprintf "  %-24s %6s %10s %10s %10s\n" "phase" "node" "corrupt"
+         "wal trunc" "wal repair");
+    List.iter
+      (fun name ->
+        let acc = Hashtbl.find phases name in
+        if acc.has_integrity then begin
+          let rows =
+            Hashtbl.fold (fun node na l -> (node, na) :: l) acc.per_node []
+            |> List.sort (fun (a, _) (b, _) -> compare a b)
+          in
+          List.iter
+            (fun (node, na) ->
+              if na.n_spans > 0 then
+                Buffer.add_string buf
+                  (Printf.sprintf "  %-24s %6d %10d %10d %10d\n" name node
+                     na.n_corrupt na.n_wal_trunc na.n_wal_repair))
+            rows;
+          let sum f = List.fold_left (fun a (_, na) -> a + f na) 0 rows in
+          Buffer.add_string buf
+            (Printf.sprintf
+               "  %-24s = %d corrupt dropped, %d wal truncated, %d repaired\n"
+               name
+               (sum (fun na -> na.n_corrupt))
+               (sum (fun na -> na.n_wal_trunc))
+               (sum (fun na -> na.n_wal_repair)))
         end)
       ordered
   end;

@@ -10,6 +10,8 @@ type spec = {
   slow_factor : float;
   crashes : int;
   crash_ns : int;
+  corrupt : float;
+  torn_wal : float;
 }
 
 let none =
@@ -25,6 +27,8 @@ let none =
     slow_factor = 1.;
     crashes = 0;
     crash_ns = 3_000_000;
+    corrupt = 0.;
+    torn_wal = 0.;
   }
 
 let light =
@@ -57,6 +61,13 @@ let check spec =
   if spec.slow_factor < 1. then invalid_arg "Fault: slow-factor must be >= 1";
   if spec.crashes < 0 then invalid_arg "Fault: crashes must be >= 0";
   if spec.crash_ns < 0 then invalid_arg "Fault: crash-ns must be >= 0";
+  prob "corrupt" spec.corrupt;
+  (* Unlike the per-message probabilities, torn-wal = 1 is meaningful and
+     useful: "every crash tears the log tail" is the deterministic worst
+     case the recovery tests pin down. *)
+  if spec.torn_wal < 0. || spec.torn_wal > 1. then
+    invalid_arg
+      (Printf.sprintf "Fault: torn-wal must be in [0,1], got %g" spec.torn_wal);
   spec
 
 let spec_to_string s =
@@ -86,11 +97,16 @@ let spec_to_string s =
               (Printf.sprintf "slow-node=%d,slow-factor=%g" s.slow_node
                  s.slow_factor)
           else None);
+         (if s.corrupt > 0. then Some (Printf.sprintf "corrupt=%g" s.corrupt)
+          else None);
+         (if s.torn_wal > 0. then
+            Some (Printf.sprintf "torn-wal=%g" s.torn_wal)
+          else None);
        ])
 
 let valid_keys =
   "drop, dup, delay, jitter-ns, outages, outage-ns, crashes, crash-ns, \
-   horizon-ns, slow-node, slow-factor"
+   horizon-ns, slow-node, slow-factor, corrupt, torn-wal"
 
 let spec_of_string str =
     let parse_field acc field =
@@ -150,6 +166,12 @@ let spec_of_string str =
           | "crash" | "crash-ns" ->
             let* x = n () in
             Ok { spec with crash_ns = x }
+          | "corrupt" ->
+            let* x = f () in
+            Ok { spec with corrupt = x }
+          | "torn-wal" | "torn" ->
+            let* x = f () in
+            Ok { spec with torn_wal = x }
           | _ ->
             Error
               (Printf.sprintf "Fault: unknown knob %S (valid keys: %s)" key
@@ -185,6 +207,13 @@ type t = {
   spec : spec;
   seed : int;
   rng : Dpa_util.Rng.t;
+  (* The corruption and tear streams are seeded independently of [rng]
+     (plain xor-derived seeds, no [Rng.split] — a split consumes a parent
+     draw) so enabling [corrupt] or [torn_wal] leaves the legacy
+     drop/dup/delay/window schedule bit-identical, and [corrupt = 0]
+     replays exactly as a spec without the knob. *)
+  corrupt_rng : Dpa_util.Rng.t;
+  torn_rng : Dpa_util.Rng.t;
   windows : (int * int) array array;
   crash_windows : (int * int) array array;
   mutable drops : int;
@@ -192,6 +221,8 @@ type t = {
   mutable delayed : int;
   mutable outage_drops : int;
   mutable crash_drops : int;
+  mutable corruptions : int;
+  mutable tears : int;
 }
 
 let make ?(seed = 0x5EED) spec ~nodes =
@@ -226,6 +257,8 @@ let make ?(seed = 0x5EED) spec ~nodes =
     spec;
     seed;
     rng;
+    corrupt_rng = Dpa_util.Rng.create ~seed:(seed lxor 0x51C6C0DE);
+    torn_rng = Dpa_util.Rng.create ~seed:(seed lxor 0x7EA410C5);
     windows;
     crash_windows;
     drops = 0;
@@ -233,6 +266,8 @@ let make ?(seed = 0x5EED) spec ~nodes =
     delayed = 0;
     outage_drops = 0;
     crash_drops = 0;
+    corruptions = 0;
+    tears = 0;
   }
 
 let seed t = t.seed
@@ -312,6 +347,49 @@ let dups t = t.dups
 let delayed t = t.delayed
 let outage_drops t = t.outage_drops
 let crash_drops t = t.crash_drops
+let corruptions t = t.corruptions
+let tears t = t.tears
+
+(* --- integrity fault classes ------------------------------------------- *)
+
+let corruption_enabled t = t.spec.corrupt > 0.
+
+(* One draw per delivered copy (the transport calls this at transmit time,
+   inside the engine's deterministic event order). [None] without a single
+   stream access when the knob is off, so schedules replay identically. *)
+let corrupt_copy t =
+  if t.spec.corrupt <= 0. then None
+  else if Dpa_util.Rng.uniform t.corrupt_rng < t.spec.corrupt then begin
+    t.corruptions <- t.corruptions + 1;
+    Some (Dpa_util.Rng.int t.corrupt_rng (1 lsl 30))
+  end
+  else None
+
+type tear = {
+  tear_log : [ `Update_wal | `Journal ];
+  tear_slot : bool;
+  tear_flip : bool;
+  tear_pos : int;
+}
+
+(* Per crash event: for each durable log of the victim, decide whether its
+   tail is torn and how. The position/kind draws happen only for torn logs
+   and all come from the dedicated stream, so crash schedules themselves
+   never shift when the knob is toggled. *)
+let draw_tears t =
+  if t.spec.torn_wal <= 0. then []
+  else
+    List.filter_map
+      (fun log ->
+        if Dpa_util.Rng.uniform t.torn_rng < t.spec.torn_wal then begin
+          t.tears <- t.tears + 1;
+          let tear_slot = Dpa_util.Rng.int t.torn_rng 4 = 0 in
+          let tear_flip = Dpa_util.Rng.int t.torn_rng 2 = 0 in
+          let tear_pos = Dpa_util.Rng.int t.torn_rng (1 lsl 30) in
+          Some { tear_log = log; tear_slot; tear_flip; tear_pos }
+        end
+        else None)
+      [ `Update_wal; `Journal ]
 
 (* Process-global default, mirroring [Dpa_obs.Sink.set_global]: drivers
    (e.g. the CLI's [--faults] flag) can perturb every engine created during

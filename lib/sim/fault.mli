@@ -51,6 +51,18 @@ type spec = {
       (** down time of each crash: the node rejoins (with a fresh
           incarnation and cold volatile state) [crash_ns] after the crash
           instant *)
+  corrupt : float;
+      (** per-delivered-copy wire-corruption probability, [0, 1): a
+          corrupted copy has one seeded bit flipped in its checksum-fenced
+          frame ({!Dpa_msg.Wire}), fails verification at the destination
+          NIC, and is counted and dropped — no ack, no handler — so the
+          retransmission machinery recovers it as a loss *)
+  torn_wal : float;
+      (** per-crash, per-log torn-write probability, [0, 1] (1 is allowed:
+          every crash tears deterministically): the victim's update-WAL
+          and applied-batch journal may each lose or corrupt their tail
+          record, which the restart walk's checksum scan detects and
+          repairs ({!Dpa.Wal}) *)
 }
 
 val none : spec
@@ -68,7 +80,8 @@ val spec_of_string : string -> (spec, string) result
 (** Parse ["none"], ["light"], ["heavy"], or a comma-separated
     [key=value] list over the knobs [drop], [dup], [delay], [jitter-ns],
     [outages], [outage-ns], [crashes], [crash-ns], [horizon-ns],
-    [slow-node], [slow-factor] (e.g. ["drop=0.05,dup=0.01,outages=1"]).
+    [slow-node], [slow-factor], [corrupt], [torn-wal]
+    (e.g. ["drop=0.05,dup=0.01,outages=1"]).
     The first field may be a preset name that the remaining knobs
     override, e.g. ["heavy,crashes=1"]. Unset knobs default to {!none}'s
     values. Errors name the offending field {e and} enumerate the accepted
@@ -142,6 +155,42 @@ val outage_drops : t -> int
 val crash_drops : t -> int
 (** Transmissions silenced by a crash window (reported as
     {!constructor-Outage} verdicts, counted separately). *)
+
+(** {2 Integrity fault classes}
+
+    Corruption and torn-write draws come from dedicated streams seeded
+    independently of the plan's base RNG (no {!Dpa_util.Rng.split} off it,
+    which would consume a draw): toggling either knob leaves the
+    drop/dup/delay/outage/crash schedule bit-identical, and a spec with
+    the knob at zero replays exactly as one without it. *)
+
+val corruption_enabled : t -> bool
+(** Whether the spec carries a positive [corrupt] rate — the transport's
+    cue to materialize and verify checksum frames at all. *)
+
+val corrupt_copy : t -> int option
+(** Per delivered copy: [Some r] when this copy is corrupted, where [r]
+    seeds the bit position to flip in its frame; [None] (with no stream
+    access) when [corrupt] is zero. Counted in {!corruptions}. *)
+
+type tear = {
+  tear_log : [ `Update_wal | `Journal ];  (** which durable log is hit *)
+  tear_slot : bool;
+      (** tear the doublewrite slot instead of the main log tail *)
+  tear_flip : bool;  (** bit-flip rather than truncate *)
+  tear_pos : int;  (** seeds the byte/bit position within the tail *)
+}
+
+val draw_tears : t -> tear list
+(** Per crash event: the torn-write damage to apply to the victim's
+    durable logs (at most one entry per log). Empty — with no stream
+    access — when [torn_wal] is zero. Counted in {!tears}. *)
+
+val corruptions : t -> int
+(** Copies the plan decided to corrupt ({!corrupt_copy} = [Some _]). *)
+
+val tears : t -> int
+(** Log tears drawn by {!draw_tears}. *)
 
 val set_global : ?seed:int -> spec option -> unit
 (** Process-global default plan spec, picked up by

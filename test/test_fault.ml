@@ -26,7 +26,7 @@ let test_spec_presets () =
 let test_spec_key_values () =
   match
     Fault.spec_of_string
-      "drop=0.05,dup=0.01,delay=0.2,jitter=77,outages=2,outage-ns=123,horizon-ns=456,crashes=2,crash-ns=99,slow-node=1,slow-factor=2.5"
+      "drop=0.05,dup=0.01,delay=0.2,jitter=77,outages=2,outage-ns=123,horizon-ns=456,crashes=2,crash-ns=99,slow-node=1,slow-factor=2.5,corrupt=0.03,torn-wal=1"
   with
   | Error e -> Alcotest.fail e
   | Ok s ->
@@ -40,7 +40,9 @@ let test_spec_key_values () =
     Alcotest.(check int) "crashes" 2 s.Fault.crashes;
     Alcotest.(check int) "crash-ns" 99 s.Fault.crash_ns;
     Alcotest.(check int) "slow-node" 1 s.Fault.slow_node;
-    Alcotest.(check (float 0.)) "slow-factor" 2.5 s.Fault.slow_factor
+    Alcotest.(check (float 0.)) "slow-factor" 2.5 s.Fault.slow_factor;
+    Alcotest.(check (float 0.)) "corrupt" 0.03 s.Fault.corrupt;
+    Alcotest.(check (float 0.)) "torn-wal" 1. s.Fault.torn_wal
 
 let test_spec_preset_override () =
   match Fault.spec_of_string "heavy,crashes=1,crash-ns=777" with
@@ -65,7 +67,11 @@ let test_spec_errors () =
   rejects "jitter=abc";
   rejects "crashes=-1";
   rejects "crash-ns=-5";
-  rejects "slow-factor=0.5"
+  rejects "slow-factor=0.5";
+  rejects "corrupt=1";  (* per-copy probability: must stay below 1 *)
+  rejects "corrupt=-0.1";
+  rejects "torn-wal=1.5";  (* 1 is legal (deterministic tear), above is not *)
+  rejects "torn-wal=-1"
 
 let contains hay needle =
   let nh = String.length hay and nn = String.length needle in
@@ -82,7 +88,8 @@ let test_spec_errors_enumerate_keys () =
   in
   let lists_keys e =
     contains e "valid keys:" && contains e "crashes" && contains e "crash-ns"
-    && contains e "drop" && contains e "horizon-ns"
+    && contains e "drop" && contains e "horizon-ns" && contains e "corrupt"
+    && contains e "torn-wal"
   in
   Alcotest.(check bool)
     "unknown knob enumerates keys" true
@@ -108,6 +115,8 @@ let test_spec_roundtrip () =
       { Fault.light with Fault.slow_node = 2; slow_factor = 3. };
       { Fault.heavy with Fault.crashes = 2; crash_ns = 123_456 };
       { Fault.none with Fault.crashes = 1 };
+      { Fault.none with Fault.corrupt = 0.25 };
+      { Fault.heavy with Fault.crashes = 1; corrupt = 0.1; torn_wal = 1. };
     ];
   Alcotest.(check string)
     "pp none" "none"
@@ -126,6 +135,8 @@ let full_spec_gen =
     let* crash_ns = int_range 1 1_000_000 in
     let* slow_node = int_range (-1) 3 in
     let* slow_factor = float_range 1. 5. in
+    let* corrupt = float_range 0. 0.5 in
+    let* torn_wal = float_range 0. 1. in
     return
       {
         Fault.drop;
@@ -139,6 +150,8 @@ let full_spec_gen =
         crash_ns;
         slow_node;
         slow_factor;
+        corrupt;
+        torn_wal;
       })
 
 let qcheck_spec_pp_parse_roundtrip =

@@ -2,7 +2,7 @@
 
 BENCH := bin/dpa_bench.exe
 
-.PHONY: all build test fmt fmt-check smoke obs-smoke chaos-smoke adaptive-smoke critpath-smoke integrity-smoke bench-obs-overhead clean
+.PHONY: all build test fmt fmt-check smoke obs-smoke chaos-smoke adaptive-smoke critpath-smoke integrity-smoke optimality-smoke bench-obs-overhead clean
 
 all: build
 
@@ -27,7 +27,7 @@ fmt-check:
 # End-to-end observability smoke test: run a small experiment with the
 # trace/metrics exporters on and make sure the artifacts appear and are
 # non-trivial. The test suite validates the JSON itself (test/test_obs.ml).
-smoke: build obs-smoke chaos-smoke adaptive-smoke critpath-smoke integrity-smoke
+smoke: build obs-smoke chaos-smoke adaptive-smoke critpath-smoke integrity-smoke optimality-smoke
 	dune exec $(BENCH) -- f1 --scale small \
 	  --trace /tmp/dpa_trace.json --metrics /tmp/dpa_metrics.json --profile
 	@test -s /tmp/dpa_trace.json && test -s /tmp/dpa_metrics.json \
@@ -121,6 +121,19 @@ integrity-smoke: build
 	  /tmp/dpa_integ_events.jsonl /tmp/dpa_integ.txt
 	@grep -q "Per-phase integrity" /tmp/dpa_integ.txt \
 	  && echo "integrity-smoke: integrity tables consistent across nodes"
+
+# Communication-optimality smoke test: the a15 matrix at reduced scale.
+# Tree-routed aggregation and Morton repartitioning must both strictly
+# lower the measured-volume / optimality-bound ratio of their workload
+# (improved=yes in the summary line), with every cell — including the
+# fault schedules — bit-identical to the flat/static reference.
+optimality-smoke: build
+	dune exec $(BENCH) -- a15 --scale small --bodies 512 | tee /tmp/dpa_optimality.txt
+	@! grep -q DIVERGED /tmp/dpa_optimality.txt \
+	  && grep -q "a15 summary" /tmp/dpa_optimality.txt \
+	  && grep -q "improved=yes" /tmp/dpa_optimality.txt \
+	  && grep -q "0 cell(s) diverged" /tmp/dpa_optimality.txt \
+	  && echo "optimality-smoke: routed + repartitioned ratios strictly improved, results bit-identical"
 
 # Observability-overhead benchmark: wall-clock time of t2 and f1 with
 # observability off, with event streaming only, and with causal tracing +

@@ -151,6 +151,7 @@ let update_buffer_kernel () =
     let b =
       Dpa.Update_buffer.create ~ndest:4 ~combine:true ~max_batch:32
         ~flush:(fun ~dst:_ batch -> sink := !sink + List.length batch)
+        ()
     in
     for i = 0 to 999 do
       Dpa.Update_buffer.add b ~dst:(i land 3)

@@ -305,7 +305,28 @@ let conf_term =
              $(b,adaptive) (the default; Jacobson-Karels round-trip \
              estimation) or $(b,const) (the constant worst-case formula).")
   in
-  let combine scale procs bodies particles strip rto =
+  let repartition =
+    Arg.(
+      value & flag
+      & info [ "repartition" ]
+          ~doc:
+            "Barnes-Hut: re-cut ownership along Morton order between steps \
+             by each body's measured traversal work instead of keeping the \
+             step-1 partition. Bit-identical forces, different schedule \
+             (see the $(b,a15) experiment).")
+  in
+  let agg_route =
+    Arg.(
+      value & flag
+      & info [ "agg-route" ]
+          ~doc:
+            "Route remote accumulates through the binomial reduction tree, \
+             combining en route, instead of sending every node's batches \
+             straight to the owner. Bit-identical results (the update \
+             grids are fixed-point); rejected in combination with \
+             $(b,crashes=) fault plans (see the $(b,a15) experiment).")
+  in
+  let combine scale procs bodies particles strip rto repartition agg_route =
     Dpa_sim.Machine.set_default_adaptive_rto rto;
     let c = match scale with `Small -> Runconf.small | `Full -> Runconf.full in
     let c = match procs with Some p -> { c with Runconf.procs = p } | None -> c in
@@ -325,11 +346,16 @@ let conf_term =
             "dpa_bench: --strip expects a positive integer or 'auto'";
           exit 1)
     in
-    match particles with
-    | Some n -> { c with Runconf.fmm_particles = n }
-    | None -> c
+    let c =
+      match particles with
+      | Some n -> { c with Runconf.fmm_particles = n }
+      | None -> c
+    in
+    { c with Runconf.repartition; Runconf.route_all = agg_route }
   in
-  Term.(const combine $ scale $ procs $ bodies $ particles $ strip $ rto)
+  Term.(
+    const combine $ scale $ procs $ bodies $ particles $ strip $ rto
+    $ repartition $ agg_route)
 
 let run_t1 conf = Experiment.print_thread_stats (Experiment.thread_stats conf)
 
@@ -417,6 +443,27 @@ let run_a13 conf = Experiment.print_crash_matrix (Experiment.crash_matrix conf)
 let run_a14 conf =
   Experiment.print_integrity_matrix (Experiment.integrity_matrix conf)
 
+let run_a15 ?(json = None) conf =
+  (* Open the output before the run so a bad path fails immediately. *)
+  let json_out =
+    Option.map
+      (fun path ->
+        try (path, open_out path)
+        with Sys_error e ->
+          prerr_endline ("dpa_bench: " ^ e);
+          exit 1)
+      json
+  in
+  let rows = Experiment.optimality_matrix conf in
+  Experiment.print_optimality_matrix rows;
+  match json_out with
+  | None -> ()
+  | Some (path, oc) ->
+    output_string oc (Dpa_obs.Json.to_string (Experiment.optimality_json rows));
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "wrote optimality matrix to %s\n" path
+
 let run_timeline ?(csv = None) conf =
   let nnodes = conf.Runconf.breakdown_procs in
   let show variant =
@@ -501,7 +548,8 @@ let run_all conf =
   run_a11 conf;
   run_a12 conf;
   run_a13 conf;
-  run_a14 conf
+  run_a14 conf;
+  run_a15 conf
 
 let cmd name doc f =
   Cmd.v (Cmd.info name ~doc)
@@ -549,6 +597,23 @@ let () =
               "End-to-end integrity matrix: wire corruption and torn WAL \
                writes across workloads"
               run_a14;
+            (let json =
+               Arg.(
+                 value
+                 & opt (some string) None
+                 & info [ "json" ] ~docv:"FILE"
+                     ~doc:"Also write the matrix as JSON.")
+             in
+             Cmd.v
+               (Cmd.info "a15"
+                  ~doc:
+                    "Communication-optimality matrix: tree-routed \
+                     aggregation and Morton repartitioning vs the \
+                     flat/static baseline")
+               Term.(
+                 const (fun json fo obs conf ->
+                     with_faults fo (with_obs obs (run_a15 ~json)) conf)
+                 $ json $ fault_term $ obs_term $ conf_term));
             (let csv =
                Arg.(
                  value

@@ -28,18 +28,28 @@ let quantize3 (v : Vec3.t) =
   { Vec3.x = quantize v.Vec3.x; y = quantize v.Vec3.y; z = quantize v.Vec3.z }
 
 module Make (A : Dpa.Access.S) = struct
-  let items ~params ~tree ~bodies ~accs node =
+  let items ?work ~params ~tree ~bodies ~accs node =
     let root = tree.Bh_global.root in
+    (* [spend] charges simulated time and, when [work] is given, records it
+       against the body. The traversal — hence the recorded total — is a
+       pure function of the tree geometry, so the measured weights are
+       independent of the partition and of any fault schedule: the same
+       step always yields the same weights, which is what keeps
+       repartitioned runs deterministic. *)
+    let spend bid ctx ns =
+      A.charge ctx ns;
+      match work with None -> () | Some w -> w.(bid) <- w.(bid) + ns
+    in
     Array.map
       (fun bid ->
         let b = bodies.(bid) in
         let pos = b.Body.pos in
         let rec visit ctx (view : Obj_repr.t) =
-          A.charge ctx params.visit_ns;
+          spend bid ctx params.visit_ns;
           let com = Bh_global.View.com view in
           let half = Bh_global.View.half view in
           if not (Kernels.opened ~theta:params.theta ~pos ~com ~half) then begin
-            A.charge ctx params.body_cell_ns;
+            spend bid ctx params.body_cell_ns;
             accs.(bid) <-
               Vec3.add accs.(bid)
                 (quantize3
@@ -51,7 +61,7 @@ module Make (A : Dpa.Access.S) = struct
             for k = 0 to n - 1 do
               let sid, spos, smass = Bh_global.View.body view k in
               if sid <> bid then begin
-                A.charge ctx params.body_body_ns;
+                spend bid ctx params.body_body_ns;
                 accs.(bid) <-
                   Vec3.add accs.(bid)
                     (quantize3

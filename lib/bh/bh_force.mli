@@ -17,6 +17,7 @@ val default_params : params
 
 module Make (A : Dpa.Access.S) : sig
   val items :
+    ?work:int array ->
     params:params ->
     tree:Bh_global.t ->
     bodies:Body.t array ->
@@ -25,5 +26,12 @@ module Make (A : Dpa.Access.S) : sig
     (A.ctx -> unit) array
   (** [items ... node] is the array of per-body work items owned by [node].
       Item for body [b] traverses the distributed tree from the root and
-      accumulates the acceleration into [accs.(b)]. *)
+      accumulates the acceleration into [accs.(b)].
+
+      [work] (indexed by body id) additionally records the simulated
+      nanoseconds each body's traversal charged — the measured per-body
+      weights Morton repartitioning feeds to the next step's
+      {!Bh_global.distribute}. The traversal is a pure function of the tree
+      geometry, so the recorded weights do not depend on the partition or
+      on any injected fault schedule. *)
 end

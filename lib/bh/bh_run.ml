@@ -10,20 +10,20 @@ type phase_result = {
 module Force_dpa = Bh_force.Make (Dpa.Runtime)
 module Force_caching = Bh_force.Make (Dpa_baselines.Caching)
 
-let force_phase ~engine ~tree ~bodies ~params variant =
+let force_phase ?work ~engine ~tree ~bodies ~params variant =
   let n = Array.length bodies in
   let accs = Array.make n Vec3.zero in
   let heaps = tree.Bh_global.heaps in
   match variant with
   | Dpa_baselines.Variant.Dpa config ->
-    let items = Force_dpa.items ~params ~tree ~bodies ~accs in
+    let items = Force_dpa.items ?work ~params ~tree ~bodies ~accs in
     let breakdown, stats =
       Dpa.Runtime.run_phase_labeled ~label:"bh-force" ~engine ~heaps ~config
         ~items
     in
     { breakdown; accs; dpa_stats = Some stats; cache_stats = None }
   | Dpa_baselines.Variant.Prefetch { strip_size } ->
-    let items = Force_dpa.items ~params ~tree ~bodies ~accs in
+    let items = Force_dpa.items ?work ~params ~tree ~bodies ~accs in
     let breakdown, stats =
       Dpa.Runtime.run_phase_labeled ~label:"bh-force-prefetch" ~engine ~heaps
         ~config:(Dpa.Config.pipeline_only ~strip_size ())
@@ -31,13 +31,13 @@ let force_phase ~engine ~tree ~bodies ~params variant =
     in
     { breakdown; accs; dpa_stats = Some stats; cache_stats = None }
   | Dpa_baselines.Variant.Caching { capacity } ->
-    let items = Force_caching.items ~params ~tree ~bodies ~accs in
+    let items = Force_caching.items ?work ~params ~tree ~bodies ~accs in
     let breakdown, stats =
       Dpa_baselines.Caching.run_phase ~engine ~heaps ~capacity ~items ()
     in
     { breakdown; accs; dpa_stats = None; cache_stats = Some stats }
   | Dpa_baselines.Variant.Blocking ->
-    let items = Force_caching.items ~params ~tree ~bodies ~accs in
+    let items = Force_caching.items ?work ~params ~tree ~bodies ~accs in
     let breakdown, stats =
       Dpa_baselines.Blocking.run_phase ~engine ~heaps ~items
     in
@@ -57,8 +57,8 @@ let sequential_ns ~(params : Bh_force.params) (c : Bh_seq.counts) =
   + (c.Bh_seq.body_body * params.Bh_force.body_body_ns)
 
 let simulate ?machine ?(params = Bh_force.default_params) ?(leaf_cap = 8)
-    ?(dt = 0.025) ?(seed = 17) ?(partition = `Block) ~nnodes ~nbodies ~nsteps
-    variant =
+    ?(dt = 0.025) ?(seed = 17) ?(partition = `Block) ?(repartition = false)
+    ~nnodes ~nbodies ~nsteps variant =
   if nsteps <= 0 then invalid_arg "Bh_run.simulate: nsteps must be positive";
   let machine =
     match machine with Some m -> m | None -> Machine.t3d ~nodes:nnodes
@@ -68,6 +68,14 @@ let simulate ?machine ?(params = Bh_force.default_params) ?(leaf_cap = 8)
   let steps = ref [] in
   let last = ref None in
   let seq_counts = ref Bh_seq.zero_counts in
+  (* Morton repartitioning: record the simulated ns each body's traversal
+     charges, and cut the next step's ownership along Morton order by that
+     measured work instead of this step's estimate. The weights are a pure
+     function of the (deterministically rebuilt) tree, so the schedule —
+     and with grid-exact force sums, every result bit — replays under any
+     partition or fault history. *)
+  let work = if repartition then Some (Array.make nbodies 0) else None in
+  let prev_work = ref None in
   for step = 1 to nsteps do
     let octree = Octree.build ~leaf_cap bodies in
     if step = 1 then begin
@@ -79,13 +87,22 @@ let simulate ?machine ?(params = Bh_force.default_params) ?(leaf_cap = 8)
       seq_counts := counts
     end;
     let weights =
-      match partition with
-      | `Block -> None
-      | `Costzones ->
-        Some (Bh_seq.per_body_work ~theta:params.Bh_force.theta octree)
+      match !prev_work with
+      | Some w -> Some w  (* measured, from the previous step's phase *)
+      | None -> (
+        match partition with
+        | `Block -> None
+        | `Costzones ->
+          Some (Bh_seq.per_body_work ~theta:params.Bh_force.theta octree))
     in
+    (match work with
+    | Some w -> Array.fill w 0 (Array.length w) 0
+    | None -> ());
     let tree = Bh_global.distribute ?weights octree ~nnodes in
-    let result = force_phase ~engine ~tree ~bodies ~params variant in
+    let result = force_phase ?work ~engine ~tree ~bodies ~params variant in
+    (match work with
+    | Some w -> prev_work := Some (Array.copy w)
+    | None -> ());
     steps := result.breakdown :: !steps;
     last := Some result;
     Array.iteri (fun bid acc -> bodies.(bid).Body.acc <- acc) result.accs;

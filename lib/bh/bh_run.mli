@@ -13,12 +13,15 @@ type phase_result = {
 }
 
 val force_phase :
+  ?work:int array ->
   engine:Engine.t ->
   tree:Bh_global.t ->
   bodies:Body.t array ->
   params:Bh_force.params ->
   Dpa_baselines.Variant.t ->
   phase_result
+(** [work] (indexed by body id) records the simulated ns each body's
+    traversal charged — see {!Bh_force.Make.items}. *)
 
 type sim_result = {
   total : Breakdown.t;  (** summed over the timed force phases *)
@@ -35,6 +38,7 @@ val simulate :
   ?dt:float ->
   ?seed:int ->
   ?partition:[ `Block | `Costzones ] ->
+  ?repartition:bool ->
   nnodes:int ->
   nbodies:int ->
   nsteps:int ->
@@ -44,7 +48,16 @@ val simulate :
     redistributes the tree (untimed) and times the force phase.
     [partition] (default [`Block], equal body counts) can be set to
     [`Costzones]: bodies weighted by their estimated traversal work, the
-    SPLASH-2 load-balancing scheme. *)
+    SPLASH-2 load-balancing scheme.
+
+    [repartition] (default off) records the simulated work each body's
+    traversal actually charged and re-cuts ownership along Morton order by
+    those measured weights from step 2 on — dynamic pointer alignment's
+    owner-compute locality tracking the evolving tree. Step 1 uses
+    [partition] as before. The measured weights are a pure function of the
+    deterministically rebuilt tree, so repartitioned runs replay
+    bit-identically, and the grid-exact force sums are bit-identical to
+    the statically partitioned run's. *)
 
 val sequential_ns : params:Bh_force.params -> Bh_seq.counts -> int
 (** Modelled sequential execution time for the given interaction counts —

@@ -1,11 +1,14 @@
 type auto_strip = { min_strip : int; max_strip : int; d_target : int }
 
+type route = Off | All_dsts | Hot of int list
+
 type t = {
   name : string;
   strip_size : int;
   agg_max : int;
   reuse : bool;
   auto : auto_strip option;
+  route : route;
 }
 
 let check t =
@@ -20,9 +23,24 @@ let check t =
     if t.strip_size < a.min_strip || t.strip_size > a.max_strip then
       invalid_arg "Config: initial strip_size outside [min_strip, max_strip]";
     if a.d_target <= 0 then invalid_arg "Config: d_target must be positive");
+  (match t.route with
+  | Off -> ()
+  | All_dsts | Hot _ ->
+    (* Routed aggregation holds a destination's updates across the whole
+       phase so they combine before the tree hop; without [reuse] there is
+       no combining map and routing would only add latency. *)
+    if not t.reuse then invalid_arg "Config: route requires reuse";
+    (match t.route with
+    | Hot dsts ->
+      if dsts = [] then invalid_arg "Config: Hot route needs destinations";
+      List.iter
+        (fun d ->
+          if d < 0 then invalid_arg "Config: Hot route destination < 0")
+        dsts
+    | _ -> ()));
   t
 
-let dpa ?(strip_size = 50) ?(agg_max = 64) () =
+let dpa ?(strip_size = 50) ?(agg_max = 64) ?(route = Off) () =
   check
     {
       name = Printf.sprintf "DPA(%d)" strip_size;
@@ -30,10 +48,11 @@ let dpa ?(strip_size = 50) ?(agg_max = 64) () =
       agg_max;
       reuse = true;
       auto = None;
+      route;
     }
 
 let dpa_auto ?(strip_size = 50) ?(min_strip = 10) ?(max_strip = 1000)
-    ?(d_target = 2048) ?(agg_max = 64) () =
+    ?(d_target = 2048) ?(agg_max = 64) ?(route = Off) () =
   check
     {
       name = Printf.sprintf "DPA(auto %d..%d)" min_strip max_strip;
@@ -41,11 +60,19 @@ let dpa_auto ?(strip_size = 50) ?(min_strip = 10) ?(max_strip = 1000)
       agg_max;
       reuse = true;
       auto = Some { min_strip; max_strip; d_target };
+      route;
     }
 
 let pipeline_only ?(strip_size = 50) () =
   check
-    { name = "pipeline"; strip_size; agg_max = 1; reuse = false; auto = None }
+    {
+      name = "pipeline";
+      strip_size;
+      agg_max = 1;
+      reuse = false;
+      auto = None;
+      route = Off;
+    }
 
 let pipeline_aggregate ?(strip_size = 50) ?(agg_max = 64) () =
   check
@@ -55,14 +82,23 @@ let pipeline_aggregate ?(strip_size = 50) ?(agg_max = 64) () =
       agg_max;
       reuse = false;
       auto = None;
+      route = Off;
     }
+
+let pp_route ppf = function
+  | Off -> ()
+  | All_dsts -> Format.fprintf ppf "; route=all"
+  | Hot dsts ->
+    Format.fprintf ppf "; route=hot[%s]"
+      (String.concat "," (List.map string_of_int dsts))
 
 let pp ppf t =
   match t.auto with
   | None ->
-    Format.fprintf ppf "%s{strip=%d; agg=%d; reuse=%b}" t.name t.strip_size
-      t.agg_max t.reuse
+    Format.fprintf ppf "%s{strip=%d; agg=%d; reuse=%b%a}" t.name t.strip_size
+      t.agg_max t.reuse pp_route t.route
   | Some a ->
     Format.fprintf ppf
-      "%s{strip=auto(%d..%d, init %d, D<=%d); agg=%d; reuse=%b}" t.name
+      "%s{strip=auto(%d..%d, init %d, D<=%d); agg=%d; reuse=%b%a}" t.name
       a.min_strip a.max_strip t.strip_size a.d_target t.agg_max t.reuse
+      pp_route t.route

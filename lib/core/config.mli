@@ -23,16 +23,35 @@ type auto_strip = {
       (** alignment-buffer occupancy ceiling the controller steers under *)
 }
 
+type route =
+  | Off  (** flat aggregation: every update batch goes straight to its owner *)
+  | All_dsts
+      (** every remote destination's updates are held for the whole phase,
+          combined, and sent through the binomial reduction tree rooted at
+          the owner ({!Dpa_msg.Route}) *)
+  | Hot of int list
+      (** only the listed destinations are routed; everything else stays on
+          the flat path — the fan-in case, where one owner receives
+          contributions from all other nodes *)
+
 type t = {
   name : string;
   strip_size : int;
   agg_max : int;
   reuse : bool;
   auto : auto_strip option;
+  route : route;
+      (** tree-routed update aggregation. Requires [reuse] (the combining
+          map is what makes the phase-long hold window profitable);
+          incompatible with crash fault plans — relay state is volatile and
+          the runtime rejects the combination at phase start. Fixed-point
+          accumulation grids make en-route combining order-independent, so
+          any [route] setting is bit-identical in results to [Off]. *)
 }
 
-val dpa : ?strip_size:int -> ?agg_max:int -> unit -> t
-(** Full DPA. Defaults: strip 50 (the paper's headline setting), agg 64. *)
+val dpa : ?strip_size:int -> ?agg_max:int -> ?route:route -> unit -> t
+(** Full DPA. Defaults: strip 50 (the paper's headline setting), agg 64,
+    route off. *)
 
 val dpa_auto :
   ?strip_size:int ->
@@ -40,10 +59,11 @@ val dpa_auto :
   ?max_strip:int ->
   ?d_target:int ->
   ?agg_max:int ->
+  ?route:route ->
   unit ->
   t
 (** Full DPA with the adaptive strip-size controller. Defaults: initial
-    strip 50, bounds [10, 1000], D target 2048, agg 64. Raises
+    strip 50, bounds [10, 1000], D target 2048, agg 64, route off. Raises
     [Invalid_argument] if [strip_size] lies outside the bounds. *)
 
 val pipeline_only : ?strip_size:int -> unit -> t

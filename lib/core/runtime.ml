@@ -69,6 +69,21 @@ type ctx = {
   buffer : Align_buffer.t;
   mutable agg : request Dpa_msg.Aggregator.t;
   mutable updates : Update_buffer.t;
+  mutable relay : Update_buffer.t;
+      (* routed aggregation only: per-final-destination parking buffer for
+         update batches this node relays on their way down the binomial
+         tree ({!Dpa_msg.Route}). Entries combine here (the grids make the
+         merge order-independent) until this node finishes its own items,
+         then leave as one merged message per destination; arrivals after
+         that forward immediately. Volatile — which is why routing rejects
+         crash fault plans. *)
+  mutable routing_done : bool;
+      (* this node ran its finish-time routing flush; later relay arrivals
+         must flush through instead of parking *)
+  mutable peers : ctx array;
+      (* every ctx of the phase, indexed by node id — how a hop delivery
+         reaches the relay state of the receiving node. Set once by
+         [run_phase_labeled]; empty while routing is off. *)
   mutable pending : int;  (* threads suspended in M or queued in [ready] *)
   mutable scheduled : bool;
   mutable items : (ctx -> unit) array;
@@ -395,6 +410,33 @@ let ctrl_strip_begin ctx ~start =
       Dpa_obs.Sink.counter o.sink ~name:"strip_size" ~node:ctx.node.Node.id
         ~ts:start c.size)
 
+(* --- routed aggregation helpers ---------------------------------------- *)
+
+let routing_enabled ctx = ctx.cfg.Config.route <> Config.Off
+
+(* Is [dst] a routed destination for this node? Routed destinations are
+   held in the update buffer for the whole phase (combining across strips)
+   and leave through the binomial reduction tree instead of the flat path. *)
+let route_on ctx dst =
+  dst <> node_id ctx
+  &&
+  match ctx.cfg.Config.route with
+  | Config.Off -> false
+  | Config.All_dsts -> true
+  | Config.Hot dsts -> List.mem dst dsts
+
+(* Split a merged relay bucket back into wire-sized fragments: a phase-long
+   combining window can exceed [agg_max], and routed messages must respect
+   the same per-message bound as flat ones. *)
+let split_batch max_batch entries =
+  let rec go acc cur n = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: rest ->
+      if n = max_batch then go (List.rev cur :: acc) [ x ] 1 rest
+      else go acc (x :: cur) (n + 1) rest
+  in
+  go [] [] 0 entries
+
 (* --- scheduler -------------------------------------------------------- *)
 
 let rec ensure_scheduled ctx =
@@ -459,9 +501,11 @@ and run_quantum ctx =
         Dpa_msg.Aggregator.flush_all ctx.agg
     end
     else begin
-      (* Strip boundary: outstanding accumulations leave with the strip. *)
+      (* Strip boundary: outstanding accumulations leave with the strip —
+         except routed destinations, whose entries keep combining until
+         the finish-time routing flush. *)
       if Update_buffer.pending ctx.updates > 0 then
-        Update_buffer.flush_all ctx.updates;
+        Update_buffer.flush_if ctx.updates (fun d -> not (route_on ctx d));
       next_strip ctx
     end
   in
@@ -479,7 +523,10 @@ and run_quantum ctx =
    the strip) and inject the next strip of work items. *)
 and next_strip ctx =
   (match ctx.obs with None -> () | Some o -> obs_strip_end o ctx.node);
-  if ctx.next_item >= Array.length ctx.items then ctx.finished <- true
+  if ctx.next_item >= Array.length ctx.items then begin
+    ctx.finished <- true;
+    finish_routing ctx
+  end
   else begin
     ctx.stats.Dpa_stats.strips <- ctx.stats.Dpa_stats.strips + 1;
     (* The controller reads D's occupancy before the boundary clears it. *)
@@ -751,6 +798,75 @@ and flush_updates ctx ~dst batch =
         close_handler_act ~name:"upd_apply" owner svc)
   end
 
+(* Finish-time routing flush. Once this node has run its last item, its
+   held (routed) accumulations drain into the relay buffer — merging with
+   anything parked there by downstream tree children — and everything
+   leaves as one combined message per final destination. Until every
+   sender along a tree path has finished, entries simply park; the DES has
+   no deadlock risk because parking consumes no events and every node's
+   finish is driven by its own item stream. *)
+and finish_routing ctx =
+  if routing_enabled ctx && not ctx.routing_done then begin
+    Update_buffer.flush_all ctx.updates;
+    ctx.routing_done <- true;
+    Update_buffer.flush_all ctx.relay
+  end
+
+(* A routed batch arriving at an intermediate node: park and combine in the
+   relay buffer keyed by final destination. After the node's own routing
+   flush has run, there is nothing left to merge with — flush straight
+   through so quiescence holds. *)
+and relay_receive ctx ~fdst entries =
+  Update_buffer.add_entries ctx.relay ~dst:fdst entries;
+  if ctx.routing_done then Update_buffer.flush_if ctx.relay (fun d -> d = fdst)
+
+(* Forward one relay bucket toward its final destination: fragment to the
+   aggregation bound, then either hand each fragment to the flat update
+   path (last hop — the WAL exactly-once protocol under a fault plan) or
+   send it one binomial-tree hop closer ({!Dpa_msg.Route.next_hop}), where
+   it parks in the hop's relay buffer. Intermediate hops ride the
+   transport's link-level reliability (retransmit + dedup cover drop, dup
+   and delay faults); only the crash faults that reliability cannot cover
+   are rejected, at phase start. *)
+and relay_forward ctx ~fdst batch =
+  let nnodes = Array.length ctx.heaps in
+  let hop = Dpa_msg.Route.next_hop ~nnodes ~src:(node_id ctx) ~dst:fdst in
+  List.iter
+    (fun frag ->
+      if hop = fdst then flush_updates ctx ~dst:fdst frag
+      else begin
+        let n = List.length frag in
+        ctx.stats.Dpa_stats.update_msgs <- ctx.stats.Dpa_stats.update_msgs + 1;
+        let bytes = Dpa_msg.Am.update_bytes ctx.machine ~nupdates:n in
+        (match ctx.obs with
+        | None -> ()
+        | Some o ->
+          Dpa_obs.Metrics.add o.c_vol.(hop) bytes;
+          (* Actual bytes are charged at every hop's sender; the lower
+             bound is recorded at the origin only ([accumulate]), so tree
+             routing can only close the gap when combining saves more
+             than the extra hops cost. *)
+          o.opt_actual <- o.opt_actual + bytes;
+          obs_instant
+            ~args:
+              [
+                ("hop", Dpa_obs.Sink.Int hop);
+                ("fdst", Dpa_obs.Sink.Int fdst);
+                ("nupdates", Dpa_obs.Sink.Int n);
+                ("bytes", Dpa_obs.Sink.Int bytes);
+              ]
+            o ctx.node ~name:"relay_send");
+        Dpa_msg.Am.send ctx.engine ~src:ctx.node ~dst:hop ~bytes
+          (fun hopnode ->
+            let peer = ctx.peers.(hop) in
+            let svc = open_handler_act ctx hopnode in
+            Node.charge_comm hopnode
+              (n * ctx.machine.Machine.update_apply_ns);
+            relay_receive peer ~fdst frag;
+            close_handler_act ~name:"relay" hopnode svc)
+      end)
+    (split_batch ctx.cfg.Config.agg_max batch)
+
 and send_update_batch ctx ~dst ~id batch =
   let n = List.length batch in
   let bytes = Dpa_msg.Am.update_bytes ctx.machine ~nupdates:n in
@@ -958,9 +1074,10 @@ let make_ctx ~engine ~heaps ~config ~items ~label ~journals ~jwals node =
     Dpa_msg.Aggregator.create ~ndest:1 ~max_batch:1 ~flush:(fun ~dst:_ _ ->
         assert false)
   in
-  let dummy_updates =
+  let dummy_updates () =
     Update_buffer.create ~ndest:1 ~combine:false ~max_batch:1
       ~flush:(fun ~dst:_ _ -> assert false)
+      ()
   in
   let ctx =
     {
@@ -975,7 +1092,10 @@ let make_ctx ~engine ~heaps ~config ~items ~label ~journals ~jwals node =
       map = Pointer_map.create ();
       buffer = Align_buffer.create ();
       agg = dummy;
-      updates = dummy_updates;
+      updates = dummy_updates ();
+      relay = dummy_updates ();
+      routing_done = false;
+      peers = [||];
       pending = 0;
       scheduled = false;
       items;
@@ -1016,9 +1136,23 @@ let make_ctx ~engine ~heaps ~config ~items ~label ~journals ~jwals node =
       (Some (fun ~dst:_ n -> Dpa_obs.Metrics.observe o.h_batch n)));
   ctx.updates <-
     Update_buffer.create
+      ~hold:(fun dst -> route_on ctx dst)
       ~ndest:(Array.length heaps)
       ~combine:config.Config.reuse ~max_batch:config.Config.agg_max
-      ~flush:(fun ~dst batch -> flush_updates ctx ~dst batch);
+      ~flush:(fun ~dst batch ->
+        (* Routed destinations drain into the relay buffer (merging with
+           parked downstream contributions) instead of going to the wire;
+           [finish_routing] then forwards the combined result. *)
+        if route_on ctx dst then Update_buffer.add_entries ctx.relay ~dst batch
+        else flush_updates ctx ~dst batch)
+      ();
+  ctx.relay <-
+    Update_buffer.create
+      ~hold:(fun _ -> true) (* drained only by the explicit routing flush *)
+      ~ndest:(Array.length heaps)
+      ~combine:true ~max_batch:config.Config.agg_max
+      ~flush:(fun ~dst batch -> relay_forward ctx ~fdst:dst batch)
+      ();
   ctx
 
 (* --- crash-restart ------------------------------------------------------ *)
@@ -1227,6 +1361,28 @@ let post_crash_events ~engine ~plan ctxs =
 
 let run_phase_labeled ~label ~engine ~heaps ~config ~items =
   let nodes = Engine.nodes engine in
+  (match config.Config.route with
+  | Config.Off -> ()
+  | (Config.All_dsts | Config.Hot _) as r ->
+    if not config.Config.reuse then
+      invalid_arg "Runtime.run_phase: route requires reuse";
+    (match r with
+    | Config.Hot dsts ->
+      List.iter
+        (fun d ->
+          if d >= Array.length nodes then
+            invalid_arg "Runtime.run_phase: Hot route destination out of range")
+        dsts
+    | _ -> ());
+    (* Relay buffers are volatile and sit outside the WAL exactly-once
+       protocol, so a crash at an intermediate node could silently drop
+       combined updates. Reject the combination instead of diverging. *)
+    (match Engine.fault engine with
+    | Some plan when Fault.has_crashes plan ->
+      failwith
+        "Runtime.run_phase: routed aggregation is incompatible with crash \
+         fault plans (relay state is volatile)"
+    | _ -> ()));
   Engine.barrier engine;
   Array.iter Node.reset_breakdown nodes;
   let start = Engine.elapsed engine in
@@ -1241,6 +1397,8 @@ let run_phase_labeled ~label ~engine ~heaps ~config ~items =
           ~journals ~jwals node)
       nodes
   in
+  if config.Config.route <> Config.Off then
+    Array.iter (fun ctx -> ctx.peers <- ctxs) ctxs;
   (* Corruption drops attributed to this phase: the transport's per-node
      counters persist across phases, so snapshot at the start and diff at
      the end. Empty until the first reliable send instantiates the state. *)
@@ -1282,6 +1440,7 @@ let run_phase_labeled ~label ~engine ~heaps ~config ~items =
           (ctx.finished && ctx.pending = 0
           && Pointer_map.is_empty ctx.map
           && Update_buffer.pending ctx.updates = 0
+          && Update_buffer.pending ctx.relay = 0
           && Hashtbl.length ctx.out_updates = 0)
       then failwith "Runtime.run_phase: node did not quiesce";
       (* Integrity side of the certificate: every node that crashed ran

@@ -16,6 +16,12 @@ type t = {
   buckets : bucket array;
   combine : bool;
   max_batch : int;
+  hold : int -> bool;
+      (* held destinations are exempt from the eager max_batch flush and
+         from [flush_if]'s strip-boundary pass: their entries keep
+         combining across strips until an explicit [flush_all] /
+         [flush_dst] — the whole-phase merge window of routed
+         aggregation *)
   flush : dst:int -> entry list -> unit;
   mutable pending : int;
   mutable sent_entries : int;
@@ -23,7 +29,7 @@ type t = {
   mutable messages : int;
 }
 
-let create ~ndest ~combine ~max_batch ~flush =
+let create ?(hold = fun _ -> false) ~ndest ~combine ~max_batch ~flush () =
   if ndest <= 0 then invalid_arg "Update_buffer.create: ndest must be positive";
   if max_batch <= 0 then
     invalid_arg "Update_buffer.create: max_batch must be positive";
@@ -33,6 +39,7 @@ let create ~ndest ~combine ~max_batch ~flush =
           { combine_map = Hashtbl.create 32; order = []; count = 0 });
     combine;
     max_batch;
+    hold;
     flush;
     pending = 0;
     sent_entries = 0;
@@ -75,10 +82,19 @@ let add t ~dst ptr ~idx value =
     b.order <- key :: b.order;
     b.count <- b.count + 1;
     t.pending <- t.pending + 1);
-  if b.count >= t.max_batch then flush_dst t dst
+  if b.count >= t.max_batch && not (t.hold dst) then flush_dst t dst
+
+(* Bulk ingest for relay nodes: a routed batch merges into the bucket of
+   its final destination entry by entry, so [combined]/[pending] account
+   en-route merged entries exactly like locally-accumulated ones. *)
+let add_entries t ~dst entries =
+  List.iter (fun { ptr; idx; value } -> add t ~dst ptr ~idx value) entries
 
 let flush_all t =
   Array.iteri (fun dst _ -> flush_dst t dst) t.buckets
+
+let flush_if t pred =
+  Array.iteri (fun dst _ -> if pred dst then flush_dst t dst) t.buckets
 
 let pending t = t.pending
 let sent_entries t = t.sent_entries

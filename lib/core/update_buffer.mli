@@ -12,14 +12,34 @@ type t
 type entry = { ptr : Gptr.t; idx : int; value : float }
 
 val create :
+  ?hold:(int -> bool) ->
   ndest:int ->
   combine:bool ->
   max_batch:int ->
   flush:(dst:int -> entry list -> unit) ->
+  unit ->
   t
+(** [hold dst] (default: never) marks destinations whose buckets are
+    exempt from the eager [max_batch] flush and from {!flush_if}: their
+    entries keep combining across strip boundaries until an explicit
+    {!flush_all}. This is the whole-phase merge window of routed
+    aggregation — with [combine] on, a held bucket is bounded by its
+    number of unique (pointer, field) targets, not by the update count. *)
 
 val add : t -> dst:int -> Gptr.t -> idx:int -> float -> unit
+
+val add_entries : t -> dst:int -> entry list -> unit
+(** Bulk ingest — a relay node merging a routed batch into the bucket of
+    its final destination. Equivalent to {!add}ing each entry in order, so
+    {!combined} and {!pending} count en-route merged entries exactly like
+    locally-accumulated ones. *)
+
 val flush_all : t -> unit
+
+val flush_if : t -> (int -> bool) -> unit
+(** Flush only the destinations the predicate selects — the strip-boundary
+    flush, which must skip held (routed) destinations. *)
+
 val pending : t -> int
 (** Buffered entries across destinations (after combining). *)
 

@@ -109,7 +109,7 @@ let cells_by_owner tree ~nnodes ~level =
   done;
   Array.map Array.of_list owned
 
-let run ~engine ~global ~params variant =
+let run ?route ~engine ~global ~params variant =
   let tree = global.Fmm_global.tree in
   let nnodes = Array.length global.Fmm_global.heaps in
   let depth = Quadtree.depth tree in
@@ -122,6 +122,15 @@ let run ~engine ~global ~params variant =
   let run_items items_dpa items_caching =
     match variant with
     | Dpa_baselines.Variant.Dpa config ->
+      (* The M2M phases are fan-in reductions (many children, one parent
+         owner); [route] overrides the config's routing for them. Results
+         are bit-identical either way — the per-coefficient grids make the
+         merge order irrelevant. *)
+      let config =
+        match route with
+        | None -> config
+        | Some r -> Dpa.Config.{ config with route = r }
+      in
       let b, s =
         Dpa.Runtime.run_phase_labeled ~label:"fmm-upward" ~engine
           ~heaps:global.Fmm_global.heaps ~config ~items:items_dpa

@@ -20,6 +20,7 @@ type result = {
 }
 
 val run :
+  ?route:Dpa.Config.route ->
   engine:Engine.t ->
   global:Fmm_global.t ->
   params:Fmm_force.params ->
@@ -27,4 +28,9 @@ val run :
   result
 (** [global] must come from {!Fmm_global.distribute_empty}. After [run],
     the heap's multipole objects equal the sequential {!Fmm_seq.upward}
-    (up to summation order). *)
+    (up to summation order).
+
+    [route] overrides the DPA config's update routing for every phase of
+    the pass (it only matters for the fan-in M2M reductions; P2M writes
+    are local). The per-coefficient fixed-point grids make the merge
+    order irrelevant, so any routing yields bit-identical expansions. *)

@@ -332,3 +332,51 @@ val integrity_matrix : ?fault_seed:int -> Runconf.t -> integrity_row list
     smoke target's witness — see DESIGN.md §13). *)
 
 val print_integrity_matrix : integrity_row list -> unit
+
+type optimality_cell = {
+  oc_config : string;
+      (** workload configuration (["flat"] / ["routed"], ["static"] /
+          ["repartitioned"]) *)
+  oc_schedule : string;  (** fault schedule (["off"], ["heavy"], ...) *)
+  oc_time_s : float;
+  oc_msgs : int;
+      (** aggregated messages: update messages for the fan-in workload,
+          step-2 request messages for Barnes-Hut *)
+  oc_actual : int;  (** measured phase communication volume, bytes *)
+  oc_bound : int;
+      (** the phase's communication-optimality bound: every remote object
+          footprint and update entry once (DESIGN.md §14) *)
+  oc_ok : bool;
+      (** results bit-identical to the flat/static fault-free reference *)
+}
+
+type optimality_row = {
+  ow_workload : string;
+  ow_cells : optimality_cell list;
+}
+
+val oc_ratio : optimality_cell -> float
+(** [oc_actual / oc_bound]; [nan] when the bound is zero. *)
+
+val optimality_matrix : ?fault_seed:int -> Runconf.t -> optimality_row list
+(** A15: the communication-optimality matrix behind the tentpole
+    optimizations. A fan-in reduction (every counter owned by node 0) run
+    flat and with tree-routed aggregation ({!Dpa.Config.All_dsts}), and a
+    two-step Barnes-Hut run statically partitioned vs Morton-repartitioned
+    from measured per-body work — each under fault-free, heavy, and (where
+    the runtime admits it; routed cells reject crash plans) heavy+crash
+    schedules. Every cell carries the measured volume, the optimality
+    bound, their ratio, and a bit-identity check against the flat/static
+    fault-free reference: both optimizations must strictly lower the
+    measured ratio while changing no result bit (see DESIGN.md §15). *)
+
+val optimality_headline : optimality_row -> (optimality_cell * optimality_cell) option
+(** The (baseline, optimized) fault-free cell pair the row's headline
+    ratio improvement is read from; [None] if the row lacks either. *)
+
+val print_optimality_matrix : optimality_row list -> unit
+(** Prints the per-workload tables plus the machine-checkable
+    ["a15 summary:"] line the optimality-smoke target greps. *)
+
+val optimality_json : optimality_row list -> Dpa_obs.Json.t
+(** The matrix as JSON (the [BENCH_comm_optimality.json] artifact). *)

@@ -10,6 +10,8 @@ type t = {
   fmm_strip : int;
   strip_auto : bool;
   cache_capacity : int;
+  repartition : bool;
+  route_all : bool;
 }
 
 let small =
@@ -25,6 +27,8 @@ let small =
     fmm_strip = 50;
     strip_auto = false;
     cache_capacity = 2048;
+    repartition = false;
+    route_all = false;
   }
 
 let full =
@@ -40,6 +44,8 @@ let full =
     fmm_strip = 300;
     strip_auto = false;
     cache_capacity = 16384;
+    repartition = false;
+    route_all = false;
   }
 
 let of_name = function

@@ -17,6 +17,14 @@ type t = {
       (** replace the static strips with the adaptive controller
           ({!Dpa.Config.dpa_auto}, [--strip auto]); off in both presets *)
   cache_capacity : int;  (** software-caching baseline cache size *)
+  repartition : bool;
+      (** re-cut Barnes-Hut ownership between steps by each body's measured
+          traversal work ({!Dpa_bh.Bh_run.simulate}'s [repartition];
+          [--repartition]); off in both presets *)
+  route_all : bool;
+      (** route every remote accumulate destination through the binomial
+          reduction tree ({!Dpa.Config.All_dsts}; [--agg-route]); off in
+          both presets *)
 }
 
 val small : t

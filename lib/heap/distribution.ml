@@ -25,33 +25,53 @@ let round_robin_owner ~nnodes i =
 let weighted_ranges ~weights ~nnodes =
   if nnodes <= 0 then invalid_arg "Distribution: nnodes must be positive";
   let n = Array.length weights in
-  let total =
-    Array.fold_left
-      (fun acc w ->
-        if w < 0 then invalid_arg "Distribution: negative weight";
-        acc + w)
-      0 weights
-  in
-  let ranges = Array.make nnodes (0, 0) in
+  Array.iter
+    (fun w -> if w < 0 then invalid_arg "Distribution: negative weight")
+    weights;
+  (* Each weight is lifted to [w * nnodes + 1]: every item carries positive
+     weight, so all-zero (or zero-run) inputs degrade to an even count split
+     instead of collapsing onto one node, and ties break toward equal
+     counts.
+
+     Cuts are re-derived per node against the remaining suffix — the
+     target is [remaining_weight / remaining_nodes], not a prefix multiple
+     of [total / nnodes]. The old prefix rule went degenerate after one
+     dominant weight: every later prefix target was already exceeded, so
+     each middle node took exactly one forced item and the leftovers piled
+     onto the last node. A suffix target redistributes whatever any node
+     over- or under-takes across the nodes still to come.
+
+     The crossing item is taken only when that lands the cut nearer the
+     target (nearest-cut in cross-multiplied integer form, no division),
+     so a node overshoots its share by at most half the crossing weight. *)
+  let lifted i = (weights.(i) * nnodes) + 1 in
+  let total' = ref 0 in
+  for i = 0 to n - 1 do
+    total' := !total' + lifted i
+  done;
+  let ranges = Array.make nnodes (n, 0) in
   let cum = ref 0 and item = ref 0 in
   for node = 0 to nnodes - 1 do
+    let k = nnodes - node in
+    let t_rem = !total' - !cum in
     let first = !item in
-    (* Take items until the cumulative weight crosses this node's share,
-       leaving enough items for the remaining nodes. *)
-    let target = total * (node + 1) / nnodes in
-    let remaining_nodes = nnodes - node - 1 in
-    while !item < n - remaining_nodes && (!cum < target || !item = first) do
-      cum := !cum + weights.(!item);
-      incr item
+    let s = ref 0 in
+    let stop = ref false in
+    while (not !stop) && !item < n do
+      let w = lifted !item in
+      (* Always take the first item (no empty range while items remain);
+         beyond that, keep at least one item per remaining node and stop
+         at the nearest-to-target cut. *)
+      if !item = first || (!item <= n - k && k * ((2 * !s) + w) <= 2 * t_rem)
+      then begin
+        s := !s + w;
+        incr item
+      end
+      else stop := true
     done;
-    (* Nodes beyond the item count get empty ranges. *)
-    if first >= n then ranges.(node) <- (n, 0)
-    else ranges.(node) <- (first, !item - first)
+    cum := !cum + !s;
+    if first < n then ranges.(node) <- (first, !item - first)
   done;
-  (* Any leftover items go to the last node. *)
-  (if !item < n then
-     let first, count = ranges.(nnodes - 1) in
-     ranges.(nnodes - 1) <- (first, count + (n - !item)));
   ranges
 
 let owner_of_ranges ranges =

@@ -13,9 +13,16 @@ val round_robin_owner : nnodes:int -> int -> int
 
 val weighted_ranges : weights:int array -> nnodes:int -> (int * int) array
 (** [weighted_ranges ~weights ~nnodes] cuts the item sequence into [nnodes]
-    contiguous [(first, count)] ranges of roughly equal total weight
-    (greedy prefix cuts at multiples of [total/nnodes]). The ranges
-    partition the items; weights must be non-negative. *)
+    contiguous [(first, count)] ranges of roughly equal total weight. Each
+    cut targets an equal share of the weight {e remaining} for the nodes
+    still to be served, taking the crossing item only when that lands
+    nearer the target, so one dominant weight skews only its own range
+    (the old prefix-target rule starved every node after it). The ranges
+    partition the items; no range is empty while unassigned items remain
+    (empty ranges appear only when there are fewer items than nodes, at
+    the tail); a node's weight never exceeds the even share by more than
+    the largest single weight. Weights must be non-negative; all-zero
+    weights degrade to an even count split. *)
 
 val owner_of_ranges : (int * int) array -> int array
 (** Expand ranges into an item -> owner map. *)

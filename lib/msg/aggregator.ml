@@ -45,6 +45,14 @@ let add t ~dst x =
   t.pending <- t.pending + 1;
   if t.counts.(dst) >= t.max_batch then flush_dst t dst
 
+(* Bulk injection, for routed aggregation: a relay node re-injects a batch
+   it merged en route. Defined as adding each entry in order — an eager
+   flush fires at every [max_batch] boundary mid-list, exactly as if the
+   entries had arrived one by one — so [flushes] and [max_batch_seen]
+   account en-route merged entries identically to directly-added ones
+   (the equivalence the model-based qcheck pins). *)
+let add_all t ~dst xs = List.iter (fun x -> add t ~dst x) xs
+
 let flush_all t =
   for dst = 0 to Array.length t.buffers - 1 do
     flush_dst t dst

@@ -13,6 +13,15 @@ val create : ndest:int -> max_batch:int -> flush:(dst:int -> 'a list -> unit) ->
 (** [flush ~dst reqs] receives the batch in FIFO order. *)
 
 val add : 'a t -> dst:int -> 'a -> unit
+
+val add_all : 'a t -> dst:int -> 'a list -> unit
+(** [add_all t ~dst xs] injects a whole batch — the routed-aggregation
+    path, where a relay re-injects entries it merged en route. Equivalent
+    to [List.iter (add t ~dst) xs]: eager flushes fire at every
+    [max_batch] boundary inside the list, and {!flushes} /
+    {!max_batch_seen} count the merged entries exactly as if they had
+    been added one by one. *)
+
 val flush_all : 'a t -> unit
 
 val clear : 'a t -> int

@@ -1,0 +1,31 @@
+(* Deterministic binomial reduction tree rooted at the destination.
+
+   Ranks are relative: node [src] has rank [(src - dst) mod n] in the tree
+   rooted at [dst]; the parent of rank [r] is [r] with its lowest set bit
+   cleared. Rank 0 is the root (the destination itself). The shape is a
+   pure function of [(nnodes, dst)] — no RNG, no topology state — so every
+   node computes the same tree and a routed run replays bit for bit. *)
+
+let check ~nnodes ~src ~dst =
+  if nnodes <= 0 then invalid_arg "Route: nnodes must be positive";
+  if src < 0 || src >= nnodes then invalid_arg "Route: bad src";
+  if dst < 0 || dst >= nnodes then invalid_arg "Route: bad dst"
+
+let rank ~nnodes ~src ~dst =
+  check ~nnodes ~src ~dst;
+  ((src - dst) + nnodes) mod nnodes
+
+let next_hop ~nnodes ~src ~dst =
+  let r = rank ~nnodes ~src ~dst in
+  if r = 0 then invalid_arg "Route.next_hop: src is the destination";
+  let parent = r land (r - 1) in
+  (dst + parent) mod nnodes
+
+let hops ~nnodes ~src ~dst =
+  let r = rank ~nnodes ~src ~dst in
+  let count = ref 0 and v = ref r in
+  while !v <> 0 do
+    v := !v land (!v - 1);
+    incr count
+  done;
+  !count

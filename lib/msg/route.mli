@@ -1,0 +1,31 @@
+(** Deterministic reduction-tree routing for fan-in aggregation.
+
+    When many sources accumulate into one owner, flat per-destination
+    batches make the owner's link the bottleneck: every source sends its
+    own message to the same node. Routing the batches along a binomial
+    tree rooted at the destination lets intermediate nodes merge entries
+    bound for the same target before forwarding — each (pointer, field)
+    slot then crosses each tree edge at most once per flush wave instead
+    of once per source.
+
+    The tree is the standard binomial reduction shape (cf. optimal
+    tree-layout constructions, PAPERS.md): node [src] has rank
+    [(src - dst) mod nnodes] in the tree rooted at [dst], and the parent
+    of rank [r] clears [r]'s lowest set bit, so the depth is at most
+    [ceil(log2 nnodes)]. Everything is a pure function of
+    [(nnodes, src, dst)] — no randomness, no state — which is what keeps
+    routed runs deterministic and replayable. *)
+
+val rank : nnodes:int -> src:int -> dst:int -> int
+(** [rank ~nnodes ~src ~dst] is [src]'s rank in the reduction tree rooted
+    at [dst]; rank 0 is the destination itself. Raises [Invalid_argument]
+    on out-of-range nodes. *)
+
+val next_hop : nnodes:int -> src:int -> dst:int -> int
+(** The next node on [src]'s path toward [dst] (its parent in the tree).
+    Equals [dst] on the final hop. Raises [Invalid_argument] when
+    [src = dst] (the destination has no parent). *)
+
+val hops : nnodes:int -> src:int -> dst:int -> int
+(** Path length from [src] to [dst] along parent links: the popcount of
+    [src]'s rank, hence at most [ceil(log2 nnodes)]; 0 iff [src = dst]. *)

@@ -64,7 +64,13 @@ module Make (H : Hashtbl.S) = struct
       t.evictions <- t.evictions + 1
 
   let add t k v =
-    if t.capacity = 0 then ()
+    (* Capacity 0: the entry is admitted and immediately evicted — nothing
+       is linked into the list or the table (head/tail stay [None], [size]
+       stays 0), but the eviction IS counted, so [evictions] still equals
+       insertions minus retained entries. (It used to be a silent no-op,
+       which left eviction accounting inconsistent with every positive
+       capacity.) *)
+    if t.capacity = 0 then t.evictions <- t.evictions + 1
     else
       match H.find_opt t.table k with
       | Some e ->

@@ -1,6 +1,9 @@
 (** LRU cache, parameterized by a hashtable implementation for its keys.
     Used by the software-caching baseline runtime. A capacity of 0 gives a
-    cache that never holds anything (every lookup misses). *)
+    cache that never holds anything: every lookup misses, and every
+    {!Make.add} counts as an immediate eviction (admit-then-evict), so the
+    eviction counter stays consistent with the positive-capacity
+    accounting ([evictions = insertions - entries retained]). *)
 
 module Make (H : Hashtbl.S) : sig
   type 'a t

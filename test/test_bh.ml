@@ -269,6 +269,46 @@ let test_simulate_multi_step () =
     r.Bh_run.bodies;
   Alcotest.(check bool) "bodies moved" true !moved
 
+(* --- Morton repartitioning determinism ----------------------------------- *)
+
+(* Repartitioning only moves ownership cuts along Morton order; the force
+   sums are grid-exact, so the trajectory must be bit-identical to the
+   statically partitioned run, with or without faults, and a seeded fault
+   cocktail must replay itself exactly. *)
+let repartition_bodies ?faults ?(fault_seed = 7) ~repartition () =
+  let machine = Dpa_sim.Machine.make ~nodes:4 ?faults ~fault_seed () in
+  (Bh_run.simulate ~machine ~nnodes:4 ~nbodies:120 ~nsteps:3 ~repartition
+     (Dpa_baselines.Variant.dpa ~strip_size:10 ()))
+    .Bh_run.bodies
+
+let test_repartition_forces_bit_identical () =
+  let static = repartition_bodies ~repartition:false () in
+  let dynamic = repartition_bodies ~repartition:true () in
+  Alcotest.(check bool) "repartitioned trajectory bit-identical to static"
+    true (static = dynamic)
+
+let test_repartition_deterministic_under_faults () =
+  let reference = repartition_bodies ~repartition:true () in
+  let heavy =
+    repartition_bodies ~faults:Dpa_sim.Fault.heavy ~repartition:true ()
+  in
+  Alcotest.(check bool) "heavy faults leave the trajectory untouched" true
+    (reference = heavy);
+  let crashy =
+    {
+      Dpa_sim.Fault.heavy with
+      Dpa_sim.Fault.crashes = 1;
+      crash_ns = 20_000;
+      outage_horizon_ns = 200_000;
+    }
+  in
+  let crashed = repartition_bodies ~faults:crashy ~repartition:true () in
+  let crashed2 = repartition_bodies ~faults:crashy ~repartition:true () in
+  Alcotest.(check bool) "crash-restarts leave the trajectory untouched" true
+    (reference = crashed);
+  Alcotest.(check bool) "crash schedule replays bit-identically" true
+    (crashed = crashed2)
+
 let test_simulate_runtimes_agree_over_steps () =
   let final variant =
     (Bh_run.simulate ~nnodes:3 ~nbodies:80 ~nsteps:2 variant).Bh_run.bodies
@@ -336,5 +376,9 @@ let suites =
         Alcotest.test_case "multi step" `Quick test_simulate_multi_step;
         Alcotest.test_case "runtimes agree over steps" `Quick
           test_simulate_runtimes_agree_over_steps;
+        Alcotest.test_case "repartition bit-identical to static" `Quick
+          test_repartition_forces_bit_identical;
+        Alcotest.test_case "repartition deterministic under faults" `Quick
+          test_repartition_deterministic_under_faults;
       ] );
   ]

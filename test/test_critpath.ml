@@ -301,6 +301,78 @@ let test_em3d_invariants () =
   let c, _ = with_causal_sink (fun s -> run_em3d (Some s)) in
   ignore (check_instances ~what:"em3d" (Causal.results c))
 
+(* An accumulate-heavy phase for auditing the optimality bound's update
+   side: remote accumulations from every strip, so the unique-target count
+   has plenty of opportunities to double-count across crash-restarts. *)
+let run_accum ?fault sink =
+  let nnodes = 4 in
+  let heaps = Dpa_heap.Heap.cluster ~nnodes in
+  let counters =
+    Array.init 8 (fun i ->
+        Dpa_heap.Heap.alloc heaps.(i mod nnodes) ~floats:[| 0.; 0. |]
+          ~ptrs:[||])
+  in
+  let items node =
+    Array.init 24 (fun i ->
+        fun ctx ->
+          Dpa.Runtime.charge ctx 2_000;
+          Dpa.Runtime.accumulate ctx
+            counters.((node + (3 * i)) mod 8)
+            ~idx:(i mod 2) 1.0)
+  in
+  let engine = Dpa_sim.Engine.create (Dpa_sim.Machine.t3d ~nodes:nnodes) in
+  Dpa_sim.Engine.set_sink engine sink;
+  (match fault with
+  | Some spec ->
+    Dpa_sim.Engine.set_fault engine
+      (Some (Dpa_sim.Fault.make ~seed:43 spec ~nodes:nnodes))
+  | None -> ());
+  ignore
+    (Dpa.Runtime.run_phase_labeled ~label:"accum" ~engine ~heaps
+       ~config:(Dpa.Config.dpa ~strip_size:6 ())
+       ~items)
+
+(* Crash-restart audit of the lower bound (DESIGN.md §14): the bound counts
+   each unique remote object once and each unique accumulation target
+   once, so a crash schedule — which forces re-fetches and WAL-driven
+   re-sends — may only grow the *actual* side of the ratio. Both footprint
+   tables use idempotent [replace]; this regression pins that a restart
+   never double-counts the bound. *)
+let test_opt_bound_stable_across_crashes () =
+  let instance c label =
+    match
+      List.find_opt (fun i -> i.Causal.i_label = label) (Causal.results c)
+    with
+    | Some i -> (i.Causal.i_opt_actual, i.Causal.i_opt_bound)
+    | None -> Alcotest.failf "phase %s missing from causal results" label
+  in
+  let spec =
+    match Dpa_sim.Fault.spec_of_string "heavy,crashes=2" with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  (* Read side: BH re-fetches remote cells after each restart. *)
+  let c0, _ =
+    with_causal_sink (fun s -> run_bh ~nbodies:120 ~nnodes:3 ~strip:8 (Some s))
+  in
+  let c1, _ =
+    with_causal_sink (fun s ->
+        run_bh ~fault:spec ~nbodies:120 ~nnodes:3 ~strip:8 (Some s))
+  in
+  let a0, b0 = instance c0 "bh-force" in
+  let a1, b1 = instance c1 "bh-force" in
+  Alcotest.(check int) "crash schedule leaves the read bound unchanged" b0 b1;
+  Alcotest.(check bool) "re-fetches charge the actual side only" true
+    (a1 >= a0 && a0 >= b0);
+  (* Update side: WAL re-drive re-sends accumulation batches. *)
+  let c2, () = with_causal_sink (fun s -> run_accum (Some s)) in
+  let c3, () = with_causal_sink (fun s -> run_accum ~fault:spec (Some s)) in
+  let a2, b2 = instance c2 "accum" in
+  let a3, b3 = instance c3 "accum" in
+  Alcotest.(check int) "crash schedule leaves the update bound unchanged" b2 b3;
+  Alcotest.(check bool) "re-sent batches charge the actual side only" true
+    (a3 >= a2 && a2 >= b2)
+
 (* Bit-identity: causal tracing must not perturb the simulation — forces
    and the simulated breakdown match an untraced run exactly. *)
 let test_causal_run_bit_identical () =
@@ -332,6 +404,8 @@ let suites =
         Alcotest.test_case "bh under heavy faults + crashes" `Quick
           test_bh_faulted_invariants;
         Alcotest.test_case "em3d invariants" `Quick test_em3d_invariants;
+        Alcotest.test_case "optimality bound stable across crashes" `Quick
+          test_opt_bound_stable_across_crashes;
         Alcotest.test_case "causal run bit-identical" `Quick
           test_causal_run_bit_identical;
       ] );

@@ -106,6 +106,63 @@ let test_weighted_ranges_balance () =
   (* The heavy prefix must not all land on node 0. *)
   Alcotest.(check bool) "node 0 near fair share" true (w0 <= 400)
 
+let node_weight weights (first, count) =
+  let s = ref 0 in
+  for i = first to first + count - 1 do
+    s := !s + weights.(i)
+  done;
+  !s
+
+(* One dominant weight must not starve the nodes after it: the old prefix
+   rule gave [5;1;1;1;1;1] on 3 nodes the loads [5;1;4] (every prefix
+   target already exceeded, so the middle node took one forced item and
+   the tail absorbed the leftovers). The suffix-target rule re-splits the
+   remainder evenly. *)
+let test_weighted_ranges_dominant () =
+  let weights = [| 5; 1; 1; 1; 1; 1 |] in
+  let ranges = Dpa_heap.Distribution.weighted_ranges ~weights ~nnodes:3 in
+  Alcotest.(check (list int))
+    "loads"
+    [ 5; 3; 2 ]
+    (Array.to_list (Array.map (node_weight weights) ranges))
+
+let test_weighted_ranges_all_zero () =
+  let weights = Array.make 5 0 in
+  let ranges = Dpa_heap.Distribution.weighted_ranges ~weights ~nnodes:2 in
+  Alcotest.(check (list int))
+    "counts" [ 3; 2 ]
+    (Array.to_list (Array.map snd ranges))
+
+let test_weighted_ranges_fewer_items () =
+  let ranges =
+    Dpa_heap.Distribution.weighted_ranges ~weights:[| 7; 7 |] ~nnodes:4
+  in
+  Alcotest.(check (list (pair int int)))
+    "two singletons then empties"
+    [ (0, 1); (1, 1); (2, 0); (2, 0) ]
+    (Array.to_list ranges)
+
+let qcheck_weighted_ranges_no_empty =
+  QCheck.Test.make
+    ~name:"weighted ranges: no empty range while items remain, imbalance bounded"
+    ~count:500
+    QCheck.(
+      pair (int_range 1 9) (list_of_size (Gen.int_range 0 40) (int_range 0 20)))
+    (fun (nnodes, ws) ->
+      let weights = Array.of_list ws in
+      let n = Array.length weights in
+      let ranges = Dpa_heap.Distribution.weighted_ranges ~weights ~nnodes in
+      let nonempty =
+        Array.fold_left (fun acc (_, c) -> acc + if c > 0 then 1 else 0) 0 ranges
+      in
+      let total = Array.fold_left ( + ) 0 weights in
+      let max_w = Array.fold_left max 0 weights in
+      let max_load =
+        Array.fold_left (fun acc r -> max acc (node_weight weights r)) 0 ranges
+      in
+      nonempty = min n nnodes
+      && max_load <= (total / nnodes) + max_w + 1)
+
 let qcheck_weighted_ranges_partition =
   QCheck.Test.make ~name:"weighted ranges always partition the items"
     ~count:300
@@ -146,7 +203,14 @@ let suites =
       [
         Alcotest.test_case "partition" `Quick test_block_distribution_partition;
         Alcotest.test_case "weighted balance" `Quick test_weighted_ranges_balance;
+        Alcotest.test_case "weighted dominant" `Quick
+          test_weighted_ranges_dominant;
+        Alcotest.test_case "weighted all-zero" `Quick
+          test_weighted_ranges_all_zero;
+        Alcotest.test_case "weighted fewer items" `Quick
+          test_weighted_ranges_fewer_items;
         QCheck_alcotest.to_alcotest qcheck_block_distribution;
         QCheck_alcotest.to_alcotest qcheck_weighted_ranges_partition;
+        QCheck_alcotest.to_alcotest qcheck_weighted_ranges_no_empty;
       ] );
   ]

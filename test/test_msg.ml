@@ -73,17 +73,24 @@ let test_aggregator_pending_for () =
       ignore (Dpa_msg.Aggregator.pending_for agg ~dst:3))
 
 (* Model-based property: drive the aggregator with a random interleaving of
-   [add] and [flush_all] and mirror it with an obviously-correct model.
-   Flush count, largest batch, per-destination pending counts and the FIFO
-   order of everything flushed must all agree with the model. *)
+   [add], [add_all] (the routed mode's bulk re-injection of en-route
+   merged batches) and [flush_all], and mirror it with an obviously-correct
+   model in which every bulk entry arrives one by one. Flush count,
+   largest batch, per-destination pending counts and the FIFO order of
+   everything flushed must all agree with the model — in particular,
+   [flushes]/[max_batch_seen] must count en-route merged entries exactly
+   like directly-added ones. *)
 let qcheck_aggregator_model =
   let ndest = 3 in
   let op =
     QCheck.(
       map
-        (fun (flush, dst, x) -> if flush then `Flush_all else `Add (dst, x))
-        (triple (map (fun n -> n mod 5 = 0) small_nat) (int_range 0 (ndest - 1))
-           small_nat))
+        (fun (kind, dst, x) ->
+          match kind mod 10 with
+          | 0 | 5 -> `Flush_all
+          | 1 | 6 -> `Add_all (dst, List.init ((x mod 4) + 1) (fun i -> x + i))
+          | _ -> `Add (dst, x))
+        (triple small_nat (int_range 0 (ndest - 1)) small_nat))
   in
   QCheck.Test.make
     ~name:"aggregator flushes/max_batch_seen/pending_for match a model"
@@ -107,12 +114,18 @@ let qcheck_aggregator_model =
           model.(dst) <- []
         end
       in
+      let model_add dst x =
+        model.(dst) <- x :: model.(dst);
+        if List.length model.(dst) = max_batch then model_flush dst
+      in
       List.iter
         (function
           | `Add (dst, x) ->
             Dpa_msg.Aggregator.add agg ~dst x;
-            model.(dst) <- x :: model.(dst);
-            if List.length model.(dst) = max_batch then model_flush dst
+            model_add dst x
+          | `Add_all (dst, xs) ->
+            Dpa_msg.Aggregator.add_all agg ~dst xs;
+            List.iter (model_add dst) xs
           | `Flush_all ->
             Dpa_msg.Aggregator.flush_all agg;
             for dst = 0 to ndest - 1 do
@@ -162,6 +175,55 @@ let qcheck_aggregator_batch_bound =
       Dpa_msg.Aggregator.flush_all agg;
       !ok)
 
+(* --- reduction-tree routing -------------------------------------------- *)
+
+let test_route_shape () =
+  (* Tree rooted at 0 over 8 nodes: rank = node id, parent clears the
+     lowest set bit. *)
+  let hop src = Dpa_msg.Route.next_hop ~nnodes:8 ~src ~dst:0 in
+  Alcotest.(check int) "1 -> 0" 0 (hop 1);
+  Alcotest.(check int) "2 -> 0" 0 (hop 2);
+  Alcotest.(check int) "3 -> 2" 2 (hop 3);
+  Alcotest.(check int) "5 -> 4" 4 (hop 5);
+  Alcotest.(check int) "6 -> 4" 4 (hop 6);
+  Alcotest.(check int) "7 -> 6" 6 (hop 7);
+  (* Rotated root: the shape is translation-invariant. *)
+  Alcotest.(check int) "root 3: 4 -> 3" 3
+    (Dpa_msg.Route.next_hop ~nnodes:8 ~src:4 ~dst:3);
+  Alcotest.check_raises "src = dst has no parent"
+    (Invalid_argument "Route.next_hop: src is the destination") (fun () ->
+      ignore (Dpa_msg.Route.next_hop ~nnodes:8 ~src:3 ~dst:3))
+
+let qcheck_route_converges =
+  QCheck.Test.make
+    ~name:"route: every path reaches the root within ceil(log2 n) hops"
+    ~count:500
+    QCheck.(
+      triple (int_range 1 65) (int_range 0 1000) (int_range 0 1000))
+    (fun (nnodes, s, d) ->
+      let src = s mod nnodes and dst = d mod nnodes in
+      let log2ceil =
+        let k = ref 0 in
+        while 1 lsl !k < nnodes do
+          incr k
+        done;
+        !k
+      in
+      let rec walk node steps =
+        if node = dst then steps
+        else walk (Dpa_msg.Route.next_hop ~nnodes ~src:node ~dst) (steps + 1)
+      in
+      let steps = if src = dst then 0 else walk src 0 in
+      steps <= log2ceil
+      && steps = Dpa_msg.Route.hops ~nnodes ~src ~dst
+      (* Ranks strictly decrease toward the root, so routing can never
+         cycle. *)
+      && (src = dst
+         || Dpa_msg.Route.rank ~nnodes
+              ~src:(Dpa_msg.Route.next_hop ~nnodes ~src ~dst)
+              ~dst
+            < Dpa_msg.Route.rank ~nnodes ~src ~dst))
+
 let test_am_ingress_serialization () =
   (* Two 1000-byte messages sent back-to-back to the same destination: with
      serialized links the second arrives a full serialization time after
@@ -210,5 +272,10 @@ let suites =
         QCheck_alcotest.to_alcotest qcheck_aggregator_model;
         QCheck_alcotest.to_alcotest qcheck_aggregator_no_loss;
         QCheck_alcotest.to_alcotest qcheck_aggregator_batch_bound;
+      ] );
+    ( "msg.route",
+      [
+        Alcotest.test_case "binomial shape" `Quick test_route_shape;
+        QCheck_alcotest.to_alcotest qcheck_route_converges;
       ] );
   ]

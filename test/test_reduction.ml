@@ -16,6 +16,7 @@ let test_update_buffer_combines () =
   let b =
     Dpa.Update_buffer.create ~ndest:2 ~combine:true ~max_batch:100
       ~flush:(fun ~dst batch -> out := (dst, batch) :: !out)
+      ()
   in
   Dpa.Update_buffer.add b ~dst:1 (p ~node:1 ~slot:0) ~idx:3 1.0;
   Dpa.Update_buffer.add b ~dst:1 (p ~node:1 ~slot:0) ~idx:3 2.0;
@@ -41,6 +42,7 @@ let test_update_buffer_no_combine () =
       ~flush:(fun ~dst:_ batch ->
         incr batches;
         entries := !entries + List.length batch)
+      ()
   in
   (* Same slot twice: without combining both updates must survive (the
      buffer flushes eagerly on the collision). *)
@@ -55,12 +57,66 @@ let test_update_buffer_eager_flush () =
   let b =
     Dpa.Update_buffer.create ~ndest:1 ~combine:true ~max_batch:3
       ~flush:(fun ~dst:_ batch -> batches := List.length batch :: !batches)
+      ()
   in
   for slot = 0 to 6 do
     Dpa.Update_buffer.add b ~dst:0 (p ~node:0 ~slot) ~idx:0 1.0
   done;
   Dpa.Update_buffer.flush_all b;
   Alcotest.(check (list int)) "batch sizes" [ 1; 3; 3 ] !batches
+
+let test_update_buffer_hold_and_flush_if () =
+  let out = ref [] in
+  let b =
+    Dpa.Update_buffer.create
+      ~hold:(fun dst -> dst = 1)
+      ~ndest:2 ~combine:true ~max_batch:2
+      ~flush:(fun ~dst batch -> out := (dst, List.length batch) :: !out)
+      ()
+  in
+  (* dst 1 is held: crossing max_batch must not flush eagerly. *)
+  for slot = 0 to 4 do
+    Dpa.Update_buffer.add b ~dst:1 (p ~node:1 ~slot) ~idx:0 1.0
+  done;
+  Alcotest.(check (list (pair int int))) "held across max_batch" [] !out;
+  (* dst 0 still flushes eagerly at the bound. *)
+  for slot = 0 to 2 do
+    Dpa.Update_buffer.add b ~dst:0 (p ~node:0 ~slot) ~idx:0 1.0
+  done;
+  Alcotest.(check (list (pair int int))) "unheld eager" [ (0, 2) ] !out;
+  (* The strip-boundary flush skips destinations its predicate rejects. *)
+  Dpa.Update_buffer.flush_if b (fun d -> d <> 1);
+  Alcotest.(check (list (pair int int)))
+    "flush_if skips held"
+    [ (0, 1); (0, 2) ]
+    !out;
+  Dpa.Update_buffer.flush_all b;
+  Alcotest.(check (list (pair int int)))
+    "flush_all drains held"
+    [ (1, 5); (0, 1); (0, 2) ]
+    !out
+
+let test_update_buffer_add_entries () =
+  let out = ref [] in
+  let b =
+    Dpa.Update_buffer.create ~ndest:1 ~combine:true ~max_batch:100
+      ~flush:(fun ~dst batch -> out := (dst, batch) :: !out)
+      ()
+  in
+  Dpa.Update_buffer.add b ~dst:0 (p ~node:0 ~slot:0) ~idx:0 1.0;
+  Dpa.Update_buffer.add_entries b ~dst:0
+    [
+      { Dpa.Update_buffer.ptr = p ~node:0 ~slot:0; idx = 0; value = 2.0 };
+      { Dpa.Update_buffer.ptr = p ~node:0 ~slot:1; idx = 0; value = 3.0 };
+    ];
+  Alcotest.(check int) "bulk entries combine" 1 (Dpa.Update_buffer.combined b);
+  Alcotest.(check int) "two slots pending" 2 (Dpa.Update_buffer.pending b);
+  Dpa.Update_buffer.flush_all b;
+  match !out with
+  | [ (0, [ a; c ]) ] ->
+    Alcotest.(check (float 1e-12)) "merged slot" 3.0 a.Dpa.Update_buffer.value;
+    Alcotest.(check (float 1e-12)) "fresh slot" 3.0 c.Dpa.Update_buffer.value
+  | _ -> Alcotest.fail "expected one two-entry flush"
 
 let qcheck_update_buffer_sum_preserved =
   QCheck.Test.make ~name:"update buffer preserves per-slot totals" ~count:200
@@ -77,6 +133,7 @@ let qcheck_update_buffer_sum_preserved =
                 let cur = Option.value ~default:0. (Hashtbl.find_opt applied key) in
                 Hashtbl.replace applied key (cur +. e.Dpa.Update_buffer.value))
               batch)
+          ()
       in
       List.iter
         (fun (slot, idx, v) ->
@@ -193,6 +250,100 @@ let test_dpa_combining_reduces_messages () =
   Alcotest.(check bool) "combines counted" true
     (combined.Dpa.Dpa_stats.updates_combined > 0)
 
+(* --- routed aggregation -------------------------------------------------- *)
+
+(* Fan-in workload: every node bumps the same four counters, all owned by
+   node 0, across many strips. Flat aggregation re-sends the counters at
+   every strip boundary; the phase-long hold window plus en-route combining
+   of the binomial reduction tree collapses that to one merged message per
+   tree edge. Integer-valued floats keep every sum exact, so flat and
+   routed runs must agree bit for bit. *)
+let run_fanin ?faults ?(fault_seed = 0x5EED) ~route () =
+  let nnodes = 8 in
+  let heaps = Heap.cluster ~nnodes in
+  let counters =
+    Array.init 4 (fun _ ->
+        Heap.alloc heaps.(0) ~floats:[| 0.; 0. |] ~ptrs:[||])
+  in
+  let items node =
+    Array.init 32 (fun i ->
+        fun ctx ->
+          Dpa.Runtime.charge ctx 1_000;
+          let c = counters.(i mod 4) in
+          Dpa.Runtime.accumulate ctx c ~idx:0 1.0;
+          Dpa.Runtime.accumulate ctx c ~idx:1 (float_of_int ((node * 32) + i)))
+  in
+  let engine =
+    Engine.create (Machine.make ~nodes:nnodes ?faults ~fault_seed ())
+  in
+  let _, stats =
+    Dpa.Runtime.run_phase ~engine ~heaps
+      ~config:(Dpa.Config.dpa ~strip_size:4 ~route ())
+      ~items
+  in
+  let vals =
+    Array.map
+      (fun c -> Array.copy (Heap.deref heaps c).Obj_repr.floats)
+      counters
+  in
+  (vals, stats)
+
+let test_routed_bit_identical_and_fewer_messages () =
+  let flat, flat_stats = run_fanin ~route:Dpa.Config.Off () in
+  let routed, routed_stats = run_fanin ~route:Dpa.Config.All_dsts () in
+  let hot, hot_stats = run_fanin ~route:(Dpa.Config.Hot [ 0 ]) () in
+  Alcotest.(check bool) "All_dsts bit-identical to flat" true (flat = routed);
+  Alcotest.(check bool) "Hot bit-identical to flat" true (flat = hot);
+  (* 7 senders x 8 strips flat vs one held-and-merged message per tree
+     edge: the routed phase must move strictly fewer update messages. *)
+  Alcotest.(check bool) "tree routing collapses update messages" true
+    (routed_stats.Dpa.Dpa_stats.update_msgs
+    < flat_stats.Dpa.Dpa_stats.update_msgs);
+  Alcotest.(check bool) "hot routing matches all-dsts here" true
+    (hot_stats.Dpa.Dpa_stats.update_msgs
+    = routed_stats.Dpa.Dpa_stats.update_msgs)
+
+let test_routed_under_faults_exact_and_replayable () =
+  (* drop/dup/delay (no crashes): link-level reliability covers the
+     intermediate hops, the WAL protocol the final ones — the reduction
+     stays exact, and the seeded schedule replays bit-identically. *)
+  let reference, _ = run_fanin ~route:Dpa.Config.All_dsts () in
+  let faulted, stats =
+    run_fanin ~faults:Fault.heavy ~fault_seed:41 ~route:Dpa.Config.All_dsts ()
+  in
+  Alcotest.(check bool) "routed reduction exact under heavy faults" true
+    (reference = faulted);
+  let faulted2, stats2 =
+    run_fanin ~faults:Fault.heavy ~fault_seed:41 ~route:Dpa.Config.All_dsts ()
+  in
+  Alcotest.(check bool) "routed fault schedule replays" true
+    (faulted = faulted2 && stats = stats2)
+
+let test_routed_rejects_crash_plans () =
+  let crashy = { Fault.none with Fault.crashes = 1; crash_ns = 10_000 } in
+  (try
+     ignore (run_fanin ~faults:crashy ~route:Dpa.Config.All_dsts ());
+     Alcotest.fail "expected routed+crash rejection"
+   with Failure msg ->
+     Alcotest.(check bool) "names the incompatibility" true
+       (String.length msg > 0));
+  (* Flat mode under the same plan still runs (crash recovery owns it). *)
+  ignore (run_fanin ~faults:crashy ~route:Dpa.Config.Off ())
+
+let test_route_config_validation () =
+  (try
+     ignore (Dpa.Config.dpa ~route:(Dpa.Config.Hot []) ());
+     Alcotest.fail "expected empty Hot rejection"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Dpa.Config.dpa ~route:(Dpa.Config.Hot [ -1 ]) ());
+     Alcotest.fail "expected negative Hot rejection"
+   with Invalid_argument _ -> ());
+  try
+    ignore (run_fanin ~route:(Dpa.Config.Hot [ 99 ]) ());
+    Alcotest.fail "expected out-of-range Hot rejection"
+  with Invalid_argument _ -> ()
+
 (* --- parallel FMM upward pass ------------------------------------------- *)
 
 let upward_setup ~nparticles =
@@ -274,6 +425,34 @@ let test_upward_then_force_pipeline () =
       then Alcotest.failf "potential %d differs" i)
     seq.Dpa_fmm.Fmm_seq.potential
 
+let test_upward_routed_bit_identical () =
+  (* The M2M fan-in through the binomial tree must reproduce the flat
+     phase's expansions bit for bit — the per-coefficient grids make the
+     merge order irrelevant. *)
+  let expansions route =
+    let nnodes = 4 in
+    let tree, params = upward_setup ~nparticles:500 in
+    let global =
+      Dpa_fmm.Fmm_global.distribute_empty ~p:params.Dpa_fmm.Fmm_force.p tree
+        ~nnodes
+    in
+    let engine = Engine.create (machine nnodes) in
+    ignore
+      (Dpa_fmm.Fmm_upward.run ?route ~engine ~global ~params
+         (Dpa_baselines.Variant.dpa ()));
+    Array.map
+      (fun p ->
+        if Gptr.is_nil p then [||]
+        else
+          Array.copy
+            (Heap.deref global.Dpa_fmm.Fmm_global.heaps p).Obj_repr.floats)
+      global.Dpa_fmm.Fmm_global.mp_ptrs
+  in
+  let flat = expansions None in
+  let routed = expansions (Some Dpa.Config.All_dsts) in
+  Alcotest.(check bool) "routed M2M expansions bit-identical" true
+    (flat = routed)
+
 let test_upward_combining_saves_messages () =
   let run variant =
     let _, _, (r : Dpa_fmm.Fmm_upward.result), _ = run_upward variant in
@@ -298,7 +477,21 @@ let suites =
         Alcotest.test_case "no-combine keeps all" `Quick
           test_update_buffer_no_combine;
         Alcotest.test_case "eager flush" `Quick test_update_buffer_eager_flush;
+        Alcotest.test_case "hold and flush_if" `Quick
+          test_update_buffer_hold_and_flush_if;
+        Alcotest.test_case "add_entries" `Quick test_update_buffer_add_entries;
         QCheck_alcotest.to_alcotest qcheck_update_buffer_sum_preserved;
+      ] );
+    ( "core.routed_aggregation",
+      [
+        Alcotest.test_case "bit-identical, fewer messages" `Quick
+          test_routed_bit_identical_and_fewer_messages;
+        Alcotest.test_case "exact and replayable under faults" `Quick
+          test_routed_under_faults_exact_and_replayable;
+        Alcotest.test_case "rejects crash plans" `Quick
+          test_routed_rejects_crash_plans;
+        Alcotest.test_case "config validation" `Quick
+          test_route_config_validation;
       ] );
     ( "core.accumulate",
       [
@@ -319,5 +512,7 @@ let suites =
           test_upward_then_force_pipeline;
         Alcotest.test_case "combining saves messages" `Quick
           test_upward_combining_saves_messages;
+        Alcotest.test_case "routed upward bit-identical" `Quick
+          test_upward_routed_bit_identical;
       ] );
   ]

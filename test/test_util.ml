@@ -89,7 +89,38 @@ let test_lru_zero_capacity () =
   let c = L.create ~capacity:0 in
   L.add c 1 "a";
   Alcotest.(check (option string)) "never stores" None (L.find c 1);
-  Alcotest.(check int) "size 0" 0 (L.size c)
+  Alcotest.(check int) "size 0" 0 (L.size c);
+  (* Admit-then-evict: every insertion counts one eviction, so the
+     eviction accounting agrees with positive capacities
+     (evictions = insertions - retained, retained = 0 here). *)
+  Alcotest.(check int) "eviction counted" 1 (L.evictions c);
+  L.add c 1 "b";
+  L.add c 2 "c";
+  Alcotest.(check int) "every add evicts" 3 (L.evictions c);
+  Alcotest.(check bool) "mem misses" false (L.mem c 1);
+  L.clear c;
+  Alcotest.(check int) "size 0 after clear" 0 (L.size c);
+  Alcotest.(check int) "evictions survive clear" 3 (L.evictions c)
+
+let test_lru_zero_capacity_consistent_qcheck =
+  QCheck.Test.make
+    ~name:"lru capacity 0: structure stays empty, every add counts an eviction"
+    ~count:200
+    QCheck.(small_list (pair (int_range 0 10) (int_range 0 3)))
+    (fun ops ->
+      let c = L.create ~capacity:0 in
+      let adds = ref 0 in
+      List.iter
+        (fun (k, op) ->
+          match op with
+          | 0 ->
+            L.add c k k;
+            incr adds
+          | 1 -> assert (L.find c k = None)
+          | 2 -> assert (not (L.mem c k))
+          | _ -> L.clear c)
+        ops;
+      L.size c = 0 && L.evictions c = !adds)
 
 let test_lru_replace () =
   let c = L.create ~capacity:2 in
@@ -138,5 +169,6 @@ let suites =
         Alcotest.test_case "zero capacity" `Quick test_lru_zero_capacity;
         Alcotest.test_case "replace" `Quick test_lru_replace;
         QCheck_alcotest.to_alcotest test_lru_eviction_order_qcheck;
+        QCheck_alcotest.to_alcotest test_lru_zero_capacity_consistent_qcheck;
       ] );
   ]

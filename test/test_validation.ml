@@ -37,7 +37,8 @@ let test_aggregator_validation () =
 let test_update_buffer_validation () =
   expect_invalid "zero dest" (fun () ->
       Dpa.Update_buffer.create ~ndest:0 ~combine:true ~max_batch:1
-        ~flush:(fun ~dst:_ _ -> ()))
+        ~flush:(fun ~dst:_ _ -> ())
+        ())
 
 let test_dcache_validation () =
   expect_invalid "zero lines" (fun () -> Dcache.create ~lines:0 ());

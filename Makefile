@@ -2,7 +2,7 @@
 
 BENCH := bin/dpa_bench.exe
 
-.PHONY: all build test fmt fmt-check smoke obs-smoke chaos-smoke adaptive-smoke critpath-smoke integrity-smoke optimality-smoke bench-obs-overhead clean
+.PHONY: all build test fmt fmt-check smoke obs-smoke chaos-smoke adaptive-smoke critpath-smoke integrity-smoke optimality-smoke scale-smoke bench-obs-overhead clean
 
 all: build
 
@@ -27,7 +27,7 @@ fmt-check:
 # End-to-end observability smoke test: run a small experiment with the
 # trace/metrics exporters on and make sure the artifacts appear and are
 # non-trivial. The test suite validates the JSON itself (test/test_obs.ml).
-smoke: build obs-smoke chaos-smoke adaptive-smoke critpath-smoke integrity-smoke optimality-smoke
+smoke: build obs-smoke chaos-smoke adaptive-smoke critpath-smoke integrity-smoke optimality-smoke scale-smoke
 	dune exec $(BENCH) -- f1 --scale small \
 	  --trace /tmp/dpa_trace.json --metrics /tmp/dpa_metrics.json --profile
 	@test -s /tmp/dpa_trace.json && test -s /tmp/dpa_metrics.json \
@@ -134,6 +134,23 @@ optimality-smoke: build
 	  && grep -q "improved=yes" /tmp/dpa_optimality.txt \
 	  && grep -q "0 cell(s) diverged" /tmp/dpa_optimality.txt \
 	  && echo "optimality-smoke: routed + repartitioned ratios strictly improved, results bit-identical"
+
+# Flat-heap scale smoke test: the a16 sweep at reduced scale. The
+# allocation gate must pass (every boxed-baseline config re-run on the
+# flat heap clears the committed words-per-body-step reduction
+# threshold), and bin/scale_check must accept the JSON artifact — field
+# presence, reduction-factor arithmetic, non-negative counters — and
+# then re-measure the strip hot path directly, failing if a phase of
+# local reads allocates beyond the per-poll-quantum simulator residue
+# (docs/PERFORMANCE.md). The committed BENCH_scale.json is the same
+# artifact produced by `a16 --scale full`.
+scale-smoke: build
+	dune exec $(BENCH) -- a16 --scale small --json /tmp/dpa_scale.json \
+	  | tee /tmp/dpa_scale.txt
+	@grep -q "a16 summary: gate=ok" /tmp/dpa_scale.txt \
+	  && echo "scale-smoke: allocation gate passed on all boxed-baseline configs"
+	dune exec bin/scale_check.exe -- /tmp/dpa_scale.json
+	@echo "scale-smoke: artifact valid; strip hot path allocation-free"
 
 # Observability-overhead benchmark: wall-clock time of t2 and f1 with
 # observability off, with event streaming only, and with causal tracing +

@@ -464,6 +464,27 @@ let run_a15 ?(json = None) conf =
     close_out oc;
     Printf.printf "wrote optimality matrix to %s\n" path
 
+let run_a16 ?(json = None) conf =
+  (* Open the output before the run so a bad path fails immediately. *)
+  let json_out =
+    Option.map
+      (fun path ->
+        try (path, open_out path)
+        with Sys_error e ->
+          prerr_endline ("dpa_bench: " ^ e);
+          exit 1)
+      json
+  in
+  let rows = (Experiment.scale_gate conf, Experiment.scale_sweep conf) in
+  Experiment.print_scale_sweep rows;
+  match json_out with
+  | None -> ()
+  | Some (path, oc) ->
+    output_string oc (Dpa_obs.Json.to_string (Experiment.scale_json rows));
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "wrote scale sweep to %s\n" path
+
 let run_timeline ?(csv = None) conf =
   let nnodes = conf.Runconf.breakdown_procs in
   let show variant =
@@ -549,7 +570,8 @@ let run_all conf =
   run_a12 conf;
   run_a13 conf;
   run_a14 conf;
-  run_a15 conf
+  run_a15 conf;
+  run_a16 conf
 
 let cmd name doc f =
   Cmd.v (Cmd.info name ~doc)
@@ -613,6 +635,23 @@ let () =
                Term.(
                  const (fun json fo obs conf ->
                      with_faults fo (with_obs obs (run_a15 ~json)) conf)
+                 $ json $ fault_term $ obs_term $ conf_term));
+            (let json =
+               Arg.(
+                 value
+                 & opt (some string) None
+                 & info [ "json" ] ~docv:"FILE"
+                     ~doc:"Also write the sweep as JSON (BENCH_scale.json).")
+             in
+             Cmd.v
+               (Cmd.info "a16"
+                  ~doc:
+                    "Flat-heap scale sweep: the allocation gate against the \
+                     boxed-heap baseline, then distributed BH force phases \
+                     up to a million bodies on 256 nodes (--scale full)")
+               Term.(
+                 const (fun json fo obs conf ->
+                     with_faults fo (with_obs obs (run_a16 ~json)) conf)
                  $ json $ fault_term $ obs_term $ conf_term));
             (let csv =
                Arg.(

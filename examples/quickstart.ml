@@ -39,7 +39,8 @@ let () =
             Dpa.Runtime.read ctx p (fun ctx view ->
                 Dpa.Runtime.charge ctx 500 (* 500 ns of "work" per value *);
                 sums.(Dpa.Runtime.node_id ctx) <-
-                  sums.(Dpa.Runtime.node_id ctx) +. view.Obj_repr.floats.(0))
+                  sums.(Dpa.Runtime.node_id ctx)
+                  +. Heap.view_float (Dpa.Runtime.heaps ctx) view 0)
           done)
   in
 

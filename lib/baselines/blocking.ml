@@ -1,6 +1,7 @@
 type ctx = Caching.ctx
 
 let node_id = Caching.node_id
+let heaps = Caching.heaps
 let charge = Caching.charge
 let read = Caching.read
 let accumulate = Caching.accumulate

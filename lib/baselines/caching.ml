@@ -8,7 +8,9 @@ type ctx = {
   heaps : Heap.cluster;
   heap : Heap.t;
   node : Node.t;
-  cache : Obj_repr.t Lru.t;
+  cache : unit Lru.t;
+      (* views alias the owner store ({!Heap.view}), so the cache tracks
+         membership + recency only; the handle itself is the payload *)
   hash : bool;
   work : (Gptr.t * k) Stack.t;  (* LIFO: depth-first, program order *)
   mutable items : (ctx -> unit) array;
@@ -23,7 +25,7 @@ type ctx = {
   mutable retries : int;  (* end-to-end fetch re-issues under faults *)
 }
 
-and k = ctx -> Obj_repr.t -> unit
+and k = ctx -> Heap.view -> unit
 
 type stats = {
   hits : int;
@@ -41,6 +43,7 @@ let pp_stats ppf s =
     s.hits s.misses s.local s.evictions s.peak_cached s.retries
 
 let node_id ctx = ctx.node.Node.id
+let heaps ctx = ctx.heaps
 let charge ctx ns = Node.charge_local ctx.node ns
 
 (* Reads are deferred onto the work stack; the step loop resolves them one
@@ -53,7 +56,7 @@ let read ctx ptr k =
 let accumulate ctx ptr ~idx value =
   if Gptr.is_nil ptr then invalid_arg "Caching.accumulate: nil pointer";
   let m = ctx.machine in
-  if ptr.Gptr.node = ctx.node.Node.id then begin
+  if Gptr.node ptr = ctx.node.Node.id then begin
     Node.charge_local ctx.node m.Machine.update_apply_ns;
     Heap.bump_float ctx.heap ptr ~idx value
   end
@@ -61,10 +64,10 @@ let accumulate ctx ptr ~idx value =
     (* One put-style message per update: no combining, no aggregation, but
        also no blocking (puts complete asynchronously). *)
     let bytes = Dpa_msg.Am.update_bytes m ~nupdates:1 in
-    Dpa_msg.Am.send ctx.engine ~src:ctx.node ~dst:ptr.Gptr.node ~bytes
+    Dpa_msg.Am.send ctx.engine ~src:ctx.node ~dst:(Gptr.node ptr) ~bytes
       (fun owner ->
         Node.charge_comm owner m.Machine.update_apply_ns;
-        Heap.bump_float ctx.heaps.(ptr.Gptr.node) ptr ~idx value)
+        Heap.bump_float ctx.heaps.(Gptr.node ptr) ptr ~idx value)
   end
 
 let rec ensure_scheduled ctx =
@@ -103,15 +106,15 @@ and resolve ctx ptr k =
      test-and-hash, local data included — the hashing overhead the paper
      credits DPA with minimizing. *)
   if ctx.hash then Node.charge_comm ctx.node ctx.machine.Machine.hash_probe_ns;
-  if ptr.Gptr.node = ctx.node.Node.id then begin
+  if Gptr.node ptr = ctx.node.Node.id then begin
     ctx.local <- ctx.local + 1;
-    k ctx (Heap.get ctx.heap ptr)
+    k ctx ptr
   end
   else begin
     match Lru.find ctx.cache ptr with
-    | Some view ->
+    | Some () ->
       ctx.hits <- ctx.hits + 1;
-      k ctx view
+      k ctx ptr
     | None ->
       ctx.misses <- ctx.misses + 1;
       ctx.waiting <- true;
@@ -137,23 +140,21 @@ and fetch ctx ptr k =
       + (4 * m.Machine.poll_quantum_ns))
   in
   let rec attempt ~rto =
-    Dpa_msg.Am.send ctx.engine ~src:ctx.node ~dst:ptr.Gptr.node ~bytes
+    Dpa_msg.Am.send ctx.engine ~src:ctx.node ~dst:(Gptr.node ptr) ~bytes
       (fun owner ->
         Node.charge_comm owner
           (m.Machine.request_service_ns + m.Machine.request_service_per_obj_ns);
-        let view = Heap.get ctx.heaps.(ptr.Gptr.node) ptr in
-        let reply =
-          Dpa_msg.Am.reply_bytes m ~payload:(Obj_repr.bytes view) ~nreqs:1
-        in
+        let payload = Heap.obj_bytes ctx.heaps.(Gptr.node ptr) ptr in
+        let reply = Dpa_msg.Am.reply_bytes m ~payload ~nreqs:1 in
         Dpa_msg.Am.send ctx.engine ~src:owner ~dst:ctx.node.Node.id
           ~bytes:reply (fun _self ->
             if not !completed then begin
               completed := true;
-              Lru.add ctx.cache ptr view;
+              Lru.add ctx.cache ptr ();
               let n = Lru.size ctx.cache in
               if n > ctx.peak_cached then ctx.peak_cached <- n;
               ctx.waiting <- false;
-              k ctx view;
+              k ctx ptr;
               ensure_scheduled ctx
             end));
     if rel then begin

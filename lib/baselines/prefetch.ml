@@ -1,6 +1,7 @@
 type ctx = Dpa.Runtime.ctx
 
 let node_id = Dpa.Runtime.node_id
+let heaps = Dpa.Runtime.heaps
 let charge = Dpa.Runtime.charge
 let read = Dpa.Runtime.read
 let accumulate = Dpa.Runtime.accumulate

@@ -22,14 +22,11 @@ let default_params =
    agreement with the sequential reference. See Dpa_util.Det. *)
 let det_grid = Dpa_util.Det.grid ~bits:42
 
-let quantize v = Dpa_util.Det.quantize ~grid:det_grid v
-
-let quantize3 (v : Vec3.t) =
-  { Vec3.x = quantize v.Vec3.x; y = quantize v.Vec3.y; z = quantize v.Vec3.z }
-
 module Make (A : Dpa.Access.S) = struct
-  let items ?work ~params ~tree ~bodies ~accs node =
+  let items ?work ~params ~tree ~bodies ~(accs : float array) node =
     let root = tree.Bh_global.root in
+    let theta = params.theta and eps = params.eps in
+    let grid = det_grid in
     (* [spend] charges simulated time and, when [work] is given, records it
        against the body. The traversal — hence the recorded total — is a
        pure function of the tree geometry, so the measured weights are
@@ -43,37 +40,89 @@ module Make (A : Dpa.Access.S) = struct
     Array.map
       (fun bid ->
         let b = bodies.(bid) in
-        let pos = b.Body.pos in
-        let rec visit ctx (view : Obj_repr.t) =
+        let px = b.Body.pos.Vec3.x
+        and py = b.Body.pos.Vec3.y
+        and pz = b.Body.pos.Vec3.z in
+        let base = 3 * bid in
+        (* The interaction math is written out scalar over the owner's
+           float pool: no Vec3 temporaries, no boxed-float returns, so a
+           visit allocates nothing. Every arithmetic expression mirrors
+           the Vec3/Kernels reference op for op (same association, same
+           order), which keeps the summed forces bit-identical to the
+           boxed implementation and to {!Bh_seq}. *)
+        let rec visit ctx (view : Heap.view) =
           spend bid ctx params.visit_ns;
-          let com = Bh_global.View.com view in
-          let half = Bh_global.View.half view in
-          if not (Kernels.opened ~theta:params.theta ~pos ~com ~half) then begin
+          let h = (A.heaps ctx).(Gptr.node view) in
+          let fp = Heap.float_pool h in
+          let fb = Heap.float_base h view in
+          let cx = Bigarray.Array1.get fp (fb + 1)
+          and cy = Bigarray.Array1.get fp (fb + 2)
+          and cz = Bigarray.Array1.get fp (fb + 3) in
+          (* Kernels.opened: d = |pos - com|, opened iff 2*half >= theta*d *)
+          let dx = px -. cx and dy = py -. cy and dz = pz -. cz in
+          let d = sqrt ((dx *. dx) +. (dy *. dy) +. (dz *. dz)) in
+          let half = Bigarray.Array1.get fp (fb + 5) in
+          if not (2. *. half >= theta *. d) then begin
             spend bid ctx params.body_cell_ns;
-            accs.(bid) <-
-              Vec3.add accs.(bid)
-                (quantize3
-                   (Kernels.accel ~eps:params.eps ~pos ~src_pos:com
-                      ~src_mass:(Bh_global.View.mass view)))
+            (* Kernels.accel against the cell's center of mass. *)
+            let rx = cx -. px and ry = cy -. py and rz = cz -. pz in
+            let d2 = (rx *. rx) +. (ry *. ry) +. (rz *. rz) in
+            if d2 = 0. then begin
+              accs.(base) <- accs.(base) +. 0.;
+              accs.(base + 1) <- accs.(base + 1) +. 0.;
+              accs.(base + 2) <- accs.(base + 2) +. 0.
+            end
+            else begin
+              let d2 = d2 +. (eps *. eps) in
+              let inv = 1. /. (d2 *. sqrt d2) in
+              let s = Bigarray.Array1.get fp (fb + 4) *. inv in
+              accs.(base) <-
+                accs.(base) +. (Float.round (s *. rx *. grid) /. grid);
+              accs.(base + 1) <-
+                accs.(base + 1) +. (Float.round (s *. ry *. grid) /. grid);
+              accs.(base + 2) <-
+                accs.(base + 2) +. (Float.round (s *. rz *. grid) /. grid)
+            end
           end
-          else if Bh_global.View.is_leaf view then begin
-            let n = Bh_global.View.nbodies view in
+          else if Bigarray.Array1.get fp (fb + 0) = Bh_global.kind_leaf
+          then begin
+            let n = int_of_float (Bigarray.Array1.get fp (fb + 6)) in
             for k = 0 to n - 1 do
-              let sid, spos, smass = Bh_global.View.body view k in
+              let bb = fb + 7 + (5 * k) in
+              let sid = int_of_float (Bigarray.Array1.get fp bb) in
               if sid <> bid then begin
                 spend bid ctx params.body_body_ns;
-                accs.(bid) <-
-                  Vec3.add accs.(bid)
-                    (quantize3
-                       (Kernels.accel ~eps:params.eps ~pos ~src_pos:spos
-                          ~src_mass:smass))
+                let rx = Bigarray.Array1.get fp (bb + 1) -. px
+                and ry = Bigarray.Array1.get fp (bb + 2) -. py
+                and rz = Bigarray.Array1.get fp (bb + 3) -. pz in
+                let d2 = (rx *. rx) +. (ry *. ry) +. (rz *. rz) in
+                if d2 = 0. then begin
+                  accs.(base) <- accs.(base) +. 0.;
+                  accs.(base + 1) <- accs.(base + 1) +. 0.;
+                  accs.(base + 2) <- accs.(base + 2) +. 0.
+                end
+                else begin
+                  let d2 = d2 +. (eps *. eps) in
+                  let inv = 1. /. (d2 *. sqrt d2) in
+                  let s = Bigarray.Array1.get fp (bb + 4) *. inv in
+                  accs.(base) <-
+                    accs.(base) +. (Float.round (s *. rx *. grid) /. grid);
+                  accs.(base + 1) <-
+                    accs.(base + 1) +. (Float.round (s *. ry *. grid) /. grid);
+                  accs.(base + 2) <-
+                    accs.(base + 2) +. (Float.round (s *. rz *. grid) /. grid)
+                end
               end
             done
           end
-          else
-            Array.iter
-              (fun child -> if not (Gptr.is_nil child) then A.read ctx child visit)
-              (Bh_global.View.children view)
+          else begin
+            let heaps = A.heaps ctx in
+            let np = Heap.view_nptrs heaps view in
+            for i = 0 to np - 1 do
+              let child = Heap.view_ptr heaps view i in
+              if not (Gptr.is_nil child) then A.read ctx child visit
+            done
+          end
         in
         fun ctx -> A.read ctx root visit)
       tree.Bh_global.owner_bodies.(node)

@@ -21,12 +21,15 @@ module Make (A : Dpa.Access.S) : sig
     params:params ->
     tree:Bh_global.t ->
     bodies:Body.t array ->
-    accs:Vec3.t array ->
+    accs:float array ->
     int ->
     (A.ctx -> unit) array
   (** [items ... node] is the array of per-body work items owned by [node].
       Item for body [b] traverses the distributed tree from the root and
-      accumulates the acceleration into [accs.(b)].
+      accumulates the acceleration into [accs.(3b .. 3b+2)] — a flat
+      (x, y, z)-interleaved array, so the inner interaction loop allocates
+      nothing (see PERFORMANCE.md); {!Bh_run.force_phase} converts to
+      {!Vec3.t} at the phase edge.
 
       [work] (indexed by body id) additionally records the simulated
       nanoseconds each body's traversal charged — the measured per-body

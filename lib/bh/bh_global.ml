@@ -46,51 +46,49 @@ let distribute ?weights tree ~nnodes =
         Array.iter
           (fun ch -> if ch >= 0 then first_rank.(ci) <- min first_rank.(ci) first_rank.(ch))
           children);
+  (* Cells are written straight into the owner's pools ([alloc_raw] +
+     in-place stores): no staging arrays, so the per-step rebuild at
+     million-body scale allocates nothing per cell beyond pool growth. *)
   Octree.iter_cells_postorder tree (fun ci ->
       let owner =
         if first_rank.(ci) = max_int then 0 else rank_owner.(first_rank.(ci))
       in
+      let h = heaps.(owner) in
       let com = Octree.com tree ci in
-      let head =
-        [|
-          (match Octree.kind tree ci with
-          | Octree.Leaf _ -> kind_leaf
-          | Octree.Internal _ -> kind_internal);
-          com.Vec3.x;
-          com.Vec3.y;
-          com.Vec3.z;
-          Octree.mass tree ci;
-          Octree.half tree ci;
-        |]
-      in
-      let floats, ptrs =
+      let p =
         match Octree.kind tree ci with
         | Octree.Leaf ids ->
           let n = Array.length ids in
-          let fl = Array.make (7 + (5 * n)) 0. in
-          Array.blit head 0 fl 0 6;
-          fl.(6) <- float_of_int n;
+          let p = Heap.alloc_raw h ~nfloats:(7 + (5 * n)) ~nptrs:0 in
+          Heap.set_float h p 0 kind_leaf;
+          Heap.set_float h p 6 (float_of_int n);
           Array.iteri
             (fun k bid ->
               let b = bodies.(bid) in
               let base = 7 + (5 * k) in
-              fl.(base) <- float_of_int bid;
-              fl.(base + 1) <- b.Body.pos.Vec3.x;
-              fl.(base + 2) <- b.Body.pos.Vec3.y;
-              fl.(base + 3) <- b.Body.pos.Vec3.z;
-              fl.(base + 4) <- b.Body.mass)
+              Heap.set_float h p base (float_of_int bid);
+              Heap.set_float h p (base + 1) b.Body.pos.Vec3.x;
+              Heap.set_float h p (base + 2) b.Body.pos.Vec3.y;
+              Heap.set_float h p (base + 3) b.Body.pos.Vec3.z;
+              Heap.set_float h p (base + 4) b.Body.mass)
             ids;
-          (fl, [||])
+          p
         | Octree.Internal children ->
-          let fl = Array.make 7 0. in
-          Array.blit head 0 fl 0 6;
-          fl.(6) <- float_of_int (Octree.nbodies tree ci);
-          let ps =
-            Array.map (fun ch -> if ch >= 0 then cell_ptrs.(ch) else Gptr.nil) children
-          in
-          (fl, ps)
+          let p = Heap.alloc_raw h ~nfloats:7 ~nptrs:(Array.length children) in
+          Heap.set_float h p 0 kind_internal;
+          Heap.set_float h p 6 (float_of_int (Octree.nbodies tree ci));
+          Array.iteri
+            (fun i ch ->
+              if ch >= 0 then Heap.set_ptr h p i cell_ptrs.(ch))
+            children;
+          p
       in
-      cell_ptrs.(ci) <- Heap.alloc heaps.(owner) ~floats ~ptrs);
+      Heap.set_float h p 1 com.Vec3.x;
+      Heap.set_float h p 2 com.Vec3.y;
+      Heap.set_float h p 3 com.Vec3.z;
+      Heap.set_float h p 4 (Octree.mass tree ci);
+      Heap.set_float h p 5 (Octree.half tree ci);
+      cell_ptrs.(ci) <- p);
   {
     heaps;
     root = cell_ptrs.(Octree.root tree);
@@ -99,21 +97,25 @@ let distribute ?weights tree ~nnodes =
   }
 
 module View = struct
-  let is_leaf (v : Obj_repr.t) = v.Obj_repr.floats.(0) = kind_leaf
-  let com (v : Obj_repr.t) =
-    let f = v.Obj_repr.floats in
-    Vec3.make f.(1) f.(2) f.(3)
+  let is_leaf h (v : Heap.view) = Heap.view_float h v 0 = kind_leaf
 
-  let mass (v : Obj_repr.t) = v.Obj_repr.floats.(4)
-  let half (v : Obj_repr.t) = v.Obj_repr.floats.(5)
-  let nbodies (v : Obj_repr.t) = int_of_float v.Obj_repr.floats.(6)
+  let com h (v : Heap.view) =
+    Vec3.make (Heap.view_float h v 1) (Heap.view_float h v 2)
+      (Heap.view_float h v 3)
 
-  let body (v : Obj_repr.t) k =
-    let f = v.Obj_repr.floats in
+  let mass h (v : Heap.view) = Heap.view_float h v 4
+  let half h (v : Heap.view) = Heap.view_float h v 5
+  let nbodies h (v : Heap.view) = int_of_float (Heap.view_float h v 6)
+
+  let body h (v : Heap.view) k =
     let base = 7 + (5 * k) in
-    ( int_of_float f.(base),
-      Vec3.make f.(base + 1) f.(base + 2) f.(base + 3),
-      f.(base + 4) )
+    ( int_of_float (Heap.view_float h v base),
+      Vec3.make
+        (Heap.view_float h v (base + 1))
+        (Heap.view_float h v (base + 2))
+        (Heap.view_float h v (base + 3)),
+      Heap.view_float h v (base + 4) )
 
-  let children (v : Obj_repr.t) = v.Obj_repr.ptrs
+  let children h (v : Heap.view) =
+    Array.init (Heap.view_nptrs h v) (fun i -> Heap.view_ptr h v i)
 end

@@ -26,15 +26,21 @@ val distribute : ?weights:int array -> Octree.t -> nnodes:int -> t
     to equal total weight — the SPLASH-2 "costzones" scheme, using each
     body's previous-step work as its weight. *)
 
-(** Accessors over a cell object view, shared by all traversals. *)
+(** Accessors over a cell object view, resolved through the cluster
+    ({!Heap.view} is a handle, not a record). Convenience layer for
+    reference code and tests; the force kernel reads the float pool
+    directly ({!Heap.float_base}) to keep its inner loop
+    allocation-free. *)
 module View : sig
-  val is_leaf : Obj_repr.t -> bool
-  val com : Obj_repr.t -> Vec3.t
-  val mass : Obj_repr.t -> float
-  val half : Obj_repr.t -> float
-  val nbodies : Obj_repr.t -> int
-  val body : Obj_repr.t -> int -> int * Vec3.t * float
-  (** [body view k] is the [k]-th inline body: (id, position, mass). *)
+  val is_leaf : Heap.cluster -> Heap.view -> bool
+  val com : Heap.cluster -> Heap.view -> Vec3.t
+  val mass : Heap.cluster -> Heap.view -> float
+  val half : Heap.cluster -> Heap.view -> float
+  val nbodies : Heap.cluster -> Heap.view -> int
 
-  val children : Obj_repr.t -> Gptr.t array
+  val body : Heap.cluster -> Heap.view -> int -> int * Vec3.t * float
+  (** [body heaps view k] is the [k]-th inline body: (id, position,
+      mass). *)
+
+  val children : Heap.cluster -> Heap.view -> Gptr.t array
 end

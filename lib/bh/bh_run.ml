@@ -12,7 +12,14 @@ module Force_caching = Bh_force.Make (Dpa_baselines.Caching)
 
 let force_phase ?work ~engine ~tree ~bodies ~params variant =
   let n = Array.length bodies in
-  let accs = Array.make n Vec3.zero in
+  (* Flat (x, y, z)-interleaved accumulators keep the interaction loop
+     allocation-free; the Vec3 array the callers consume is materialized
+     once, at this edge. *)
+  let accs = Array.make (3 * n) 0. in
+  let to_vec3 () =
+    Array.init n (fun i ->
+        Vec3.make accs.(3 * i) accs.((3 * i) + 1) accs.((3 * i) + 2))
+  in
   let heaps = tree.Bh_global.heaps in
   match variant with
   | Dpa_baselines.Variant.Dpa config ->
@@ -21,7 +28,7 @@ let force_phase ?work ~engine ~tree ~bodies ~params variant =
       Dpa.Runtime.run_phase_labeled ~label:"bh-force" ~engine ~heaps ~config
         ~items
     in
-    { breakdown; accs; dpa_stats = Some stats; cache_stats = None }
+    { breakdown; accs = to_vec3 (); dpa_stats = Some stats; cache_stats = None }
   | Dpa_baselines.Variant.Prefetch { strip_size } ->
     let items = Force_dpa.items ?work ~params ~tree ~bodies ~accs in
     let breakdown, stats =
@@ -29,19 +36,19 @@ let force_phase ?work ~engine ~tree ~bodies ~params variant =
         ~config:(Dpa.Config.pipeline_only ~strip_size ())
         ~items
     in
-    { breakdown; accs; dpa_stats = Some stats; cache_stats = None }
+    { breakdown; accs = to_vec3 (); dpa_stats = Some stats; cache_stats = None }
   | Dpa_baselines.Variant.Caching { capacity } ->
     let items = Force_caching.items ?work ~params ~tree ~bodies ~accs in
     let breakdown, stats =
       Dpa_baselines.Caching.run_phase ~engine ~heaps ~capacity ~items ()
     in
-    { breakdown; accs; dpa_stats = None; cache_stats = Some stats }
+    { breakdown; accs = to_vec3 (); dpa_stats = None; cache_stats = Some stats }
   | Dpa_baselines.Variant.Blocking ->
     let items = Force_caching.items ?work ~params ~tree ~bodies ~accs in
     let breakdown, stats =
       Dpa_baselines.Blocking.run_phase ~engine ~heaps ~items
     in
-    { breakdown; accs; dpa_stats = None; cache_stats = Some stats }
+    { breakdown; accs = to_vec3 (); dpa_stats = None; cache_stats = Some stats }
 
 type sim_result = {
   total : Breakdown.t;

@@ -101,14 +101,18 @@ let items (type c) (module A : Dpa.Access.S with type ctx = c) t ~accum node =
       let ptr = t.e_nodes.((node * per_node) + i) in
       fun (ctx : c) ->
         A.read ctx ptr (fun ctx view ->
-            let f = view.Obj_repr.floats in
-            let v = ref f.(0) in
+            let heaps = A.heaps ctx in
+            let v = ref (Heap.view_float heaps view 0) in
             let remaining = ref degree in
-            Array.iteri
-              (fun k dep ->
-                A.read ctx dep (fun ctx dview ->
-                    A.charge ctx 150;
-                    v := !v -. (f.(k + 1) *. dview.Obj_repr.floats.(0));
-                    decr remaining;
-                    if !remaining = 0 then accum !v))
-              view.Obj_repr.ptrs))
+            for k = 0 to Heap.view_nptrs heaps view - 1 do
+              let dep = Heap.view_ptr heaps view k in
+              A.read ctx dep (fun ctx dview ->
+                  A.charge ctx 150;
+                  let heaps = A.heaps ctx in
+                  v :=
+                    !v
+                    -. (Heap.view_float heaps view (k + 1)
+                       *. Heap.view_float heaps dview 0);
+                  decr remaining;
+                  if !remaining = 0 then accum !v)
+            done))

@@ -39,7 +39,7 @@ module Make (A : Dpa.Access.S) = struct
   (* One activation of a function: values and fetched objects. *)
   type act = {
     values : (string, Value.t) Hashtbl.t;
-    views : (string, Obj_repr.t) Hashtbl.t;
+    views : (string, Heap.view) Hashtbl.t;
     classes : Alias.env;
   }
 
@@ -136,18 +136,20 @@ module Make (A : Dpa.Access.S) = struct
       | Ast.Load_field (dst, p, i) ->
         acquire act ctx p (fun ctx ->
             let view = Hashtbl.find act.views p in
-            let f = view.Obj_repr.floats in
-            if i < 0 || i >= Array.length f then
+            let heaps = A.heaps ctx in
+            if i < 0 || i >= Heap.view_nfloats heaps view then
               raise (Value.Eval_error "float field out of range");
-            Hashtbl.replace act.values dst (Value.Num f.(i));
+            Hashtbl.replace act.values dst
+              (Value.Num (Heap.view_float heaps view i));
             continue ctx)
       | Ast.Load_ptr (dst, p, i) ->
         acquire act ctx p (fun ctx ->
             let view = Hashtbl.find act.views p in
-            let ps = view.Obj_repr.ptrs in
-            if i < 0 || i >= Array.length ps then
+            let heaps = A.heaps ctx in
+            if i < 0 || i >= Heap.view_nptrs heaps view then
               raise (Value.Eval_error "pointer field out of range");
-            Hashtbl.replace act.values dst (Value.Ptr ps.(i));
+            Hashtbl.replace act.values dst
+              (Value.Ptr (Heap.view_ptr heaps view i));
             Hashtbl.remove act.views dst;
             continue ctx)
       | Ast.If (e, a, b) ->

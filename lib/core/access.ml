@@ -10,18 +10,25 @@ module type S = sig
 
   val node_id : ctx -> int
 
+  val heaps : ctx -> Dpa_heap.Heap.cluster
+  (** The cluster's stores — how a continuation resolves the fields of a
+      delivered {!Dpa_heap.Heap.view} (e.g. [Heap.view_float (A.heaps
+      ctx) view 0]). Reading objects other than delivered views must go
+      through {!read}, which models the communication. *)
+
   val charge : ctx -> int -> unit
   (** Account [ns] of local application computation. *)
 
   val read :
     ctx ->
     Dpa_heap.Gptr.t ->
-    (ctx -> Dpa_heap.Obj_repr.t -> unit) ->
+    (ctx -> Dpa_heap.Heap.view -> unit) ->
     unit
   (** [read ctx p k] — dereference a global pointer and continue with [k].
       The continuation may run immediately (local or reused data) or later
-      (suspended thread); the runtime decides. The returned view is
-      read-only and valid for the current phase. *)
+      (suspended thread); the runtime decides. The delivered view is
+      read-only and valid for the current phase; resolve its fields with
+      {!Dpa_heap.Heap.view_float} and friends over [heaps ctx]. *)
 
   val accumulate : ctx -> Dpa_heap.Gptr.t -> idx:int -> float -> unit
   (** [accumulate ctx p ~idx v] — add [v] to float field [idx] of the

@@ -1,13 +1,18 @@
 open Dpa_heap
 
-type t = { table : Obj_repr.t Gptr.Tbl.t; mutable peak : int }
+(* With the flat heap a renamed copy is just the object's handle (views
+   alias the owner store — see {!Heap.view}), so D degenerates to a
+   membership set over pointers. Its size and peak still measure exactly
+   what the paper's D does: how many distinct remote objects the strip
+   holds at once. *)
+type t = { table : unit Gptr.Tbl.t; mutable peak : int }
 
 let create () = { table = Gptr.Tbl.create 256; peak = 0 }
 
-let find t ptr = Gptr.Tbl.find_opt t.table ptr
+let mem t ptr = Gptr.Tbl.mem t.table ptr
 
-let add t ptr view =
-  Gptr.Tbl.replace t.table ptr view;
+let add t ptr =
+  Gptr.Tbl.replace t.table ptr ();
   let n = Gptr.Tbl.length t.table in
   if n > t.peak then t.peak <- n
 

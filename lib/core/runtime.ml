@@ -61,10 +61,11 @@ type ctx = {
   node : Node.t;
   cfg : Config.t;
   stats : Dpa_stats.t;
-  ready : (Gptr.t * Obj_repr.t * k) Queue.t;
-      (* each entry keeps the pointer its view came from: a crash must
-         re-register remote entries (the view copy is volatile) while
-         local entries re-run against the durable heap *)
+  ready : k Ready_ring.t;
+      (* flat (pointer, continuation) ring — the view IS the pointer
+         ({!Heap.view}), so dispatch allocates nothing. A crash must
+         re-register remote entries (the renamed copy is volatile) while
+         local entries re-run against the durable heap. *)
   map : k Pointer_map.t;
   buffer : Align_buffer.t;
   mutable agg : request Dpa_msg.Aggregator.t;
@@ -121,7 +122,7 @@ type ctx = {
   obs : obs option;
 }
 
-and k = ctx -> Obj_repr.t -> unit
+and k = ctx -> Heap.view -> unit
 
 let node_id ctx = ctx.node.Node.id
 let heaps ctx = ctx.heaps
@@ -282,8 +283,8 @@ let encode_batch ~id ~dst batch =
   List.iteri
     (fun i { Update_buffer.ptr; idx; value } ->
       let base = 25 + (i * 32) in
-      put_i64 b ~pos:base ptr.Gptr.node;
-      put_i64 b ~pos:(base + 8) ptr.Gptr.slot;
+      put_i64 b ~pos:base (Gptr.node ptr);
+      put_i64 b ~pos:(base + 8) (Gptr.slot ptr);
       put_i64 b ~pos:(base + 16) idx;
       Bytes.set_int64_le b (base + 24) (Int64.bits_of_float value))
     batch;
@@ -484,13 +485,15 @@ and run_quantum ctx =
     | _ -> None
   in
   let rec loop () =
-    if Queue.is_empty ctx.ready then after_drain ()
+    if Ready_ring.is_empty ctx.ready then after_drain ()
     else if ctx.node.Node.clock - start >= quantum then ensure_scheduled ctx
     else begin
-      let _ptr, view, k = Queue.pop ctx.ready in
+      let ptr = Ready_ring.head_ptr ctx.ready in
+      let k = Ready_ring.head_k ctx.ready in
+      Ready_ring.drop ctx.ready;
       Node.charge_comm ctx.node ctx.machine.Machine.dispatch_overhead_ns;
       ctx.pending <- ctx.pending - 1;
-      k ctx view;
+      k ctx ptr;
       loop ()
     end
   and after_drain () =
@@ -564,9 +567,9 @@ and next_strip ctx =
    resolved, and that copy must wake nothing (and must not repopulate the
    alignment buffer — its strip may be long gone). Fault-free, an unknown
    token is still the hard protocol error it always was. *)
-and deliver ctx pairs =
+and deliver ctx reqs =
   List.iter
-    (fun (req, view) ->
+    (fun req ->
       let resolved =
         if ctx.rel then Pointer_map.take_opt ctx.map req.token
         else Some (Pointer_map.take ctx.map req.token)
@@ -581,10 +584,10 @@ and deliver ctx pairs =
         | None -> ()
         | Some o ->
           obs_wait o ctx.node req.token;
-          Gptr.Tbl.replace o.touched ptr (Obj_repr.bytes view));
-        if ctx.cfg.Config.reuse then Align_buffer.add ctx.buffer ptr view;
-        List.iter (fun k -> Queue.push (ptr, view, k) ctx.ready) ks)
-    pairs;
+          Gptr.Tbl.replace o.touched ptr (Heap.view_bytes ctx.heaps ptr));
+        if ctx.cfg.Config.reuse then Align_buffer.add ctx.buffer ptr;
+        List.iter (fun k -> Ready_ring.push ctx.ready ptr k) ks)
+    reqs;
   let peak = Align_buffer.peak ctx.buffer in
   if peak > ctx.stats.Dpa_stats.align_peak then
     ctx.stats.Dpa_stats.align_peak <- peak;
@@ -603,7 +606,7 @@ and deliver ctx pairs =
     in
     if wid >= 0 then o.wake_parents <- wid :: o.wake_parents;
     obs_instant
-      ~args:(("replies", Dpa_obs.Sink.Int (List.length pairs)) :: cargs)
+      ~args:(("replies", Dpa_obs.Sink.Int (List.length reqs)) :: cargs)
       o ctx.node ~name:"wake";
     obs_outstanding o ctx.node ctx.pending);
   ensure_scheduled ctx
@@ -717,16 +720,14 @@ and send_request_batch ctx ~dst batch =
       Node.charge_comm owner
         (m.Machine.request_service_ns
         + (nreqs * m.Machine.request_service_per_obj_ns));
+      (* Payload is accounting only: the wire carries the objects' byte
+         footprint, and the delivered views alias the owner's store — no
+         copy-out here. *)
       let owner_heap = ctx.heaps.(dst) in
       let payload = ref 0 in
-      let pairs =
-        List.map
-          (fun req ->
-            let view = Heap.get owner_heap req.ptr in
-            payload := !payload + Obj_repr.bytes view;
-            (req, view))
-          batch
-      in
+      List.iter
+        (fun req -> payload := !payload + Heap.obj_bytes owner_heap req.ptr)
+        batch;
       let reply = Dpa_msg.Am.reply_bytes m ~payload:!payload ~nreqs in
       (match ctx.obs with
       | None -> ()
@@ -743,7 +744,7 @@ and send_request_batch ctx ~dst batch =
           o.sink ~cat:"msg" ~name:"bulk_reply" ~node:owner.Node.id
           ~ts:owner.Node.clock);
       Dpa_msg.Am.send ctx.engine ~src:owner ~dst:ctx.node.Node.id ~bytes:reply
-        (fun _self -> deliver ctx pairs);
+        (fun _self -> deliver ctx batch);
       close_handler_act ~name:"service" owner svc)
 
 and flush_updates ctx ~dst batch =
@@ -970,53 +971,53 @@ let read ctx ptr k =
      the poll quantum honest (a node deep in local work must still extract
      incoming requests), exactly as a polling FM runtime behaves. *)
   Node.charge_comm ctx.node ctx.machine.Machine.spawn_overhead_ns;
-  if ptr.Gptr.node = ctx.node.Node.id then begin
+  if Gptr.node ptr = ctx.node.Node.id then begin
+    (* Validate the slot now, not at dispatch: a dangling local read must
+       surface at the read site (the boxed heap dereferenced here). *)
+    if Gptr.slot ptr >= Heap.size ctx.heaps.(ctx.node.Node.id) then
+      invalid_arg "Runtime.read: dangling slot";
     ctx.stats.Dpa_stats.inline_local <- ctx.stats.Dpa_stats.inline_local + 1;
     note_outstanding ctx;
-    Queue.push (ptr, Heap.get ctx.heap ptr, k) ctx.ready;
+    Ready_ring.push ctx.ready ptr k;
+    ensure_scheduled ctx
+  end
+  else if ctx.cfg.Config.reuse && Align_buffer.mem ctx.buffer ptr then begin
+    ctx.stats.Dpa_stats.align_hits <- ctx.stats.Dpa_stats.align_hits + 1;
+    (match ctx.obs with
+    | None -> ()
+    | Some o ->
+      Gptr.Tbl.replace o.touched ptr (Heap.view_bytes ctx.heaps ptr);
+      obs_instant o ctx.node ~name:"align_hit");
+    note_outstanding ctx;
+    Ready_ring.push ctx.ready ptr k;
     ensure_scheduled ctx
   end
   else begin
-    let reused =
-      if ctx.cfg.Config.reuse then Align_buffer.find ctx.buffer ptr else None
-    in
-    match reused with
-    | Some view ->
-      ctx.stats.Dpa_stats.align_hits <- ctx.stats.Dpa_stats.align_hits + 1;
+    note_outstanding ctx;
+    match Pointer_map.register ctx.map ~reuse:ctx.cfg.Config.reuse ptr k with
+    | `Merged ->
+      ctx.stats.Dpa_stats.merge_hits <- ctx.stats.Dpa_stats.merge_hits + 1;
+      (match ctx.obs with
+      | None -> ()
+      | Some o -> obs_instant o ctx.node ~name:"merge_hit")
+    | `New_request token ->
+      ctx.stats.Dpa_stats.spawns <- ctx.stats.Dpa_stats.spawns + 1;
       (match ctx.obs with
       | None -> ()
       | Some o ->
-        Gptr.Tbl.replace o.touched ptr (Obj_repr.bytes view);
-        obs_instant o ctx.node ~name:"align_hit");
-      note_outstanding ctx;
-      Queue.push (ptr, view, k) ctx.ready;
-      ensure_scheduled ctx
-    | None ->
-      note_outstanding ctx;
-      (match Pointer_map.register ctx.map ~reuse:ctx.cfg.Config.reuse ptr k with
-      | `Merged ->
-        ctx.stats.Dpa_stats.merge_hits <- ctx.stats.Dpa_stats.merge_hits + 1;
-        (match ctx.obs with
-        | None -> ()
-        | Some o -> obs_instant o ctx.node ~name:"merge_hit")
-      | `New_request token ->
-        ctx.stats.Dpa_stats.spawns <- ctx.stats.Dpa_stats.spawns + 1;
-        (match ctx.obs with
-        | None -> ()
-        | Some o ->
-          Hashtbl.replace o.issued token ctx.node.Node.clock;
-          Dpa_obs.Metrics.observe o.h_out ctx.pending;
-          obs_instant
-            ~args:[ ("dst", Dpa_obs.Sink.Int ptr.Gptr.node) ]
-            o ctx.node ~name:"spawn";
-          obs_outstanding o ctx.node ctx.pending);
-        Dpa_msg.Aggregator.add ctx.agg ~dst:ptr.Gptr.node { token; ptr })
+        Hashtbl.replace o.issued token ctx.node.Node.clock;
+        Dpa_obs.Metrics.observe o.h_out ctx.pending;
+        obs_instant
+          ~args:[ ("dst", Dpa_obs.Sink.Int (Gptr.node ptr)) ]
+          o ctx.node ~name:"spawn";
+        obs_outstanding o ctx.node ctx.pending);
+      Dpa_msg.Aggregator.add ctx.agg ~dst:(Gptr.node ptr) { token; ptr }
   end
 
 let accumulate ctx ptr ~idx value =
   if Gptr.is_nil ptr then invalid_arg "Runtime.accumulate: nil pointer";
   ctx.stats.Dpa_stats.updates <- ctx.stats.Dpa_stats.updates + 1;
-  if ptr.Gptr.node = ctx.node.Node.id then begin
+  if Gptr.node ptr = ctx.node.Node.id then begin
     Node.charge_local ctx.node ctx.machine.Machine.update_apply_ns;
     Heap.bump_float ctx.heap ptr ~idx value
   end
@@ -1026,7 +1027,7 @@ let accumulate ctx ptr ~idx value =
     | None -> ()
     | Some o -> Hashtbl.replace o.upd_touched (ptr, idx) ());
     let before = Update_buffer.combined ctx.updates in
-    Update_buffer.add ctx.updates ~dst:ptr.Gptr.node ptr ~idx value;
+    Update_buffer.add ctx.updates ~dst:(Gptr.node ptr) ptr ~idx value;
     if Update_buffer.combined ctx.updates > before then
       ctx.stats.Dpa_stats.updates_combined <-
         ctx.stats.Dpa_stats.updates_combined + 1
@@ -1088,7 +1089,7 @@ let make_ctx ~engine ~heaps ~config ~items ~label ~journals ~jwals node =
       node;
       cfg = config;
       stats = Dpa_stats.create ();
-      ready = Queue.create ();
+      ready = Ready_ring.create ~dummy:(fun _ _ -> ());
       map = Pointer_map.create ();
       buffer = Align_buffer.create ();
       agg = dummy;
@@ -1239,10 +1240,12 @@ let crash_node ctx ~plan ~restart_at =
       | `Acked id -> Hashtbl.remove ctx.out_updates id)
     upd_records;
   ctx.wal_scanned <- true;
-  let entries = Queue.length ctx.ready in
+  let entries = Ready_ring.length ctx.ready in
   for _ = 1 to entries do
-    let (ptr, _view, k) as entry = Queue.pop ctx.ready in
-    if ptr.Gptr.node = n.Node.id then Queue.push entry ctx.ready
+    let ptr = Ready_ring.head_ptr ctx.ready in
+    let k = Ready_ring.head_k ctx.ready in
+    Ready_ring.drop ctx.ready;
+    if Gptr.node ptr = n.Node.id then Ready_ring.push ctx.ready ptr k
     else
       (* The thread stays pending; it merely moves from ready back into M
          (so [ctx.pending] is untouched). The restart walk re-issues
@@ -1327,7 +1330,7 @@ let restart_node ctx ~restart_at =
       unacked;
     List.iter
       (fun (token, ptr) ->
-        Dpa_msg.Aggregator.add ctx.agg ~dst:ptr.Gptr.node { token; ptr })
+        Dpa_msg.Aggregator.add ctx.agg ~dst:(Gptr.node ptr) { token; ptr })
       outstanding;
     if Dpa_msg.Aggregator.pending ctx.agg > 0 then
       Dpa_msg.Aggregator.flush_all ctx.agg

@@ -53,7 +53,7 @@
     the node fail-stops {e between} engine events — no handler is ever
     interrupted midway — and loses exactly its volatile state: the
     alignment buffer [D], the aggregator's unsent request batches, the
-    ready queue's remote object views, and the transport's per-node state
+    ready ring's remote renamed copies, and the transport's per-node state
     (unacked envelopes, dedup entries, link RTT filters —
     {!Dpa_msg.Am.on_crash}). The node's incarnation number is bumped, so
     every message copy stamped for the old incarnation is fenced at
@@ -86,10 +86,6 @@
 type ctx
 
 include Access.S with type ctx := ctx
-
-val heaps : ctx -> Dpa_heap.Heap.cluster
-(** The cluster's heaps (for reading co-located metadata; communication to
-    other nodes must go through {!read}). *)
 
 val run_phase :
   engine:Dpa_sim.Engine.t ->

@@ -15,17 +15,20 @@ module Make (A : Dpa.Access.S) = struct
         in
         let lc = Aquadtree.center tree leaf in
         let lw = Aquadtree.width tree leaf in
-        let rec walk ctx (view : Obj_repr.t) =
+        let rec walk ctx (view : Heap.view) =
+          let heaps = A.heaps ctx in
           A.charge ctx params.Fmm_force.visit_ns;
-          if Afmm_global.View.well_separated ~leaf_center:lc ~leaf_width:lw view
+          if
+            Afmm_global.View.well_separated ~leaf_center:lc ~leaf_width:lw heaps
+              view
           then begin
             A.charge ctx
               (Fmm_force.m2l_cost_ns params
               + (Array.length mine * Fmm_force.eval_cost_ns params));
             let local =
               Expansion.m2l
-                (Afmm_global.View.expansion ~p view)
-                ~from_center:(Afmm_global.View.center view) ~to_center:lc
+                (Afmm_global.View.expansion ~p heaps view)
+                ~from_center:(Afmm_global.View.center heaps view) ~to_center:lc
             in
             Array.iter
               (fun pid ->
@@ -36,12 +39,12 @@ module Make (A : Dpa.Access.S) = struct
                 field.(pid) <- Complex.add field.(pid) dphi)
               mine
           end
-          else if Afmm_global.View.is_leaf view then begin
-            let nsrc = Afmm_global.View.nparticles ~p view in
+          else if Afmm_global.View.is_leaf heaps view then begin
+            let nsrc = Afmm_global.View.nparticles ~p heaps view in
             A.charge ctx (Array.length mine * nsrc * params.Fmm_force.p2p_ns);
             let srcs =
               List.init nsrc (fun k ->
-                  let _, q, z = Afmm_global.View.particle ~p view k in
+                  let _, q, z = Afmm_global.View.particle ~p heaps view k in
                   (q, z))
             in
             Array.iter
@@ -56,7 +59,7 @@ module Make (A : Dpa.Access.S) = struct
           else
             Array.iter
               (fun child -> if not (Gptr.is_nil child) then A.read ctx child walk)
-              (Afmm_global.View.children view)
+              (Afmm_global.View.children heaps view)
         in
         fun (ctx : A.ctx) ->
           if Array.length mine > 0 then

@@ -95,35 +95,39 @@ let distribute ~p tree ~nnodes =
   }
 
 module View = struct
-  let is_leaf (v : Obj_repr.t) = v.Obj_repr.floats.(0) = kind_leaf
+  let is_leaf h (v : Heap.view) = Heap.view_float h v 0 = kind_leaf
 
-  let center (v : Obj_repr.t) =
-    { Complex.re = v.Obj_repr.floats.(1); im = v.Obj_repr.floats.(2) }
+  let center h (v : Heap.view) =
+    { Complex.re = Heap.view_float h v 1; im = Heap.view_float h v 2 }
 
-  let width (v : Obj_repr.t) = v.Obj_repr.floats.(3)
+  let width h (v : Heap.view) = Heap.view_float h v 3
 
-  let expansion ~p (v : Obj_repr.t) =
+  let expansion ~p h (v : Heap.view) =
     Array.init (p + 1) (fun i ->
         {
-          Complex.re = v.Obj_repr.floats.(4 + (2 * i));
-          im = v.Obj_repr.floats.(4 + (2 * i) + 1);
+          Complex.re = Heap.view_float h v (4 + (2 * i));
+          im = Heap.view_float h v (4 + (2 * i) + 1);
         })
 
   let head ~p = 4 + (2 * (p + 1))
 
-  let nparticles ~p (v : Obj_repr.t) = int_of_float v.Obj_repr.floats.(head ~p)
+  let nparticles ~p h (v : Heap.view) =
+    int_of_float (Heap.view_float h v (head ~p))
 
-  let particle ~p (v : Obj_repr.t) k =
+  let particle ~p h (v : Heap.view) k =
     let base = head ~p + 1 + (4 * k) in
-    let f = v.Obj_repr.floats in
-    ( int_of_float f.(base),
-      f.(base + 1),
-      { Complex.re = f.(base + 2); im = f.(base + 3) } )
+    ( int_of_float (Heap.view_float h v base),
+      Heap.view_float h v (base + 1),
+      {
+        Complex.re = Heap.view_float h v (base + 2);
+        im = Heap.view_float h v (base + 3);
+      } )
 
-  let children (v : Obj_repr.t) = v.Obj_repr.ptrs
+  let children h (v : Heap.view) =
+    Array.init (Heap.view_nptrs h v) (fun i -> Heap.view_ptr h v i)
 
-  let well_separated ~leaf_center ~leaf_width (v : Obj_repr.t) =
-    let c = center v and w = width v in
+  let well_separated ~leaf_center ~leaf_width h (v : Heap.view) =
+    let c = center h v and w = width h v in
     let gap_x =
       Float.abs (leaf_center.Complex.re -. c.Complex.re)
       -. ((leaf_width +. w) /. 2.)

@@ -25,15 +25,16 @@ type t = {
 val distribute : p:int -> Aquadtree.t -> nnodes:int -> t
 
 module View : sig
-  val is_leaf : Obj_repr.t -> bool
-  val center : Obj_repr.t -> Complex.t
-  val width : Obj_repr.t -> float
-  val expansion : p:int -> Obj_repr.t -> Expansion.t
-  val nparticles : p:int -> Obj_repr.t -> int
-  val particle : p:int -> Obj_repr.t -> int -> int * float * Complex.t
-  val children : Obj_repr.t -> Gptr.t array
+  val is_leaf : Heap.cluster -> Heap.view -> bool
+  val center : Heap.cluster -> Heap.view -> Complex.t
+  val width : Heap.cluster -> Heap.view -> float
+  val expansion : p:int -> Heap.cluster -> Heap.view -> Expansion.t
+  val nparticles : p:int -> Heap.cluster -> Heap.view -> int
+  val particle : p:int -> Heap.cluster -> Heap.view -> int -> int * float * Complex.t
+  val children : Heap.cluster -> Heap.view -> Gptr.t array
 
-  val well_separated : leaf_center:Complex.t -> leaf_width:float -> Obj_repr.t -> bool
+  val well_separated :
+    leaf_center:Complex.t -> leaf_width:float -> Heap.cluster -> Heap.view -> bool
   (** The same acceptance test as {!Aquadtree.well_separated}, evaluated on
       a remote view. *)
 end

@@ -34,7 +34,7 @@ module Make (A : Dpa.Access.S) = struct
                         + (Array.length mine * eval_cost_ns params));
                       let local =
                         Expansion.m2l
-                          (Fmm_global.View.expansion view)
+                          (Fmm_global.View.expansion (A.heaps ctx) view)
                           ~from_center:vc ~to_center:lc
                       in
                       Array.iter
@@ -51,13 +51,14 @@ module Make (A : Dpa.Access.S) = struct
             Array.iter
               (fun u ->
                 A.read ctx global.Fmm_global.leaf_ptrs.(u) (fun ctx view ->
-                    let nsrc = Fmm_global.View.nparticles view in
+                    let heaps = A.heaps ctx in
+                    let nsrc = Fmm_global.View.nparticles heaps view in
                     A.charge ctx
                       (params.visit_ns
                       + (Array.length mine * nsrc * params.p2p_ns));
                     let srcs =
                       List.init nsrc (fun k ->
-                          let _, q, z = Fmm_global.View.particle view k in
+                          let _, q, z = Fmm_global.View.particle heaps view k in
                           (q, z))
                     in
                     Array.iter

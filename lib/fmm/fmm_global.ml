@@ -82,17 +82,22 @@ let distribute_empty ~p tree ~nnodes =
   distribute_with ~p ~mp:(fun _ -> zero) tree ~nnodes
 
 module View = struct
-  let expansion (v : Obj_repr.t) =
-    let f = v.Obj_repr.floats in
-    let n = Array.length f / 2 in
-    Array.init n (fun i -> { Complex.re = f.(2 * i); im = f.((2 * i) + 1) })
+  let expansion h (v : Heap.view) =
+    let n = Heap.view_nfloats h v / 2 in
+    Array.init n (fun i ->
+        {
+          Complex.re = Heap.view_float h v (2 * i);
+          im = Heap.view_float h v ((2 * i) + 1);
+        })
 
-  let nparticles (v : Obj_repr.t) = int_of_float v.Obj_repr.floats.(0)
+  let nparticles h (v : Heap.view) = int_of_float (Heap.view_float h v 0)
 
-  let particle (v : Obj_repr.t) k =
-    let f = v.Obj_repr.floats in
+  let particle h (v : Heap.view) k =
     let base = 1 + (4 * k) in
-    ( int_of_float f.(base),
-      f.(base + 1),
-      { Complex.re = f.(base + 2); im = f.(base + 3) } )
+    ( int_of_float (Heap.view_float h v base),
+      Heap.view_float h v (base + 1),
+      {
+        Complex.re = Heap.view_float h v (base + 2);
+        im = Heap.view_float h v (base + 3);
+      } )
 end

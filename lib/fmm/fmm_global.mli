@@ -27,8 +27,8 @@ val distribute_empty : p:int -> Quadtree.t -> nnodes:int -> t
     zero-filled: the upward pass ({!Fmm_upward}) builds them in parallel. *)
 
 module View : sig
-  val expansion : Obj_repr.t -> Expansion.t
-  val nparticles : Obj_repr.t -> int
-  val particle : Obj_repr.t -> int -> int * float * Complex.t
+  val expansion : Heap.cluster -> Heap.view -> Expansion.t
+  val nparticles : Heap.cluster -> Heap.view -> int
+  val particle : Heap.cluster -> Heap.view -> int -> int * float * Complex.t
   (** [(id, q, z)] of the k-th inline particle. *)
 end

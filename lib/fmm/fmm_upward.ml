@@ -28,11 +28,14 @@ let det_bits_base = 38
    every runtime. *)
 module Items (A : Dpa.Access.S) = struct
   let write_local_expansion heaps (ptr : Gptr.t) (e : Expansion.t) =
-    let view = Heap.get heaps.(ptr.Gptr.node) ptr in
+    (* In-place store writes: with the flat heap, [Heap.get] is a copy-out
+       (mutating the copy would be lost), so owned objects are written
+       through [set_float]. *)
+    let h = heaps.(Gptr.node ptr) in
     Array.iteri
       (fun i c ->
-        view.Obj_repr.floats.(2 * i) <- c.Complex.re;
-        view.Obj_repr.floats.((2 * i) + 1) <- c.Complex.im)
+        Heap.set_float h ptr (2 * i) c.Complex.re;
+        Heap.set_float h ptr ((2 * i) + 1) c.Complex.im)
       e
 
   let p2m_items ~(params : Fmm_force.params) ~(global : Fmm_global.t) node =
@@ -71,11 +74,11 @@ module Items (A : Dpa.Access.S) = struct
         fun (ctx : A.ctx) ->
           (* Our own multipole is local: the owner of a cell owns its first
              descendant leaf, which is also this item's owner. *)
-          let view = Heap.get global.Fmm_global.heaps.(A.node_id ctx) my_ptr in
           A.charge ctx (Fmm_force.m2l_cost_ns params / 2);
           let shifted =
-            Expansion.m2m (Fmm_global.View.expansion view) ~from_center
-              ~to_center
+            Expansion.m2m
+              (Fmm_global.View.expansion global.Fmm_global.heaps my_ptr)
+              ~from_center ~to_center
           in
           Array.iteri
             (fun i c ->

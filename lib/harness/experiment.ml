@@ -1903,3 +1903,183 @@ let optimality_json rows =
                  ])
              rows) );
     ]
+
+(* ------------------------------------------------------------------- A16 *)
+
+(* Allocation baseline of the boxed per-object heap (the representation
+   the flat struct-of-arrays heap replaced), measured pre-refactor with
+   the same probe on the same configurations: total allocated words of a
+   full [Bh_run.simulate], divided by bodies x steps. The committed
+   BENCH_scale.json gates the flat heap's reduction against these
+   constants (docs/PERFORMANCE.md). *)
+let scale_boxed_baseline = [ (8, 2000, 3, 18065.8); (16, 8000, 2, 26539.1); (32, 20000, 1, 35366.4) ]
+
+let scale_gate_threshold = 5.0
+
+type scale_gate_row = {
+  sg_nodes : int;
+  sg_bodies : int;
+  sg_steps : int;
+  sg_wall_s : float;
+  sg_words : float;
+  sg_boxed_words : float;
+  sg_majors : int;
+}
+
+let sg_reduction r = r.sg_boxed_words /. r.sg_words
+
+type scale_row = {
+  sc_nodes : int;
+  sc_bodies : int;
+  sc_wall_s : float;
+  sc_words_per_body : float;
+  sc_majors : int;
+  sc_bytes_moved : int;
+}
+
+(* Wall seconds, allocated words and major collections around [f ()]. *)
+let scale_measure f =
+  Gc.compact ();
+  let s0 = Gc.quick_stat () in
+  let w0 = Gc.allocated_bytes () in
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  let wall = Unix.gettimeofday () -. t0 in
+  let w1 = Gc.allocated_bytes () in
+  let s1 = Gc.quick_stat () in
+  (r, wall, (w1 -. w0) /. 8., s1.Gc.major_collections - s0.Gc.major_collections)
+
+let scale_gate (conf : Runconf.t) =
+  List.map
+    (fun (nnodes, nbodies, nsteps, boxed) ->
+      let _, wall, words, majors =
+        scale_measure (fun () ->
+            Dpa_bh.Bh_run.simulate ~nnodes ~nbodies ~nsteps
+              (dpa_variant conf ~strip:conf.Runconf.bh_strip))
+      in
+      {
+        sg_nodes = nnodes;
+        sg_bodies = nbodies;
+        sg_steps = nsteps;
+        sg_wall_s = wall;
+        sg_words = words /. float_of_int (nbodies * nsteps);
+        sg_boxed_words = boxed;
+        sg_majors = majors;
+      })
+    scale_boxed_baseline
+
+(* The big-end rows run one distributed force phase (no sequential
+   counting pass, no integration): what the flat heap must sustain is the
+   strip-mined traversal itself at million-body scale. *)
+let scale_points (conf : Runconf.t) =
+  if conf.Runconf.name = "full" then
+    [ (64, 100_000); (128, 300_000); (256, 1_000_000) ]
+  else [ (16, 20_000) ]
+
+let scale_sweep (conf : Runconf.t) =
+  List.map
+    (fun (nnodes, nbodies) ->
+      let bodies = Dpa_bh.Plummer.generate ~n:nbodies ~seed:17 in
+      let octree = Dpa_bh.Octree.build ~leaf_cap:8 bodies in
+      let tree = Dpa_bh.Bh_global.distribute octree ~nnodes in
+      let engine = Engine.create (Machine.t3d ~nodes:nnodes) in
+      let _, wall, words, majors =
+        scale_measure (fun () ->
+            Dpa_bh.Bh_run.force_phase ~engine ~tree ~bodies
+              ~params:Dpa_bh.Bh_force.default_params
+              (dpa_variant conf ~strip:conf.Runconf.bh_strip))
+      in
+      let bytes_moved =
+        Array.fold_left
+          (fun acc (n : Node.t) -> acc + n.Node.bytes_sent)
+          0 (Engine.nodes engine)
+      in
+      {
+        sc_nodes = nnodes;
+        sc_bodies = nbodies;
+        sc_wall_s = wall;
+        sc_words_per_body = words /. float_of_int nbodies;
+        sc_majors = majors;
+        sc_bytes_moved = bytes_moved;
+      })
+    (scale_points conf)
+
+let print_scale_sweep (gate, rows) =
+  print_endline
+    "A16: flat-heap allocation gate — full BH simulate vs the boxed-heap \
+     baseline (allocated words per body-step)";
+  print_endline
+    "NODES  BODIES  STEPS  WALL(s)  WORDS/BODY-STEP  BOXED     REDUCTION  MAJOR-GCS";
+  print_endline
+    "-----  ------  -----  -------  ---------------  --------  ---------  ---------";
+  List.iter
+    (fun r ->
+      Printf.printf "%-5d  %-6d  %-5d  %-7.2f  %-15.1f  %-8.1f  %-9s  %d\n"
+        r.sg_nodes r.sg_bodies r.sg_steps r.sg_wall_s r.sg_words
+        r.sg_boxed_words
+        (Printf.sprintf "%.2fx" (sg_reduction r))
+        r.sg_majors)
+    gate;
+  print_newline ();
+  print_endline
+    "A16: scale sweep — one distributed BH force phase per row (flat heap)";
+  print_endline
+    "NODES  BODIES   WALL(s)  WORDS/BODY  MAJOR-GCS  BYTES-MOVED";
+  print_endline
+    "-----  -------  -------  ----------  ---------  -----------";
+  List.iter
+    (fun r ->
+      Printf.printf "%-5d  %-7d  %-7.2f  %-10.1f  %-9d  %d\n" r.sc_nodes
+        r.sc_bodies r.sc_wall_s r.sc_words_per_body r.sc_majors
+        r.sc_bytes_moved)
+    rows;
+  print_newline ();
+  let worst =
+    List.fold_left (fun acc r -> min acc (sg_reduction r)) infinity gate
+  in
+  let top =
+    List.fold_left (fun acc r -> max acc r.sc_bodies) 0 rows
+  in
+  Printf.printf
+    "a16 summary: gate=%s min_reduction=%.2fx (threshold %.1fx); largest \
+     sweep %d bodies\n"
+    (if worst >= scale_gate_threshold then "ok" else "FAILED")
+    worst scale_gate_threshold top
+
+let scale_json (gate, rows) =
+  Dpa_obs.Json.Obj
+    [
+      ("bench", Dpa_obs.Json.Str "scale");
+      ("gate_threshold_x", Dpa_obs.Json.Float scale_gate_threshold);
+      ( "gate",
+        Dpa_obs.Json.List
+          (List.map
+             (fun r ->
+               Dpa_obs.Json.Obj
+                 [
+                   ("nodes", Dpa_obs.Json.Int r.sg_nodes);
+                   ("bodies", Dpa_obs.Json.Int r.sg_bodies);
+                   ("steps", Dpa_obs.Json.Int r.sg_steps);
+                   ("wall_s", Dpa_obs.Json.Float r.sg_wall_s);
+                   ("words_per_body_step", Dpa_obs.Json.Float r.sg_words);
+                   ( "boxed_words_per_body_step",
+                     Dpa_obs.Json.Float r.sg_boxed_words );
+                   ("reduction_x", Dpa_obs.Json.Float (sg_reduction r));
+                   ("major_collections", Dpa_obs.Json.Int r.sg_majors);
+                 ])
+             gate) );
+      ( "scale",
+        Dpa_obs.Json.List
+          (List.map
+             (fun r ->
+               Dpa_obs.Json.Obj
+                 [
+                   ("nodes", Dpa_obs.Json.Int r.sc_nodes);
+                   ("bodies", Dpa_obs.Json.Int r.sc_bodies);
+                   ("wall_s", Dpa_obs.Json.Float r.sc_wall_s);
+                   ("words_per_body", Dpa_obs.Json.Float r.sc_words_per_body);
+                   ("major_collections", Dpa_obs.Json.Int r.sc_majors);
+                   ("bytes_moved", Dpa_obs.Json.Int r.sc_bytes_moved);
+                 ])
+             rows) );
+    ]

@@ -380,3 +380,47 @@ val print_optimality_matrix : optimality_row list -> unit
 
 val optimality_json : optimality_row list -> Dpa_obs.Json.t
 (** The matrix as JSON (the [BENCH_comm_optimality.json] artifact). *)
+
+type scale_gate_row = {
+  sg_nodes : int;
+  sg_bodies : int;
+  sg_steps : int;
+  sg_wall_s : float;
+  sg_words : float;  (** allocated words per body-step, flat heap *)
+  sg_boxed_words : float;  (** same metric, boxed seed (embedded constant) *)
+  sg_majors : int;
+}
+
+type scale_row = {
+  sc_nodes : int;
+  sc_bodies : int;
+  sc_wall_s : float;
+  sc_words_per_body : float;
+  sc_majors : int;
+  sc_bytes_moved : int;  (** total bytes injected on the simulated wire *)
+}
+
+val scale_gate_threshold : float
+(** The committed reduction floor (5x) BENCH_scale.json is gated on. *)
+
+val sg_reduction : scale_gate_row -> float
+(** [sg_boxed_words / sg_words]. *)
+
+val scale_gate : Runconf.t -> scale_gate_row list
+(** A16 part 1: full [Bh_run.simulate] on the three configurations the
+    boxed baseline was measured on, reporting allocated words per
+    body-step against the embedded pre-refactor constants
+    (docs/PERFORMANCE.md). *)
+
+val scale_sweep : Runconf.t -> scale_row list
+(** A16 part 2: one distributed Barnes-Hut force phase per row at
+    growing scale — up to a million bodies on 256 nodes at [--scale
+    full] — reporting wall time, allocated words per body, major
+    collections and bytes moved on the simulated wire. *)
+
+val print_scale_sweep : scale_gate_row list * scale_row list -> unit
+(** Prints both tables plus the machine-checkable ["a16 summary:"] line
+    the scale-smoke target greps. *)
+
+val scale_json : scale_gate_row list * scale_row list -> Dpa_obs.Json.t
+(** The sweep as JSON (the [BENCH_scale.json] artifact). *)

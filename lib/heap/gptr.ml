@@ -1,14 +1,45 @@
-type t = { node : int; slot : int } [@@deriving show, eq, ord]
+(* A global pointer packed into one immediate integer:
 
-let nil = { node = -1; slot = -1 }
+     [(node lsl slot_bits) lor slot]      for a live pointer
+     [-1]                                 for nil
 
-let is_nil t = t.node < 0
+   Packing keeps pointers unboxed everywhere they travel — in the flat
+   heap's pointer pools, in the runtime's ready ring, in hashtable keys —
+   which is what makes the per-access paths allocation-free. 22 bits of
+   node (4M nodes) and 40 bits of slot (1T objects per node) fit any
+   configuration the simulator can hold.
+
+   The integer order coincides with the old lexicographic (node, slot)
+   order, nil first, so sorts over pointers are unchanged. *)
+
+type t = int
+
+let slot_bits = 40
+let slot_mask = (1 lsl slot_bits) - 1
+
+let nil = -1
+
+let is_nil t = t < 0
 
 let make ~node ~slot =
   if node < 0 || slot < 0 then invalid_arg "Gptr.make: negative component";
-  { node; slot }
+  if slot > slot_mask then invalid_arg "Gptr.make: slot out of range";
+  (node lsl slot_bits) lor slot
 
-let hash t = (t.node * 0x9E3779B1) lxor t.slot
+(* Arithmetic shift: nil (-1) keeps its historical node/slot of -1. *)
+let node t = t asr slot_bits
+let slot t = if t < 0 then -1 else t land slot_mask
+
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Stdlib.compare a b
+
+let pp ppf t =
+  if is_nil t then Format.fprintf ppf "nil"
+  else Format.fprintf ppf "%d:%d" (node t) (slot t)
+
+let show t = Format.asprintf "%a" pp t
+
+let hash (t : t) = (t * 0x9E3779B1) land max_int
 
 let bytes = 8
 

@@ -75,7 +75,7 @@ let run_config ?faults ?(fault_seed = 0x5EED) ?sink config spec =
                   Dpa.Runtime.charge ctx 100;
                   sums.(Dpa.Runtime.node_id ctx) <-
                     sums.(Dpa.Runtime.node_id ctx)
-                    +. view.Dpa_heap.Obj_repr.floats.(0)))
+                    +. Dpa_heap.Heap.view_float (Dpa.Runtime.heaps ctx) view 0))
             (item_reads node item))
   in
   let saved = Dpa_obs.Sink.global () in
@@ -196,7 +196,7 @@ let run_rto ~adaptive =
                   Dpa.Runtime.charge ctx 100;
                   sums.(Dpa.Runtime.node_id ctx) <-
                     sums.(Dpa.Runtime.node_id ctx)
-                    +. view.Dpa_heap.Obj_repr.floats.(0)))
+                    +. Dpa_heap.Heap.view_float (Dpa.Runtime.heaps ctx) view 0))
             (item_reads node item))
   in
   let engine =
@@ -224,7 +224,7 @@ let reference_sums () =
                   Dpa.Runtime.charge ctx 100;
                   sums.(Dpa.Runtime.node_id ctx) <-
                     sums.(Dpa.Runtime.node_id ctx)
-                    +. view.Dpa_heap.Obj_repr.floats.(0)))
+                    +. Dpa_heap.Heap.view_float (Dpa.Runtime.heaps ctx) view 0))
             (item_reads node item))
   in
   let engine = Engine.create (Machine.make ~nodes:nnodes ()) in

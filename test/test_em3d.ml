@@ -37,7 +37,7 @@ let test_remote_frac_zero_is_local () =
       let v = Dpa_heap.Heap.deref g.Em3d.heaps p in
       Array.iter
         (fun (d : Dpa_heap.Gptr.t) ->
-          Alcotest.(check int) "dependency is local" owner d.Dpa_heap.Gptr.node)
+          Alcotest.(check int) "dependency is local" owner (Dpa_heap.Gptr.node d))
         v.Dpa_heap.Obj_repr.ptrs)
     g.Em3d.e_nodes
 

@@ -346,7 +346,7 @@ let run_dpa ?faults ?(fault_seed = 0x5EED) spec =
                   Dpa.Runtime.charge ctx 100;
                   sums.(Dpa.Runtime.node_id ctx) <-
                     sums.(Dpa.Runtime.node_id ctx)
-                    +. view.Dpa_heap.Obj_repr.floats.(0)))
+                    +. Dpa_heap.Heap.view_float (Dpa.Runtime.heaps ctx) view 0))
             (item_reads node item))
   in
   let engine =

@@ -23,7 +23,7 @@ let test_obj_copy_independent () =
 let test_heap_alloc_get () =
   let cluster = Heap.cluster ~nnodes:3 in
   let p = Heap.alloc cluster.(1) ~floats:[| 4.2 |] ~ptrs:[||] in
-  Alcotest.(check int) "owner" 1 p.Gptr.node;
+  Alcotest.(check int) "owner" 1 (Gptr.node p);
   let o = Heap.get cluster.(1) p in
   Alcotest.(check (float 0.)) "payload" 4.2 o.Obj_repr.floats.(0);
   let o' = Heap.deref cluster p in
@@ -57,6 +57,201 @@ let qcheck_heap_roundtrip =
         (fun (p, fs) ->
           Array.to_list (Heap.deref cluster p).Obj_repr.floats = fs)
         ptrs)
+
+(* ---- flat heap vs. boxed reference model ------------------------------ *)
+
+(* The flat struct-of-arrays store must be observationally equal to the
+   boxed heap it replaced. The reference model here IS the old
+   representation — one [Obj_repr.t] record per object — and a random
+   program of allocations and field mutations is interpreted against
+   both; every object must then read back field-for-field identical
+   through [deref], [get] and the in-place view accessors, and the
+   cluster accounting ([total_objects]/[total_bytes]) must agree with
+   the sum over the model's records. *)
+
+type heap_op =
+  | Op_alloc of int * float list * int  (* node, float fields, nptrs *)
+  | Op_bump of int * int * float  (* object, field, delta *)
+  | Op_set_float of int * int * float
+  | Op_set_ptr of int * int * int  (* object, ptr slot, target object *)
+
+let pp_heap_op = function
+  | Op_alloc (n, fs, np) ->
+    Printf.sprintf "alloc node:%d floats:%d ptrs:%d" n (List.length fs) np
+  | Op_bump (i, f, v) -> Printf.sprintf "bump #%d.%d += %g" i f v
+  | Op_set_float (i, f, v) -> Printf.sprintf "set #%d.%d <- %g" i f v
+  | Op_set_ptr (i, p, t) -> Printf.sprintf "setp #%d.%d <- #%d" i p t
+
+let gen_heap_op =
+  QCheck.Gen.(
+    frequency
+      [
+        ( 3,
+          map3
+            (fun node fs nptrs -> Op_alloc (node, fs, nptrs))
+            (int_range 0 2)
+            (list_size (int_range 0 5) (float_bound_exclusive 100.))
+            (int_range 0 3) );
+        ( 2,
+          map3 (fun i f v -> Op_bump (i, f, v)) nat nat
+            (float_bound_exclusive 10.) );
+        ( 2,
+          map3 (fun i f v -> Op_set_float (i, f, v)) nat nat
+            (float_bound_exclusive 10.) );
+        (2, map3 (fun i p t -> Op_set_ptr (i, p, t)) nat nat nat);
+      ])
+
+let arb_heap_program =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map pp_heap_op ops))
+    QCheck.Gen.(list_size (int_range 0 40) gen_heap_op)
+
+let run_heap_program ops =
+  let nnodes = 3 in
+  let cluster = Heap.cluster ~nnodes in
+  (* [objs] aligns the flat heap's handles with the boxed model's records:
+     entry i is (handle on the flat heap, reference Obj_repr). *)
+  let objs = ref [||] in
+  let count () = Array.length !objs in
+  let interpret = function
+    | Op_alloc (node, fs, nptrs) ->
+      let floats = Array.of_list fs in
+      let ptrs =
+        Array.init nptrs (fun j ->
+            if count () = 0 then Gptr.nil
+            else fst !objs.(((j * 31) + nptrs) mod count ()))
+      in
+      let p = Heap.alloc cluster.(node) ~floats ~ptrs in
+      let model = Obj_repr.make ~floats:(Array.copy floats) ~ptrs:(Array.copy ptrs) in
+      objs := Array.append !objs [| (p, model) |]
+    | Op_bump (i, f, v) ->
+      if count () > 0 then begin
+        let p, model = !objs.(i mod count ()) in
+        let nf = Array.length model.Obj_repr.floats in
+        if nf > 0 then begin
+          let f = f mod nf in
+          Heap.bump_float cluster.(Gptr.node p) p ~idx:f v;
+          model.Obj_repr.floats.(f) <- model.Obj_repr.floats.(f) +. v
+        end
+      end
+    | Op_set_float (i, f, v) ->
+      if count () > 0 then begin
+        let p, model = !objs.(i mod count ()) in
+        let nf = Array.length model.Obj_repr.floats in
+        if nf > 0 then begin
+          let f = f mod nf in
+          Heap.set_float cluster.(Gptr.node p) p f v;
+          model.Obj_repr.floats.(f) <- v
+        end
+      end
+    | Op_set_ptr (i, s, t) ->
+      if count () > 0 then begin
+        let p, model = !objs.(i mod count ()) in
+        let np = Array.length model.Obj_repr.ptrs in
+        if np > 0 then begin
+          let s = s mod np in
+          let target = fst !objs.(t mod count ()) in
+          Heap.set_ptr cluster.(Gptr.node p) p s target;
+          model.Obj_repr.ptrs.(s) <- target
+        end
+      end
+  in
+  List.iter interpret ops;
+  (cluster, !objs)
+
+let obj_equal cluster p (model : Obj_repr.t) =
+  let o = Heap.deref cluster p in
+  let g = Heap.get cluster.(Gptr.node p) p in
+  o.Obj_repr.floats = model.Obj_repr.floats
+  && g.Obj_repr.floats = model.Obj_repr.floats
+  && Array.length o.Obj_repr.ptrs = Array.length model.Obj_repr.ptrs
+  && Array.for_all2 Gptr.equal o.Obj_repr.ptrs model.Obj_repr.ptrs
+  && Heap.view_nfloats cluster p = Array.length model.Obj_repr.floats
+  && Heap.view_nptrs cluster p = Array.length model.Obj_repr.ptrs
+  && Array.for_all2
+       (fun i f -> Heap.view_float cluster p i = f)
+       (Array.init (Array.length model.Obj_repr.floats) Fun.id)
+       model.Obj_repr.floats
+  && Array.for_all2
+       (fun i q -> Gptr.equal (Heap.view_ptr cluster p i) q)
+       (Array.init (Array.length model.Obj_repr.ptrs) Fun.id)
+       model.Obj_repr.ptrs
+  && Heap.obj_bytes cluster.(Gptr.node p) p = Obj_repr.bytes model
+  && Heap.view_bytes cluster p = Obj_repr.bytes model
+
+let qcheck_heap_vs_boxed_model =
+  QCheck.Test.make ~name:"flat heap = boxed reference model" ~count:300
+    arb_heap_program (fun ops ->
+      let cluster, objs = run_heap_program ops in
+      Array.for_all (fun (p, model) -> obj_equal cluster p model) objs
+      && Heap.total_objects cluster = Array.length objs
+      && Heap.total_bytes cluster
+         = Array.fold_left
+             (fun acc (_, m) -> acc + Obj_repr.bytes m)
+             0 objs)
+
+(* ---- boundaries -------------------------------------------------------- *)
+
+(* Enough objects of mixed shapes to force every pool (object table,
+   float pool, pointer pool) through several doubling cycles; each
+   object must survive the copies its pool makes while growing. *)
+let test_pool_growth () =
+  let cluster = Heap.cluster ~nnodes:1 in
+  let t = cluster.(0) in
+  let n = 10_000 in
+  let ptrs =
+    Array.init n (fun i ->
+        Heap.alloc t
+          ~floats:(Array.init (i mod 4) (fun j -> float_of_int ((i * 10) + j)))
+          ~ptrs:(if i mod 3 = 0 then [| Gptr.nil |] else [||]))
+  in
+  Alcotest.(check int) "size" n (Heap.size t);
+  Array.iteri
+    (fun i p ->
+      if Heap.nfloats t p <> i mod 4 then
+        Alcotest.failf "object %d: nfloats %d" i (Heap.nfloats t p);
+      for j = 0 to (i mod 4) - 1 do
+        if Heap.get_float t p j <> float_of_int ((i * 10) + j) then
+          Alcotest.failf "object %d: field %d corrupted by pool growth" i j
+      done)
+    ptrs
+
+let test_zero_field_objects () =
+  let cluster = Heap.cluster ~nnodes:1 in
+  let t = cluster.(0) in
+  let p = Heap.alloc t ~floats:[||] ~ptrs:[||] in
+  let q = Heap.alloc t ~floats:[| 7. |] ~ptrs:[||] in
+  Alcotest.(check int) "nfloats" 0 (Heap.nfloats t p);
+  Alcotest.(check int) "nptrs" 0 (Heap.nptrs t p);
+  let o = Heap.deref cluster p in
+  Alcotest.(check int) "deref floats" 0 (Array.length o.Obj_repr.floats);
+  Alcotest.(check int) "deref ptrs" 0 (Array.length o.Obj_repr.ptrs);
+  (* A zero-field object must not alias its successor's fields. *)
+  Alcotest.(check (float 0.)) "neighbour intact" 7. (Heap.get_float t q 0);
+  Alcotest.(check int)
+    "bytes = header only"
+    (Obj_repr.bytes (Obj_repr.make ~floats:[||] ~ptrs:[||]))
+    (Heap.obj_bytes t p)
+
+(* [Heap.alloc] copies the caller's arrays into the pools (the .mli says
+   so; the boxed heap used to adopt them instead). Mutating the arrays
+   after the call must leave the heap untouched, and vice versa. *)
+let test_alloc_copies_arrays () =
+  let cluster = Heap.cluster ~nnodes:1 in
+  let t = cluster.(0) in
+  let floats = [| 1.; 2. |] in
+  let inner = Heap.alloc t ~floats:[||] ~ptrs:[||] in
+  let ptrs = [| inner |] in
+  let p = Heap.alloc t ~floats ~ptrs in
+  floats.(0) <- 99.;
+  ptrs.(0) <- Gptr.nil;
+  Alcotest.(check (float 0.))
+    "heap float unaffected by caller mutation" 1. (Heap.get_float t p 0);
+  Alcotest.(check bool)
+    "heap ptr unaffected by caller mutation" true
+    (Gptr.equal inner (Heap.get_ptr t p 0));
+  Heap.set_float t p 1 42.;
+  Alcotest.(check (float 0.)) "caller array unaffected by heap" 2. floats.(1)
 
 let test_block_distribution_partition () =
   let nitems = 17 and nnodes = 5 in
@@ -198,6 +393,11 @@ let suites =
         Alcotest.test_case "wrong node" `Quick test_heap_wrong_node;
         Alcotest.test_case "nil deref" `Quick test_heap_nil_deref;
         QCheck_alcotest.to_alcotest qcheck_heap_roundtrip;
+        QCheck_alcotest.to_alcotest qcheck_heap_vs_boxed_model;
+        Alcotest.test_case "pool growth" `Quick test_pool_growth;
+        Alcotest.test_case "zero-field objects" `Quick test_zero_field_objects;
+        Alcotest.test_case "alloc copies arrays" `Quick
+          test_alloc_copies_arrays;
       ] );
     ( "heap.distribution",
       [

@@ -49,7 +49,8 @@ let run_variant (type c) (module A : Dpa.Access.S with type ctx = c)
               A.read ctx p (fun ctx view ->
                   A.charge ctx 100;
                   sums.(A.node_id ctx) <-
-                    sums.(A.node_id ctx) +. view.Dpa_heap.Obj_repr.floats.(0)))
+                    sums.(A.node_id ctx)
+                    +. Dpa_heap.Heap.view_float (A.heaps ctx) view 0))
             (item_reads node item))
   in
   run_phase heaps items;

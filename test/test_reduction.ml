@@ -359,9 +359,8 @@ let expansions_match tree global reference =
   for ci = 0 to Dpa_fmm.Quadtree.ncells tree - 1 do
     if Dpa_fmm.Quadtree.level_of tree ci >= 2 then begin
       let got =
-        Dpa_fmm.Fmm_global.View.expansion
-          (Heap.deref global.Dpa_fmm.Fmm_global.heaps
-             global.Dpa_fmm.Fmm_global.mp_ptrs.(ci))
+        Dpa_fmm.Fmm_global.View.expansion global.Dpa_fmm.Fmm_global.heaps
+          global.Dpa_fmm.Fmm_global.mp_ptrs.(ci)
       in
       Array.iteri
         (fun k c ->

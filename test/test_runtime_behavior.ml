@@ -163,11 +163,14 @@ let test_caching_dfs_order () =
     [|
       (fun ctx ->
         Dpa_baselines.Blocking.read ctx parent (fun ctx view ->
-            Array.iter
-              (fun child ->
-                Dpa_baselines.Blocking.read ctx child (fun _ v ->
-                    order := v.Obj_repr.floats.(0) :: !order))
-              view.Obj_repr.ptrs));
+            let heaps = Dpa_baselines.Blocking.heaps ctx in
+            for i = 0 to Heap.view_nptrs heaps view - 1 do
+              let child = Heap.view_ptr heaps view i in
+              Dpa_baselines.Blocking.read ctx child (fun ctx v ->
+                  order :=
+                    Heap.view_float (Dpa_baselines.Blocking.heaps ctx) v 0
+                    :: !order)
+            done));
     |]
   in
   ignore (Dpa_baselines.Blocking.run_phase ~engine ~heaps ~items);

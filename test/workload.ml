@@ -37,7 +37,8 @@ let expected_sum t ~node ~nitems ~reads =
   let sum = ref 0. in
   for item = 0 to nitems - 1 do
     Array.iter
-      (fun (p : Gptr.t) -> sum := !sum +. value ~node:p.Gptr.node ~slot:p.Gptr.slot)
+      (fun (p : Gptr.t) ->
+        sum := !sum +. value ~node:(Gptr.node p) ~slot:(Gptr.slot p))
       (item_ptrs t ~node ~item ~reads)
   done;
   !sum
@@ -55,5 +56,6 @@ let items (type c) (module A : Dpa.Access.S with type ctx = c) t ~nitems ~reads
             A.read ctx p (fun ctx view ->
                 A.charge ctx work_ns;
                 sums.(A.node_id ctx) <-
-                  sums.(A.node_id ctx) +. view.Obj_repr.floats.(0)))
+                  sums.(A.node_id ctx)
+                  +. Heap.view_float (A.heaps ctx) view 0))
           ps)

@@ -2,7 +2,7 @@
 
 BENCH := bin/dpa_bench.exe
 
-.PHONY: all build test fmt fmt-check smoke obs-smoke chaos-smoke adaptive-smoke critpath-smoke integrity-smoke optimality-smoke scale-smoke bench-obs-overhead clean
+.PHONY: all build test fmt fmt-check smoke obs-smoke chaos-smoke adaptive-smoke critpath-smoke integrity-smoke optimality-smoke route-crash-smoke scale-smoke bench-obs-overhead clean
 
 all: build
 
@@ -27,7 +27,7 @@ fmt-check:
 # End-to-end observability smoke test: run a small experiment with the
 # trace/metrics exporters on and make sure the artifacts appear and are
 # non-trivial. The test suite validates the JSON itself (test/test_obs.ml).
-smoke: build obs-smoke chaos-smoke adaptive-smoke critpath-smoke integrity-smoke optimality-smoke scale-smoke
+smoke: build obs-smoke chaos-smoke adaptive-smoke critpath-smoke integrity-smoke optimality-smoke route-crash-smoke scale-smoke
 	dune exec $(BENCH) -- f1 --scale small \
 	  --trace /tmp/dpa_trace.json --metrics /tmp/dpa_metrics.json --profile
 	@test -s /tmp/dpa_trace.json && test -s /tmp/dpa_metrics.json \
@@ -134,6 +134,19 @@ optimality-smoke: build
 	  && grep -q "improved=yes" /tmp/dpa_optimality.txt \
 	  && grep -q "0 cell(s) diverged" /tmp/dpa_optimality.txt \
 	  && echo "optimality-smoke: routed + repartitioned ratios strictly improved, results bit-identical"
+
+# Route-crash smoke test: the routed fan-in cells of the a15 matrix under
+# crash-restart schedules. The origin-anchored end-to-end ack must keep
+# every crashed routed cell bit-identical to the flat fault-free
+# reference (zero divergence), and the custody machinery must actually
+# fire: the summary's route-crash re-issue count has to be non-zero, or
+# the crash windows never hit a batch in flight.
+route-crash-smoke: build
+	dune exec $(BENCH) -- a15 --scale small --bodies 512 | tee /tmp/dpa_route_crash.txt
+	@! grep -q DIVERGED /tmp/dpa_route_crash.txt \
+	  && grep -q "0 cell(s) diverged" /tmp/dpa_route_crash.txt \
+	  && grep -Eq " [1-9][0-9]* route-crash re-issue" /tmp/dpa_route_crash.txt \
+	  && echo "route-crash-smoke: routed crash cells bit-identical with live origin re-issues"
 
 # Flat-heap scale smoke test: the a16 sweep at reduced scale. The
 # allocation gate must pass (every boxed-baseline config re-run on the

@@ -323,8 +323,10 @@ let conf_term =
             "Route remote accumulates through the binomial reduction tree, \
              combining en route, instead of sending every node's batches \
              straight to the owner. Bit-identical results (the update \
-             grids are fixed-point); rejected in combination with \
-             $(b,crashes=) fault plans (see the $(b,a15) experiment).")
+             grids are fixed-point) under every fault schedule, \
+             $(b,crashes=) plans included: routed batches stay under \
+             origin custody until the owner's end-to-end ack (see the \
+             $(b,a15) experiment).")
   in
   let combine scale procs bodies particles strip rto repartition agg_route =
     Dpa_sim.Machine.set_default_adaptive_rto rto;

@@ -216,7 +216,11 @@ let run_phase ~engine ~heaps ~capacity ?(hash = true) ~items () =
   Array.iter
     (fun ctx ->
       if not (ctx.finished && Stack.is_empty ctx.work && not ctx.waiting) then
-        failwith "Caching.run_phase: node did not quiesce")
+        failwith
+          (Printf.sprintf
+             "Caching.run_phase: node %d did not quiesce (finished=%b, \
+              work=%d, waiting=%b)"
+             ctx.node.Node.id ctx.finished (Stack.length ctx.work) ctx.waiting))
     ctxs;
   (* Same phase-barrier hygiene as [Dpa.Runtime]: with the transport
      quiescent the receiver dedup tables are reclaimable. *)

@@ -42,11 +42,14 @@ type t = {
   auto : auto_strip option;
   route : route;
       (** tree-routed update aggregation. Requires [reuse] (the combining
-          map is what makes the phase-long hold window profitable);
-          incompatible with crash fault plans — relay state is volatile and
-          the runtime rejects the combination at phase start. Fixed-point
+          map is what makes the phase-long hold window profitable). Relay
+          state is volatile, so under crash fault plans every routed batch
+          stays under its origin's custody — WAL-journaled and held until
+          the final owner's end-to-end ack — and crashes only cost
+          straight-line re-issues the owner journal dedups. Fixed-point
           accumulation grids make en-route combining order-independent, so
-          any [route] setting is bit-identical in results to [Off]. *)
+          any [route] setting is bit-identical in results to [Off], under
+          every fault schedule. *)
 }
 
 val dpa : ?strip_size:int -> ?agg_max:int -> ?route:route -> unit -> t

@@ -19,6 +19,8 @@ type t = {
   mutable crashes : int;
   mutable crash_refetches : int;
   mutable upd_reissues : int;
+  mutable routed_reissues : int;
+  mutable relay_wiped : int;
   mutable wal_truncated : int;
   mutable wal_repaired : int;
 }
@@ -45,6 +47,8 @@ let create () =
     crashes = 0;
     crash_refetches = 0;
     upd_reissues = 0;
+    routed_reissues = 0;
+    relay_wiped = 0;
     wal_truncated = 0;
     wal_repaired = 0;
   }
@@ -73,6 +77,8 @@ let merge ts =
       acc.crashes <- acc.crashes + t.crashes;
       acc.crash_refetches <- acc.crash_refetches + t.crash_refetches;
       acc.upd_reissues <- acc.upd_reissues + t.upd_reissues;
+      acc.routed_reissues <- acc.routed_reissues + t.routed_reissues;
+      acc.relay_wiped <- acc.relay_wiped + t.relay_wiped;
       acc.wal_truncated <- acc.wal_truncated + t.wal_truncated;
       acc.wal_repaired <- acc.wal_repaired + t.wal_repaired)
     ts;
@@ -105,6 +111,8 @@ let to_json t =
          ("crashes", t.crashes);
          ("crash_refetches", t.crash_refetches);
          ("upd_reissues", t.upd_reissues);
+         ("routed_reissues", t.routed_reissues);
+         ("relay_wiped", t.relay_wiped);
          ("wal_truncated", t.wal_truncated);
          ("wal_repaired", t.wal_repaired);
          ("total_reads", total_reads t);
@@ -133,6 +141,11 @@ let pp ppf t =
       "@ @[crash-restarts: %d (%d requests re-fetched, %d update batches \
        re-sent)@]"
       t.crashes t.crash_refetches t.upd_reissues;
+  if t.routed_reissues + t.relay_wiped > 0 then
+    Format.fprintf ppf
+      "@ @[routed recovery: %d relay entr(ies) wiped by crashes, %d batches \
+       re-issued straight-line@]"
+      t.relay_wiped t.routed_reissues;
   if t.wal_truncated + t.wal_repaired > 0 then
     Format.fprintf ppf
       "@ @[wal integrity: %d record(s) truncated, %d repaired from the \

@@ -32,6 +32,15 @@ type t = {
           batches rebuilt from the checksum-scanned WAL
           (journal-deduplicated at the owner, so re-sends never
           double-apply) *)
+  mutable routed_reissues : int;
+      (** routed batches re-issued straight-line to their owner because a
+          relay hop crashed while holding their combined copy — the
+          crash-notification half of the origin-anchored end-to-end ack
+          (timer-driven re-issues count under [upd_reissues]) *)
+  mutable relay_wiped : int;
+      (** buffered relay entries lost when their holder crashed (the relay
+          buffer is volatile); every covered batch is recovered end-to-end
+          by its origin *)
   mutable wal_truncated : int;
       (** damaged tail records cut by a crash-recovery WAL integrity scan
           ({!Wal.scan}) across this node's durable logs *)

@@ -76,8 +76,17 @@ type ctx = {
          tree ({!Dpa_msg.Route}). Entries combine here (the grids make the
          merge order-independent) until this node finishes its own items,
          then leave as one merged message per destination; arrivals after
-         that forward immediately. Volatile — which is why routing rejects
-         crash fault plans. *)
+         that forward immediately. Volatile: under a fault plan every
+         parked batch stays under its origin's end-to-end custody
+         ([out_updates] + [relay_cover]), so a crash here only delays it —
+         the origin re-issues straight-line through the WAL path. *)
+  relay_cover : (int, (int * int) list) Hashtbl.t;
+      (* fault plans × routing: per final destination, the (origin, batch
+         id) pairs whose batches are merged into the relay bucket — the
+         custody manifest that travels with every relay hop so the final
+         owner can journal and ack each covered batch back to its origin.
+         As volatile as the relay buffer itself; wiped together at a
+         crash. *)
   mutable routing_done : bool;
       (* this node ran its finish-time routing flush; later relay arrivals
          must flush through instead of parking *)
@@ -816,57 +825,194 @@ and finish_routing ctx =
 (* A routed batch arriving at an intermediate node: park and combine in the
    relay buffer keyed by final destination. After the node's own routing
    flush has run, there is nothing left to merge with — flush straight
-   through so quiescence holds. *)
-and relay_receive ctx ~fdst entries =
+   through so quiescence holds. Under a fault plan the batch's custody
+   manifest [cover] parks alongside it (and leaves with it), so the merged
+   entries never lose track of which origin-anchored batches they carry. *)
+and relay_receive ctx ~fdst ~cover entries =
+  (if cover <> [] then
+     let prev =
+       match Hashtbl.find_opt ctx.relay_cover fdst with
+       | Some l -> l
+       | None -> []
+     in
+     Hashtbl.replace ctx.relay_cover fdst (prev @ cover));
   Update_buffer.add_entries ctx.relay ~dst:fdst entries;
   if ctx.routing_done then Update_buffer.flush_if ctx.relay (fun d -> d = fdst)
 
-(* Forward one relay bucket toward its final destination: fragment to the
-   aggregation bound, then either hand each fragment to the flat update
-   path (last hop — the WAL exactly-once protocol under a fault plan) or
-   send it one binomial-tree hop closer ({!Dpa_msg.Route.next_hop}), where
-   it parks in the hop's relay buffer. Intermediate hops ride the
-   transport's link-level reliability (retransmit + dedup cover drop, dup
-   and delay faults); only the crash faults that reliability cannot cover
-   are rejected, at phase start. *)
+(* Forward one relay bucket toward its final destination: either hand it to
+   the flat update path (last hop — the WAL exactly-once protocol under a
+   fault plan) or send it one binomial-tree hop closer
+   ({!Dpa_msg.Route.next_hop}), where it parks in the hop's relay buffer.
+   Intermediate hops ride the transport's link-level reliability
+   (retransmit + dedup cover drop, dup and delay faults); crash faults are
+   covered end-to-end by the origins' custody — every batch merged into
+   this bucket stays in its origin's [out_updates] until the final owner's
+   application-level ack, so a hop crash only costs a straight-line
+   re-issue.
+
+   Fault-free, the bucket fragments to the aggregation bound like any flat
+   message. Under a fault plan it does not: the (cover, merged entries)
+   pair is one atomic custody unit — a fragment boundary through it would
+   let the owner journal a covered batch whose entries were split across
+   fragments, and a lost second fragment would then be unrecoverable. *)
 and relay_forward ctx ~fdst batch =
   let nnodes = Array.length ctx.heaps in
   let hop = Dpa_msg.Route.next_hop ~nnodes ~src:(node_id ctx) ~dst:fdst in
+  if ctx.rel then begin
+    let cover =
+      match Hashtbl.find_opt ctx.relay_cover fdst with
+      | Some l -> l
+      | None -> []
+    in
+    Hashtbl.remove ctx.relay_cover fdst;
+    assert (cover <> []);
+    let n = List.length batch in
+    ctx.stats.Dpa_stats.update_msgs <- ctx.stats.Dpa_stats.update_msgs + 1;
+    (* The custody manifest rides the message: two ids per covered batch. *)
+    let bytes =
+      Dpa_msg.Am.update_bytes ctx.machine ~nupdates:n
+      + (16 * List.length cover)
+    in
+    (match ctx.obs with
+    | None -> ()
+    | Some o ->
+      Dpa_obs.Metrics.add o.c_vol.(hop) bytes;
+      o.opt_actual <- o.opt_actual + bytes;
+      obs_instant
+        ~args:
+          [
+            ("hop", Dpa_obs.Sink.Int hop);
+            ("fdst", Dpa_obs.Sink.Int fdst);
+            ("nupdates", Dpa_obs.Sink.Int n);
+            ("cover", Dpa_obs.Sink.Int (List.length cover));
+            ("bytes", Dpa_obs.Sink.Int bytes);
+          ]
+        o ctx.node ~name:"relay_send");
+    if hop = fdst then
+      Dpa_msg.Am.send ctx.engine ~src:ctx.node ~dst:fdst ~bytes (fun owner ->
+          routed_owner_apply ctx ~fdst ~cover batch owner)
+    else
+      Dpa_msg.Am.send ctx.engine ~src:ctx.node ~dst:hop ~bytes (fun hopnode ->
+          let peer = ctx.peers.(hop) in
+          let svc = open_handler_act ctx hopnode in
+          Node.charge_comm hopnode (n * ctx.machine.Machine.update_apply_ns);
+          relay_receive peer ~fdst ~cover batch;
+          close_handler_act ~name:"relay" hopnode svc)
+  end
+  else
+    List.iter
+      (fun frag ->
+        if hop = fdst then flush_updates ctx ~dst:fdst frag
+        else begin
+          let n = List.length frag in
+          ctx.stats.Dpa_stats.update_msgs <-
+            ctx.stats.Dpa_stats.update_msgs + 1;
+          let bytes = Dpa_msg.Am.update_bytes ctx.machine ~nupdates:n in
+          (match ctx.obs with
+          | None -> ()
+          | Some o ->
+            Dpa_obs.Metrics.add o.c_vol.(hop) bytes;
+            (* Actual bytes are charged at every hop's sender; the lower
+               bound is recorded at the origin only ([accumulate]), so tree
+               routing can only close the gap when combining saves more
+               than the extra hops cost. *)
+            o.opt_actual <- o.opt_actual + bytes;
+            obs_instant
+              ~args:
+                [
+                  ("hop", Dpa_obs.Sink.Int hop);
+                  ("fdst", Dpa_obs.Sink.Int fdst);
+                  ("nupdates", Dpa_obs.Sink.Int n);
+                  ("bytes", Dpa_obs.Sink.Int bytes);
+                ]
+              o ctx.node ~name:"relay_send");
+          Dpa_msg.Am.send ctx.engine ~src:ctx.node ~dst:hop ~bytes
+            (fun hopnode ->
+              let peer = ctx.peers.(hop) in
+              let svc = open_handler_act ctx hopnode in
+              Node.charge_comm hopnode
+                (n * ctx.machine.Machine.update_apply_ns);
+              relay_receive peer ~fdst ~cover:[] frag;
+              close_handler_act ~name:"relay" hopnode svc)
+        end)
+      (split_batch ctx.cfg.Config.agg_max batch)
+
+(* Origin custody for a routed batch under a fault plan. The batch gets the
+   same durable treatment as a flat one — stable id, write-ahead Batch
+   record, an [out_updates] entry the quiescence certificate watches, and
+   a fenced end-to-end timer — but its first copy enters the combining
+   tree instead of the wire to the owner. If the tree delivers, the final
+   owner journals the covered id and acks end-to-end; if any hop crashes
+   while holding it (or the ack never comes), the timer re-issues the
+   batch straight-line through [send_update_batch], where the owner's
+   applied-batch journal dedups it against any copy that survived the
+   tree. The timer budget is scaled by the tree depth: a parked batch
+   legitimately waits for every hop on its path to finish its own items. *)
+and routed_origin_send ctx ~fdst batch =
+  let id = ctx.upd_next_id in
+  ctx.upd_next_id <- id + 1;
+  Wal.append ctx.wal (encode_batch ~id ~dst:fdst batch);
+  Hashtbl.replace ctx.out_updates id (fdst, batch);
+  let nnodes = Array.length ctx.heaps in
+  let bytes =
+    Dpa_msg.Am.update_bytes ctx.machine ~nupdates:(List.length batch)
+  in
+  let depth =
+    Dpa_msg.Route.hops ~nnodes ~src:(node_id ctx) ~dst:fdst
+  in
+  arm_update_timer ctx ~id ~rto:((depth + 1) * rt_rto ctx ~bytes);
+  relay_receive ctx ~fdst ~cover:[ (node_id ctx, id) ] batch
+
+(* Final-owner apply of a tree-merged message. The cover names every
+   origin-anchored batch whose entries are numerically merged into
+   [batch], so freshness is all-or-nothing: if every covered batch is
+   fresh, journal them all and apply the merged entries as one atomic
+   action, then ack each origin; if ANY covered batch was already applied
+   (a straight-line replay beat the tree), the merged entries cannot be
+   applied — nor split — so nothing applies, the already-journaled pairs
+   are re-acked (their previous acks may have been lost), and each fresh
+   pair is left to its origin's timer, whose straight-line re-issue is
+   single-origin and therefore can never be partially duplicate. The
+   fixed-point grids make the recovered sum bit-identical either way. *)
+and routed_owner_apply ctx ~fdst ~cover batch owner =
+  let m = ctx.machine in
+  let svc = open_handler_act ctx owner in
+  let n = List.length batch in
+  Node.charge_comm owner (n * m.Machine.update_apply_ns);
+  let journal = ctx.upd_journal.(fdst) in
+  let dups, fresh =
+    List.partition (fun key -> Hashtbl.mem journal key) cover
+  in
+  let acked =
+    if dups = [] then begin
+      List.iter
+        (fun (src, id) ->
+          Wal.append ctx.jwal.(fdst) (encode_applied ~src ~id);
+          Hashtbl.replace journal (src, id) ())
+        fresh;
+      let owner_heap = ctx.heaps.(fdst) in
+      List.iter
+        (fun { Update_buffer.ptr; idx; value } ->
+          Heap.bump_float owner_heap ptr ~idx value)
+        batch;
+      fresh
+    end
+    else dups
+  in
+  let ack = m.Machine.msg_header_bytes in
   List.iter
-    (fun frag ->
-      if hop = fdst then flush_updates ctx ~dst:fdst frag
-      else begin
-        let n = List.length frag in
-        ctx.stats.Dpa_stats.update_msgs <- ctx.stats.Dpa_stats.update_msgs + 1;
-        let bytes = Dpa_msg.Am.update_bytes ctx.machine ~nupdates:n in
-        (match ctx.obs with
-        | None -> ()
-        | Some o ->
-          Dpa_obs.Metrics.add o.c_vol.(hop) bytes;
-          (* Actual bytes are charged at every hop's sender; the lower
-             bound is recorded at the origin only ([accumulate]), so tree
-             routing can only close the gap when combining saves more
-             than the extra hops cost. *)
-          o.opt_actual <- o.opt_actual + bytes;
-          obs_instant
-            ~args:
-              [
-                ("hop", Dpa_obs.Sink.Int hop);
-                ("fdst", Dpa_obs.Sink.Int fdst);
-                ("nupdates", Dpa_obs.Sink.Int n);
-                ("bytes", Dpa_obs.Sink.Int bytes);
-              ]
-            o ctx.node ~name:"relay_send");
-        Dpa_msg.Am.send ctx.engine ~src:ctx.node ~dst:hop ~bytes
-          (fun hopnode ->
-            let peer = ctx.peers.(hop) in
-            let svc = open_handler_act ctx hopnode in
-            Node.charge_comm hopnode
-              (n * ctx.machine.Machine.update_apply_ns);
-            relay_receive peer ~fdst frag;
-            close_handler_act ~name:"relay" hopnode svc)
-      end)
-    (split_batch ctx.cfg.Config.agg_max batch)
+    (fun (src, id) ->
+      (match ctx.obs with
+      | None -> ()
+      | Some o -> o.opt_actual <- o.opt_actual + ack);
+      Dpa_msg.Am.send ctx.engine ~src:owner ~dst:src ~bytes:ack (fun _self ->
+          let octx = ctx.peers.(src) in
+          if Hashtbl.mem octx.out_updates id then begin
+            Wal.append octx.wal (encode_acked ~id);
+            Hashtbl.remove octx.out_updates id
+          end))
+    acked;
+  close_handler_act ~name:"upd_apply" owner svc
 
 and send_update_batch ctx ~dst ~id batch =
   let n = List.length batch in
@@ -1095,6 +1241,7 @@ let make_ctx ~engine ~heaps ~config ~items ~label ~journals ~jwals node =
       agg = dummy;
       updates = dummy_updates ();
       relay = dummy_updates ();
+      relay_cover = Hashtbl.create 8;
       routing_done = false;
       peers = [||];
       pending = 0;
@@ -1143,8 +1290,13 @@ let make_ctx ~engine ~heaps ~config ~items ~label ~journals ~jwals node =
       ~flush:(fun ~dst batch ->
         (* Routed destinations drain into the relay buffer (merging with
            parked downstream contributions) instead of going to the wire;
-           [finish_routing] then forwards the combined result. *)
-        if route_on ctx dst then Update_buffer.add_entries ctx.relay ~dst batch
+           [finish_routing] then forwards the combined result. Under a
+           fault plan the batch first takes origin custody — WAL record,
+           [out_updates] entry, end-to-end timer — so a crash anywhere on
+           its tree path is recoverable. *)
+        if route_on ctx dst then
+          if ctx.rel then routed_origin_send ctx ~fdst:dst batch
+          else Update_buffer.add_entries ctx.relay ~dst batch
         else flush_updates ctx ~dst batch)
       ();
   ctx.relay <-
@@ -1189,6 +1341,49 @@ let crash_node ctx ~plan ~restart_at =
      the crash and are rebuilt below from the scanned WALs. *)
   Hashtbl.reset ctx.out_updates;
   Hashtbl.reset ctx.upd_journal.(n.Node.id);
+  (* Routed aggregation: the relay buffer and its custody manifest die with
+     the crash. Every batch parked here is still under its origin's
+     end-to-end custody, so losing the combined copy only delays it — but
+     waiting for the origin's (tree-depth-scaled) timer is slow, so the
+     crash doubles as a hop-incarnation-change notification: each remote
+     origin re-issues its covered batch straight-line as soon as it could
+     plausibly have observed the new incarnation (one wire crossing plus a
+     poll quantum). Fenced to the origin's incarnation at the crash
+     instant, and skipped if the batch was acked meanwhile (a duplicate
+     copy survived the tree) — a stale firing is a pure no-op. Pairs this
+     node originated itself are skipped too: its own restart walk re-sends
+     everything in [out_updates]. *)
+  if Array.length ctx.peers > 0 then begin
+    let lost =
+      Hashtbl.fold
+        (fun _ cover acc -> List.rev_append cover acc)
+        ctx.relay_cover []
+    in
+    Hashtbl.reset ctx.relay_cover;
+    ctx.stats.Dpa_stats.relay_wiped <-
+      ctx.stats.Dpa_stats.relay_wiped + Update_buffer.clear ctx.relay;
+    let notify_at =
+      Engine.elapsed ctx.engine
+      + ctx.machine.Machine.wire_latency_ns
+      + ctx.machine.Machine.poll_quantum_ns
+    in
+    List.iter
+      (fun (src, id) ->
+        if src <> n.Node.id then begin
+          let octx = ctx.peers.(src) in
+          let inc = octx.node.Node.incarnation in
+          Engine.post_soft ctx.engine ~time:notify_at ~node:src (fun () ->
+              if octx.node.Node.incarnation = inc then
+                match Hashtbl.find_opt octx.out_updates id with
+                | None -> ()
+                | Some (dst, batch) ->
+                  Node.wait_until octx.node (max notify_at octx.down_until);
+                  octx.stats.Dpa_stats.routed_reissues <-
+                    octx.stats.Dpa_stats.routed_reissues + 1;
+                  send_update_batch octx ~dst ~id batch)
+        end)
+      (List.sort compare lost)
+  end;
   (* Torn writes: the crash may damage the tail of the victim's durable
      logs mid-write. [draw_tears] is empty (no stream access) when the
      knob is off, so legacy crash schedules replay unchanged. *)
@@ -1376,15 +1571,6 @@ let run_phase_labeled ~label ~engine ~heaps ~config ~items =
           if d >= Array.length nodes then
             invalid_arg "Runtime.run_phase: Hot route destination out of range")
         dsts
-    | _ -> ());
-    (* Relay buffers are volatile and sit outside the WAL exactly-once
-       protocol, so a crash at an intermediate node could silently drop
-       combined updates. Reject the combination instead of diverging. *)
-    (match Engine.fault engine with
-    | Some plan when Fault.has_crashes plan ->
-      failwith
-        "Runtime.run_phase: routed aggregation is incompatible with crash \
-         fault plans (relay state is volatile)"
     | _ -> ()));
   Engine.barrier engine;
   Array.iter Node.reset_breakdown nodes;
@@ -1444,8 +1630,20 @@ let run_phase_labeled ~label ~engine ~heaps ~config ~items =
           && Pointer_map.is_empty ctx.map
           && Update_buffer.pending ctx.updates = 0
           && Update_buffer.pending ctx.relay = 0
+          && Hashtbl.length ctx.relay_cover = 0
           && Hashtbl.length ctx.out_updates = 0)
-      then failwith "Runtime.run_phase: node did not quiesce";
+      then
+        failwith
+          (Printf.sprintf
+             "Runtime.run_phase: node %d did not quiesce (finished=%b, \
+              pending=%d, map=%d, updates=%d, relay=%d, relay_cover=%d, \
+              out_updates=%d)"
+             (node_id ctx) ctx.finished ctx.pending
+             (Pointer_map.fold_outstanding ctx.map (fun _ _ acc -> acc + 1) 0)
+             (Update_buffer.pending ctx.updates)
+             (Update_buffer.pending ctx.relay)
+             (Hashtbl.length ctx.relay_cover)
+             (Hashtbl.length ctx.out_updates));
       (* Integrity side of the certificate: every node that crashed ran
          its crash-anchored WAL recovery scan, and the durable log agrees
          with the drained in-memory image — no Batch record without its

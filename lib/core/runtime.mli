@@ -80,8 +80,21 @@
     normal aggregation/alignment path — the transparent re-fetch counted
     by [Dpa_stats.crash_refetches]. Update batches rebuilt from the
     scanned WAL re-send off their own (deliberately unfenced) timers.
+
+    Tree-routed aggregation ({!Config.route}) survives crashes through
+    origin custody: under a fault plan every routed batch is journaled
+    at its origin and kept in its outstanding set until the {e final
+    owner}'s end-to-end ack releases it — relay hops are best-effort
+    combiners whose parked batches are volatile by design. A relay
+    crash wipes them ([Dpa_stats.relay_wiped]) and the covering origins
+    re-issue straight-line through the flat exactly-once path
+    ([Dpa_stats.routed_reissues]), deduped by the owner's journal; an
+    origin's own end-to-end timer (RTO scaled by tree depth) is the
+    fallback for lost acks or notifies.
+
     Results remain bit-identical to the fault-free run; DESIGN.md §13
-    states the full per-fault-class contract. *)
+    states the full per-fault-class contract and §15 the routed custody
+    protocol. *)
 
 type ctx
 

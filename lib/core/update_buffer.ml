@@ -5,10 +5,13 @@ type entry = { ptr : Gptr.t; idx : int; value : float }
 type slot = { mutable acc : float }
 
 (* Per destination: combining map keyed by (ptr, idx), plus insertion order
-   so flushed batches are deterministic. *)
+   so flushed batches are deterministic. Each [order] element carries its
+   own slot: the map holds only the most recent slot per key (enough for
+   combining and for collision detection), so aliased keys can coexist in
+   a held bucket without clobbering each other. *)
 type bucket = {
   combine_map : (Gptr.t * int, slot) Hashtbl.t;
-  mutable order : (Gptr.t * int) list;  (* reversed *)
+  mutable order : ((Gptr.t * int) * slot) list;  (* reversed *)
   mutable count : int;
 }
 
@@ -51,11 +54,7 @@ let flush_dst t dst =
   let b = t.buckets.(dst) in
   if b.count > 0 then begin
     let batch =
-      List.rev_map
-        (fun ((ptr, idx) as key) ->
-          let s = Hashtbl.find b.combine_map key in
-          { ptr; idx; value = s.acc })
-        b.order
+      List.rev_map (fun ((ptr, idx), s) -> { ptr; idx; value = s.acc }) b.order
     in
     Hashtbl.reset b.combine_map;
     b.order <- [];
@@ -74,12 +73,17 @@ let add t ~dst ptr ~idx value =
     s.acc <- s.acc +. value;
     t.combined <- t.combined + 1
   | None ->
-    (* Without combining, key collisions must still create fresh entries;
-       use a replace-into-fresh-slot scheme: non-combining buckets never
-       look the key up, so aliased keys are flushed eagerly instead. *)
-    if (not t.combine) && Hashtbl.mem b.combine_map key then flush_dst t dst;
-    Hashtbl.replace b.combine_map key { acc = value };
-    b.order <- key :: b.order;
+    (* Without combining, aliased keys must still land as distinct
+       entries. Unheld buckets flush eagerly on collision (one batch per
+       alias run, preserving per-message entry uniqueness); held (routed)
+       destinations must NOT flush mid-strip — their phase-long merge
+       window is the point — so there the aliased entries simply coexist,
+       each with its own slot in [order]. *)
+    if (not t.combine) && Hashtbl.mem b.combine_map key && not (t.hold dst)
+    then flush_dst t dst;
+    let s = { acc = value } in
+    Hashtbl.replace b.combine_map key s;
+    b.order <- (key, s) :: b.order;
     b.count <- b.count + 1;
     t.pending <- t.pending + 1);
   if b.count >= t.max_batch && not (t.hold dst) then flush_dst t dst
@@ -95,6 +99,20 @@ let flush_all t =
 
 let flush_if t pred =
   Array.iteri (fun dst _ -> if pred dst then flush_dst t dst) t.buckets
+
+(* Wipe all buffered entries without flushing — a crashing node losing its
+   volatile relay state. Returns how many entries were dropped so the
+   caller can account for them (they must be recovered end-to-end). *)
+let clear t =
+  let wiped = t.pending in
+  Array.iter
+    (fun b ->
+      Hashtbl.reset b.combine_map;
+      b.order <- [];
+      b.count <- 0)
+    t.buckets;
+  t.pending <- 0;
+  wiped
 
 let pending t = t.pending
 let sent_entries t = t.sent_entries

@@ -40,6 +40,11 @@ val flush_if : t -> (int -> bool) -> unit
 (** Flush only the destinations the predicate selects — the strip-boundary
     flush, which must skip held (routed) destinations. *)
 
+val clear : t -> int
+(** Drop every buffered entry without flushing, returning how many entries
+    were discarded — a crashing node losing its volatile relay buffer.
+    Counters other than {!pending} are untouched. *)
+
 val pending : t -> int
 (** Buffered entries across destinations (after combining). *)
 

@@ -1594,6 +1594,7 @@ type optimality_cell = {
   oc_msgs : int;
   oc_actual : int;
   oc_bound : int;
+  oc_reissues : int;  (* end-to-end batch re-issues executed under custody *)
   oc_ok : bool;
 }
 
@@ -1645,9 +1646,15 @@ let opt_instances c label =
      aligns ownership with the evolved tree, shrinking the remote volume
      of the second step's gather relative to its footprint bound.
 
-   Routed cells skip the crash schedule by design — the runtime rejects
-   the combination (parked relay batches are volatile), which
-   [test_reduction.ml] pins. *)
+   The fan-in row also runs the routed configuration under crash-restart
+   schedules: parked relay batches are volatile, but every routed batch
+   stays under its origin's custody (WAL + end-to-end ack from the final
+   owner) until applied, so a crash only costs a straight-line re-issue
+   that the owner journal dedups — the REISSUES column counts those, and
+   the route-crash-smoke gate asserts they actually happened. One node of
+   the fan-in (node 4, the binomial-tree relay for origins 5 and 6)
+   computes 8x longer than the rest so routed batches reliably sit parked
+   at a live relay inside the crash horizon. *)
 let optimality_matrix ?(fault_seed = 0x0A15) (conf : Runconf.t) =
   let heavy =
     match Fault.spec_of_string "heavy" with
@@ -1665,7 +1672,7 @@ let optimality_matrix ?(fault_seed = 0x0A15) (conf : Runconf.t) =
       let items node =
         Array.init 32 (fun i ->
             fun ctx ->
-              Dpa.Runtime.charge ctx 2_000;
+              Dpa.Runtime.charge ctx (if node = 4 then 16_000 else 2_000);
               Dpa.Runtime.accumulate ctx
                 counters.((node + i) mod 4)
                 ~idx:(i mod 2)
@@ -1691,11 +1698,28 @@ let optimality_matrix ?(fault_seed = 0x0A15) (conf : Runconf.t) =
       ( vals,
         Breakdown.elapsed_s b,
         s.Dpa.Dpa_stats.update_msgs,
-        (actual, bound) )
+        (actual, bound),
+        s.Dpa.Dpa_stats.routed_reissues + s.Dpa.Dpa_stats.upd_reissues,
+        engine )
     in
-    let reference, _, _, _ = run ~route:Dpa.Config.Off None in
+    let reference, _, _, _, _, ref_engine = run ~route:Dpa.Config.Off None in
+    let elapsed = Engine.elapsed ref_engine in
+    let crash_knobs =
+      Printf.sprintf "crashes=1,crash-ns=%d,horizon-ns=%d"
+        (max 1_000 (elapsed / 8))
+        (max 1_000 (elapsed / 2))
+    in
+    let crash_of str =
+      match Fault.spec_of_string str with
+      | Ok s -> s
+      | Error msg -> invalid_arg ("optimality_matrix: " ^ msg)
+    in
+    let crash = crash_of crash_knobs in
+    let heavy_crash = crash_of ("heavy," ^ crash_knobs) in
     let cell config route schedule faults =
-      let vals, time_s, msgs, (actual, bound) = run ~route faults in
+      let vals, time_s, msgs, (actual, bound), reissues, _ =
+        run ~route faults
+      in
       {
         oc_config = config;
         oc_schedule = schedule;
@@ -1703,6 +1727,7 @@ let optimality_matrix ?(fault_seed = 0x0A15) (conf : Runconf.t) =
         oc_msgs = msgs;
         oc_actual = actual;
         oc_bound = bound;
+        oc_reissues = reissues;
         oc_ok = vals = reference;
       }
     in
@@ -1716,6 +1741,8 @@ let optimality_matrix ?(fault_seed = 0x0A15) (conf : Runconf.t) =
           cell "flat" Dpa.Config.Off "heavy" (Some heavy);
           cell "routed" Dpa.Config.All_dsts "off" None;
           cell "routed" Dpa.Config.All_dsts "heavy" (Some heavy);
+          cell "routed" Dpa.Config.All_dsts "crash" (Some crash);
+          cell "routed" Dpa.Config.All_dsts "heavy+crash" (Some heavy_crash);
         ];
     }
   in
@@ -1733,6 +1760,7 @@ let optimality_matrix ?(fault_seed = 0x0A15) (conf : Runconf.t) =
       let prev = ref None in
       let time_s = ref 0. in
       let msgs = ref 0 in
+      let reissues = ref 0 in
       for _step = 1 to 2 do
         let octree = Dpa_bh.Octree.build bodies in
         (match work with
@@ -1750,7 +1778,11 @@ let optimality_matrix ?(fault_seed = 0x0A15) (conf : Runconf.t) =
         | None -> ());
         time_s := !time_s +. Breakdown.elapsed_s r.Dpa_bh.Bh_run.breakdown;
         (match r.Dpa_bh.Bh_run.dpa_stats with
-        | Some s -> msgs := s.Dpa.Dpa_stats.request_msgs
+        | Some s ->
+          msgs := s.Dpa.Dpa_stats.request_msgs;
+          reissues :=
+            !reissues + s.Dpa.Dpa_stats.upd_reissues
+            + s.Dpa.Dpa_stats.routed_reissues
         | None -> ());
         Array.iteri
           (fun bid acc -> bodies.(bid).Dpa_bh.Body.acc <- acc)
@@ -1762,9 +1794,9 @@ let optimality_matrix ?(fault_seed = 0x0A15) (conf : Runconf.t) =
         | [ _; ab ] -> ab
         | l -> invalid_arg (Printf.sprintf "a15: %d bh phases" (List.length l))
       in
-      (bodies, !time_s, !msgs, step2, engine)
+      (bodies, !time_s, !msgs, step2, !reissues, engine)
     in
-    let reference, _, _, _, ref_engine = run ~repartition:false None in
+    let reference, _, _, _, _, ref_engine = run ~repartition:false None in
     let elapsed = Engine.elapsed ref_engine in
     let crash =
       match
@@ -1777,7 +1809,9 @@ let optimality_matrix ?(fault_seed = 0x0A15) (conf : Runconf.t) =
       | Error msg -> invalid_arg ("optimality_matrix: " ^ msg)
     in
     let cell config repartition schedule faults =
-      let bodies, time_s, msgs, (actual, bound), _ = run ~repartition faults in
+      let bodies, time_s, msgs, (actual, bound), reissues, _ =
+        run ~repartition faults
+      in
       {
         oc_config = config;
         oc_schedule = schedule;
@@ -1785,6 +1819,7 @@ let optimality_matrix ?(fault_seed = 0x0A15) (conf : Runconf.t) =
         oc_msgs = msgs;
         oc_actual = actual;
         oc_bound = bound;
+        oc_reissues = reissues;
         oc_ok = bodies = reference;
       }
     in
@@ -1831,7 +1866,7 @@ let print_optimality_matrix rows =
           ~header:
             [
               "CONFIG"; "SCHEDULE"; "TIME(s)"; "MSGS"; "ACTUAL(B)";
-              "BOUND(B)"; "RATIO"; "RESULT";
+              "BOUND(B)"; "RATIO"; "REISSUES"; "RESULT";
             ]
       in
       List.iter
@@ -1845,6 +1880,7 @@ let print_optimality_matrix rows =
               string_of_int c.oc_actual;
               string_of_int c.oc_bound;
               Printf.sprintf "%.3f" (oc_ratio c);
+              string_of_int c.oc_reissues;
               (if c.oc_ok then "bit-identical" else "DIVERGED");
             ])
         row.ow_cells;
@@ -1864,7 +1900,27 @@ let print_optimality_matrix rows =
         List.fold_left (fun a c -> a + if c.oc_ok then 0 else 1) a r.ow_cells)
       0 rows
   in
-  Printf.printf "a15 summary: %s, improved=%s, %d cell(s) diverged\n\n"
+  (* Custody check for the route-crash-smoke gate: re-issues executed by
+     routed cells running under a crash schedule. Zero here means the
+     crash windows never actually tested the recovery path. *)
+  let route_crash_reissues =
+    List.fold_left
+      (fun a r ->
+        List.fold_left
+          (fun a c ->
+            if
+              c.oc_config = "routed"
+              && String.length c.oc_schedule >= 5
+              && String.sub c.oc_schedule (String.length c.oc_schedule - 5) 5
+                 = "crash"
+            then a + c.oc_reissues
+            else a)
+          a r.ow_cells)
+      0 rows
+  in
+  Printf.printf
+    "a15 summary: %s, improved=%s, %d route-crash re-issue(s), %d cell(s) \
+     diverged\n\n"
     (String.concat ", "
        (List.map
           (fun (b, o) ->
@@ -1872,7 +1928,7 @@ let print_optimality_matrix rows =
               o.oc_config (oc_ratio o))
           pairs))
     (if improved then "yes" else "no")
-    diverged
+    route_crash_reissues diverged
 
 let optimality_json rows =
   Dpa_obs.Json.Obj
@@ -1897,6 +1953,7 @@ let optimality_json rows =
                                 ("opt_actual", Dpa_obs.Json.Int c.oc_actual);
                                 ("opt_bound", Dpa_obs.Json.Int c.oc_bound);
                                 ("ratio", Dpa_obs.Json.Float (oc_ratio c));
+                                ("reissues", Dpa_obs.Json.Int c.oc_reissues);
                                 ("bit_identical", Dpa_obs.Json.Bool c.oc_ok);
                               ])
                           row.ow_cells) );

@@ -346,6 +346,11 @@ type optimality_cell = {
   oc_bound : int;
       (** the phase's communication-optimality bound: every remote object
           footprint and update entry once (DESIGN.md §14) *)
+  oc_reissues : int;
+      (** end-to-end batch re-issues executed by the custody protocol
+          (straight-line replays after crash wipes or timeouts); the
+          route-crash-smoke gate asserts these are non-zero on routed
+          crash cells *)
   oc_ok : bool;
       (** results bit-identical to the flat/static fault-free reference *)
 }
@@ -363,12 +368,15 @@ val optimality_matrix : ?fault_seed:int -> Runconf.t -> optimality_row list
     optimizations. A fan-in reduction (every counter owned by node 0) run
     flat and with tree-routed aggregation ({!Dpa.Config.All_dsts}), and a
     two-step Barnes-Hut run statically partitioned vs Morton-repartitioned
-    from measured per-body work — each under fault-free, heavy, and (where
-    the runtime admits it; routed cells reject crash plans) heavy+crash
-    schedules. Every cell carries the measured volume, the optimality
-    bound, their ratio, and a bit-identity check against the flat/static
-    fault-free reference: both optimizations must strictly lower the
-    measured ratio while changing no result bit (see DESIGN.md §15). *)
+    from measured per-body work — each under fault-free, heavy, and
+    crash-bearing schedules (the routed fan-in adds dedicated crash and
+    heavy+crash cells exercising the origin-custody recovery path). Every
+    cell carries the measured volume, the optimality bound, their ratio,
+    the custody re-issue count, and a bit-identity check against the
+    flat/static fault-free reference: both optimizations must strictly
+    lower the measured ratio while changing no result bit, and the
+    route-crash-smoke target additionally requires a non-zero re-issue
+    total on the routed crash cells (see DESIGN.md §15). *)
 
 val optimality_headline : optimality_row -> (optimality_cell * optimality_cell) option
 (** The (baseline, optimized) fault-free cell pair the row's headline

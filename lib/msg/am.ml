@@ -136,6 +136,15 @@ type pending = {
   p_first_sent : int;  (* for the recovery-latency histogram *)
   mutable p_attempts : int;
   mutable p_rto_ns : int;
+  mutable p_budget : int;
+      (* attempts burned against the CURRENT destination incarnation —
+         reset whenever the destination crash-restarts, so copies fenced
+         into a dead incarnation's wire silence never count toward the
+         hard [max_attempts] verdict. [p_attempts] stays monotone: it
+         feeds Karn filtering and the Retransmit causal segment, which
+         care about physical transmissions, not budget. *)
+  mutable p_inc : int;  (* destination incarnation at the last attempt *)
+  mutable p_incs_seen : int;  (* distinct destination incarnations tried *)
   p_causal : int;
       (* causal parent stamped at wire-out of the FIRST attempt (-1 when
          tracing is off). Retransmissions re-read this, never the cursor —
@@ -485,6 +494,9 @@ let reliable_send engine f ~(src : Node.t) ~dst ~bytes handler =
       p_src = src_id;
       p_first_sent = src.Node.clock;
       p_attempts = 0;
+      p_budget = 0;
+      p_inc = (Engine.node engine dst).Node.incarnation;
+      p_incs_seen = 1;
       p_rto_ns = rto_for st m ~src:src_id ~dst ~bytes;
       p_causal =
         (match causal engine with
@@ -495,13 +507,38 @@ let reliable_send engine f ~(src : Node.t) ~dst ~bytes handler =
   Hashtbl.replace st.pending seq p;
   let rec attempt () =
     let src = Engine.node engine src_id in
+    let dst_inc = (Engine.node engine dst).Node.incarnation in
+    if dst_inc <> p.p_inc then begin
+      (* The destination crash-restarted since the last attempt: every
+         attempt so far was (or may have been) spent on a dead
+         incarnation's wire silence, not on plan hostility. The budget
+         restarts with the incarnation; a recoverable-but-hostile plan
+         gets a full [max_attempts] against the incarnation that can
+         actually answer. *)
+      p.p_inc <- dst_inc;
+      p.p_incs_seen <- p.p_incs_seen + 1;
+      p.p_budget <- 0
+    end;
     p.p_attempts <- p.p_attempts + 1;
-    if p.p_attempts > max_attempts then
+    p.p_budget <- p.p_budget + 1;
+    if p.p_budget > max_attempts then begin
+      let now = src.Node.clock in
+      let window =
+        List.find_opt
+          (fun (c, r) -> c <= now && now < r)
+          (Fault.crash_windows f ~node:dst)
+      in
       failwith
         (Printf.sprintf
-           "Am: message %d -> %d undeliverable after %d attempts (fault plan \
-            too hostile?)"
-           src_id dst max_attempts);
+           "Am: message %d -> %d undeliverable after %d attempts against \
+            destination incarnation %d (%d attempts total across %d \
+            incarnation(s)%s; fault plan too hostile?)"
+           src_id dst max_attempts dst_inc p.p_attempts p.p_incs_seen
+           (match window with
+           | Some (c, r) ->
+             Printf.sprintf ", destination down in window [%d, %d)" c r
+           | None -> ""))
+    end;
     if p.p_attempts > 1 then begin
       st.retransmits <- st.retransmits + 1;
       st.retransmit_bytes <- st.retransmit_bytes + bytes;
